@@ -1,0 +1,68 @@
+//! Dev probe: run a handful of strategies on one Table 1 cell and print
+//! rows. Controlled by env vars: `MODEL` (resnet34|vgg19|densenet121),
+//! `HL` (default 1).
+//!
+//! Run: `MODEL=resnet34 HL=3 cargo run --release -p preduce-bench --bin probe`
+
+use preduce_bench::configs::table1_config;
+use preduce_bench::output::print_run_row;
+use preduce_models::zoo;
+use preduce_trainer::{run_experiment, Strategy};
+
+fn main() {
+    let model = std::env::var("MODEL").unwrap_or_else(|_| "resnet34".into());
+    let hl: usize = std::env::var("HL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let model = zoo::by_name(&model).expect("unknown model");
+    let mut config = table1_config(model.clone(), hl);
+    if let Some(lr) = std::env::var("LR").ok().and_then(|v| v.parse().ok()) {
+        config.sgd.lr = lr;
+    }
+    if let Some(b) = std::env::var("BATCH").ok().and_then(|v| v.parse().ok()) {
+        config.math_batch_size = b;
+    }
+    if let Some(s) = std::env::var("SIGMA").ok().and_then(|v| v.parse().ok()) {
+        config.jitter = preduce_simnet::Jitter::LogNormal { sigma: s };
+    }
+    if let Some(n) = std::env::var("NOISE").ok().and_then(|v| v.parse().ok()) {
+        config.label_noise = n;
+    }
+    if let Some(m) = std::env::var("MAXU").ok().and_then(|v| v.parse().ok()) {
+        config.max_updates = m;
+    }
+    if let Some(t) = std::env::var("THRESH").ok().and_then(|v| v.parse().ok()) {
+        config.threshold = t;
+    }
+    if let Some(m) = std::env::var("PS_M").ok().and_then(|v| v.parse().ok()) {
+        config.ps_server_momentum = m;
+    }
+    if std::env::var_os("AR_ONLY").is_some() {
+        let r = run_experiment(Strategy::AllReduce, &config);
+        print_run_row(&r);
+        for p in &r.trace {
+            println!("  u={:>6} acc={:.4}", p.updates, p.accuracy);
+        }
+        return;
+    }
+    println!(
+        "{} HL={hl} threshold={} lr={} batch={}",
+        model.name, config.threshold, config.sgd.lr, config.math_batch_size
+    );
+    for s in [
+        Strategy::AllReduce,
+        Strategy::EagerReduce,
+        Strategy::AdPsgd,
+        Strategy::PsAsp,
+        Strategy::PsHete,
+        Strategy::PReduce { p: 3, dynamic: false },
+        Strategy::PReduce { p: 3, dynamic: true },
+    ] {
+        let r = run_experiment(s, &config);
+        print_run_row(&r);
+        if !r.stats.is_empty() {
+            println!("    stats: {:?}", r.stats);
+        }
+    }
+}

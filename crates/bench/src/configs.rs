@@ -1,0 +1,105 @@
+//! Experiment configurations shared by the figure/table binaries.
+//!
+//! Thresholds are the calibration story of EXPERIMENTS.md: the paper uses
+//! 90% (CIFAR10) / 70% (CIFAR100); our synthetic presets reach different
+//! absolute accuracies, so each preset's threshold is set at the same
+//! *relative* position — comfortably below the preset's plateau so every
+//! convergent method crosses it, but high enough that statistical
+//! efficiency differences show.
+
+use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
+use preduce_models::zoo::{self, ModelZooEntry};
+use preduce_trainer::ExperimentConfig;
+
+/// Whether reduced-scale quick mode is requested (`PREDUCE_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var_os("PREDUCE_QUICK").is_some()
+}
+
+/// Convergence threshold per dataset preset (see EXPERIMENTS.md).
+pub fn threshold_for(preset: &DatasetPreset) -> f64 {
+    match preset.name.as_str() {
+        "cifar10-like" => 0.84,
+        "cifar100-like" => 0.55,
+        "imagenet-like" => 0.35,
+        other => panic!("no calibrated threshold for preset {other}"),
+    }
+}
+
+/// The Table 1 configuration for a model at heterogeneity level `hl`.
+pub fn table1_config(model: ModelZooEntry, hl: usize) -> ExperimentConfig {
+    let preset = cifar10_like();
+    // The DenseNet analog plateaus slightly lower (deeper, narrower net):
+    // its threshold sits the same distance below its plateau as the others
+    // (the paper likewise reports per-model terminal accuracies).
+    let threshold = if model.name == "densenet121" {
+        0.82
+    } else {
+        threshold_for(&preset)
+    };
+    let mut c = ExperimentConfig::table1(model, preset, hl);
+    c.threshold = threshold;
+    // Statistical regime calibrated so gradient *noise* matters (as on
+    // real CIFAR10): small batches, 5% training-label noise, and a rate
+    // low enough that the plateau is stable. This separates synchronous
+    // methods (few, averaged, high-quality updates) from asynchronous
+    // ones (many noisy updates); see EXPERIMENTS.md.
+    c.math_batch_size = 8;
+    c.sgd.lr = 0.03;
+    c.label_noise = 0.05;
+    c.eval_every = 32;
+    if quick_mode() {
+        c.max_updates = 1_500;
+    }
+    c
+}
+
+/// The Fig. 7(b)/Fig. 9 configuration: ResNet-34 analog on the
+/// CIFAR100-like preset, 16 workers, production heterogeneity.
+pub fn production_config(num_workers: usize) -> ExperimentConfig {
+    let mut c = ExperimentConfig::table1(zoo::resnet34(), cifar100_like(), 1);
+    c.num_workers = num_workers;
+    c.hetero = preduce_trainer::HeteroSpec::production_default();
+    c.threshold = threshold_for(&c.preset);
+    c.max_updates = if quick_mode() { 2_000 } else { 80_000 };
+    c.eval_every = 128;
+    c
+}
+
+/// The Fig. 10/11 configuration: an ImageNet-scale analog workload.
+pub fn imagenet_config(model: ModelZooEntry, num_workers: usize) -> ExperimentConfig {
+    let mut c = ExperimentConfig::table1(model, imagenet_like(), 1);
+    c.num_workers = num_workers;
+    c.hetero = preduce_trainer::HeteroSpec::production_default();
+    c.threshold = threshold_for(&c.preset);
+    c.max_updates = if quick_mode() { 800 } else { 8_000 };
+    c.eval_every = 256;
+    // 32 real gradients per synchronous round add up: a smaller math batch
+    // keeps the sweep tractable (the *simulated* batch stays 256).
+    c.math_batch_size = 16;
+    // The paper's ImageNet recipe: step-decay learning rate.
+    c.sgd.schedule = preduce_models::LrSchedule::Step {
+        every_updates: 3_000,
+        factor: 0.1,
+    };
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_defined_for_all_presets() {
+        assert!(threshold_for(&cifar10_like()) > 0.5);
+        assert!(threshold_for(&cifar100_like()) > 0.0);
+        assert!(threshold_for(&imagenet_like()) > 0.0);
+    }
+
+    #[test]
+    fn configs_validate() {
+        table1_config(zoo::resnet34(), 3).validate();
+        production_config(16).validate();
+        imagenet_config(zoo::resnet18(), 32).validate();
+    }
+}

@@ -1,0 +1,150 @@
+//! A small `--flag value` argument parser — deliberately dependency-free
+//! (the workspace's dependency budget is documented in DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse error for CLI arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// A value could not be parsed into the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// Expected type name.
+        expected: &'static str,
+    },
+    /// A token did not look like `--flag`.
+    UnexpectedToken(String),
+    /// A flag was given twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => {
+                write!(f, "flag --{flag} needs a value")
+            }
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::UnexpectedToken(t) => {
+                write!(f, "unexpected argument `{t}` (flags are --name value)")
+            }
+            ArgError::Duplicate(flag) => write!(f, "--{flag} given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses a token stream of `--flag value` pairs.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = BTreeMap::new();
+        let mut iter = tokens.into_iter().map(Into::into);
+        while let Some(tok) = iter.next() {
+            let flag = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?
+                .to_string();
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(flag.clone()))?;
+            if value.starts_with("--") {
+                return Err(ArgError::MissingValue(flag));
+            }
+            if values.insert(flag.clone(), value).is_some() {
+                return Err(ArgError::Duplicate(flag));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// The raw string value of a flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// A typed flag value, or `default` when absent.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.into(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Flags that were provided.
+    pub fn flags(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let a = Args::parse(["--model", "vgg19", "--hl", "3"]).unwrap();
+        assert_eq!(a.get("model"), Some("vgg19"));
+        assert_eq!(a.get_or("hl", 1usize).unwrap(), 3);
+        assert_eq!(a.get_or("p", 3usize).unwrap(), 3); // default
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert_eq!(
+            Args::parse(["--model"]),
+            Err(ArgError::MissingValue("model".into()))
+        );
+        assert_eq!(
+            Args::parse(["--a", "--b"]),
+            Err(ArgError::MissingValue("a".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_bare_tokens_and_duplicates() {
+        assert!(matches!(
+            Args::parse(["oops"]),
+            Err(ArgError::UnexpectedToken(_))
+        ));
+        assert_eq!(
+            Args::parse(["--x", "1", "--x", "2"]),
+            Err(ArgError::Duplicate("x".into()))
+        );
+    }
+
+    #[test]
+    fn typed_parse_errors_are_descriptive() {
+        let a = Args::parse(["--hl", "three"]).unwrap();
+        let e = a.get_or("hl", 1usize).unwrap_err();
+        assert!(e.to_string().contains("three"));
+    }
+}

@@ -1,0 +1,454 @@
+//! CLI subcommands: experiment runs, spectral analysis, and catalog
+//! listing.
+
+use std::fmt;
+
+use partial_reduce::{
+    expected_sync_matrix, spectral_gap, AggregationMode, Controller,
+    ControllerConfig,
+};
+use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
+use preduce_models::zoo;
+use preduce_simnet::{
+    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet,
+};
+use preduce_trainer::{run_experiment, ExperimentConfig, Strategy};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::args::{ArgError, Args};
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// An unknown subcommand or catalog name.
+    Unknown(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Unknown(what) => write!(f, "unknown {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `preduce run …` — one experiment under virtual time.
+    Run,
+    /// `preduce spectral …` — simulate group formation, report ρ and ρ̄.
+    Spectral,
+    /// `preduce list` — strategies, models, presets.
+    List,
+    /// `preduce help`.
+    Help,
+}
+
+impl Command {
+    /// Maps the first CLI token to a command.
+    pub fn from_name(name: &str) -> Result<Self, CliError> {
+        match name {
+            "run" => Ok(Command::Run),
+            "spectral" => Ok(Command::Spectral),
+            "list" => Ok(Command::List),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(CliError::Unknown(format!("command `{other}`"))),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+preduce — heterogeneity-aware distributed training via partial reduce
+
+USAGE:
+  preduce run      [--strategy S] [--model M] [--preset D] [--workers N]
+                   [--hl HL] [--p P] [--dynamic true] [--threshold T]
+                   [--max-updates K] [--seed SEED] [--json true]
+                   [--config experiment.json]
+  preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
+  preduce list
+  preduce help
+
+STRATEGIES (for --strategy):
+  all-reduce | eager-reduce | ad-psgd | d-psgd | ps-bsp | ps-asp |
+  ps-ssp | ps-hete | ps-bk | p-reduce (default)
+";
+
+fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
+    let name = args.get("strategy").unwrap_or("p-reduce");
+    let p: usize = args.get_or("p", 3)?;
+    let dynamic: bool = args.get_or("dynamic", false)?;
+    Ok(match name {
+        "all-reduce" => Strategy::AllReduce,
+        "eager-reduce" => Strategy::EagerReduce,
+        "ad-psgd" => Strategy::AdPsgd,
+        "d-psgd" => Strategy::DPsgd,
+        "ps-bsp" => Strategy::PsBsp,
+        "ps-asp" => Strategy::PsAsp,
+        "ps-ssp" => Strategy::PsSsp {
+            bound: args.get_or("bound", 8)?,
+        },
+        "ps-hete" => Strategy::PsHete,
+        "ps-bk" => Strategy::PsBackup {
+            backups: args.get_or("backups", 3)?,
+        },
+        "p-reduce" => Strategy::PReduce { p, dynamic },
+        other => {
+            return Err(CliError::Unknown(format!("strategy `{other}`")))
+        }
+    })
+}
+
+fn parse_preset(name: &str) -> Result<DatasetPreset, CliError> {
+    match name {
+        "cifar10-like" => Ok(cifar10_like()),
+        "cifar100-like" => Ok(cifar100_like()),
+        "imagenet-like" => Ok(imagenet_like()),
+        other => Err(CliError::Unknown(format!("preset `{other}`"))),
+    }
+}
+
+/// Builds an [`ExperimentConfig`] from CLI flags (defaults mirror Table 1).
+/// `--config file.json` loads a serialized config instead; other flags
+/// then override its fields where given.
+pub fn config_from_args(args: &Args) -> Result<ExperimentConfig, CliError> {
+    if let Some(path) = args.get("config") {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CliError::Unknown(format!("config file `{path}`: {e}"))
+        })?;
+        let mut c: ExperimentConfig =
+            serde_json::from_str(&text).map_err(|e| {
+                CliError::Unknown(format!("config file `{path}`: {e}"))
+            })?;
+        c.num_workers = args.get_or("workers", c.num_workers)?;
+        c.threshold = args.get_or("threshold", c.threshold)?;
+        c.max_updates = args.get_or("max-updates", c.max_updates)?;
+        c.eval_every = args.get_or("eval-every", c.eval_every)?;
+        c.seed = args.get_or("seed", c.seed)?;
+        c.validate();
+        return Ok(c);
+    }
+    let model = args.get("model").unwrap_or("resnet34");
+    let model = zoo::by_name(model)
+        .ok_or_else(|| CliError::Unknown(format!("model `{model}`")))?;
+    let preset = parse_preset(args.get("preset").unwrap_or("cifar10-like"))?;
+    let hl: usize = args.get_or("hl", 1)?;
+
+    let mut c = ExperimentConfig::table1(model, preset, hl);
+    c.num_workers = args.get_or("workers", c.num_workers)?;
+    c.threshold = args.get_or("threshold", 0.84)?;
+    c.max_updates = args.get_or("max-updates", 20_000)?;
+    c.eval_every = args.get_or("eval-every", 32)?;
+    c.seed = args.get_or("seed", c.seed)?;
+    c.sgd.lr = args.get_or("lr", 0.03)?;
+    c.math_batch_size = args.get_or("batch", 8)?;
+    c.label_noise = args.get_or("label-noise", 0.05)?;
+    c.validate();
+    Ok(c)
+}
+
+/// Executes a command, writing human output to `out`. Returns the process
+/// exit code.
+pub fn run_command(
+    command: Command,
+    args: &Args,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            let _ = writeln!(out, "{USAGE}");
+        }
+        Command::List => {
+            let _ = writeln!(out, "strategies:");
+            for s in Strategy::table1_lineup(8) {
+                let _ = writeln!(out, "  {}", s.label());
+            }
+            let _ = writeln!(out, "models:");
+            for m in zoo::all() {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>6.1}M params, {:>5.1} GFLOPs/example",
+                    m.name,
+                    m.profile.param_count as f64 / 1e6,
+                    m.profile.flops_per_example / 1e9
+                );
+            }
+            let _ = writeln!(out, "presets:");
+            for p in
+                [cifar10_like(), cifar100_like(), imagenet_like()]
+            {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {} classes, {} samples",
+                    p.name, p.config.num_classes, p.config.num_samples
+                );
+            }
+        }
+        Command::Run => {
+            let strategy = parse_strategy(args)?;
+            let config = config_from_args(args)?;
+            let result = run_experiment(strategy, &config);
+            if args.get_or("json", false)? {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string_pretty(&result)
+                        .expect("RunResult serializes")
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<22} run time {:>9.1}s | {:>6} updates | {:>8.3}s/update | acc {:.3}{}",
+                    result.strategy,
+                    result.run_time,
+                    result.updates,
+                    result.per_update_time(),
+                    result.final_accuracy,
+                    if result.converged { "" } else { "  (hit cap)" },
+                );
+            }
+        }
+        Command::Spectral => {
+            let n: usize = args.get_or("workers", 8)?;
+            let p: usize = args.get_or("p", 3)?;
+            let rounds: usize = args.get_or("rounds", 20_000)?;
+            let fleet: Box<dyn HeterogeneityModel> =
+                match args.get("slow") {
+                    None => Box::new(UniformFleet::new(
+                        n,
+                        1e9,
+                        Jitter::LogNormal { sigma: 0.2 },
+                    )),
+                    Some(spec) => {
+                        let multipliers: Vec<f64> = spec
+                            .split(',')
+                            .map(|t| {
+                                t.trim().parse().map_err(|_| {
+                                    CliError::Unknown(format!(
+                                        "multiplier `{t}`"
+                                    ))
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if multipliers.len() != n {
+                            return Err(CliError::Unknown(format!(
+                                "--slow needs {n} comma-separated values"
+                            )));
+                        }
+                        Box::new(SpeedFleet::new(
+                            multipliers,
+                            1e9,
+                            Jitter::LogNormal { sigma: 0.2 },
+                        ))
+                    }
+                };
+            let groups = observe_groups(fleet, p, rounds);
+            let e_w = expected_sync_matrix(n, &groups);
+            let report = spectral_gap(&e_w).expect("symmetric E[W]");
+            let _ = writeln!(
+                out,
+                "N = {n}, P = {p}, {rounds} observed groups:\n  rho     = {:.4}\n  rho_bar = {:.4}",
+                report.rho, report.rho_bar
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Simulates the FIFO controller on `fleet` and records the formed groups.
+fn observe_groups(
+    mut fleet: Box<dyn HeterogeneityModel>,
+    p: usize,
+    rounds: usize,
+) -> Vec<Vec<usize>> {
+    let n = fleet.num_workers();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut controller = Controller::new(ControllerConfig {
+        num_workers: n,
+        group_size: p,
+        mode: AggregationMode::Constant,
+        history_window: None,
+        frozen_avoidance: true,
+    });
+    let mut queue = EventQueue::new();
+    for w in 0..n {
+        let ct = fleet.compute_time(w, 1e9, SimTime::ZERO, &mut rng);
+        queue.schedule(SimTime::new(ct), w);
+    }
+    let mut groups = Vec::with_capacity(rounds);
+    while groups.len() < rounds {
+        let (t, w) = queue.pop().expect("workers always reschedule");
+        controller.push_ready(w, 0);
+        while let Some(d) = controller.try_form_group() {
+            for &m in &d.group {
+                let ct = fleet.compute_time(m, 1e9, t, &mut rng);
+                queue.schedule(t + ct, m);
+            }
+            groups.push(d.group);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmdline: &[&str]) -> (Result<(), CliError>, String) {
+        let command = Command::from_name(cmdline[0]).unwrap();
+        let args = Args::parse(cmdline[1..].iter().copied()).unwrap();
+        let mut out = Vec::new();
+        let r = run_command(command, &args, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn list_shows_catalog() {
+        let (r, out) = run(&["list"]);
+        r.unwrap();
+        assert!(out.contains("All-Reduce"));
+        assert!(out.contains("resnet34"));
+        assert!(out.contains("cifar10-like"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (r, out) = run(&["help"]);
+        r.unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn spectral_reports_rho() {
+        let (r, out) = run(&[
+            "spectral", "--workers", "3", "--p", "2", "--rounds", "4000",
+        ]);
+        r.unwrap();
+        assert!(out.contains("rho"), "{out}");
+        // Homogeneous N=3 P=2 should land near 0.5.
+        let rho: f64 = out
+            .lines()
+            .find(|l| l.contains("rho     ="))
+            .and_then(|l| l.split('=').nth(1))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!((rho - 0.5).abs() < 0.05, "rho = {rho}");
+    }
+
+    #[test]
+    fn run_executes_a_tiny_experiment() {
+        let (r, out) = run(&[
+            "run",
+            "--strategy",
+            "p-reduce",
+            "--p",
+            "2",
+            "--workers",
+            "4",
+            "--max-updates",
+            "80",
+            "--eval-every",
+            "40",
+            "--threshold",
+            "0.99",
+        ]);
+        r.unwrap();
+        assert!(out.contains("P-Reduce CON (P=2)"), "{out}");
+        assert!(out.contains("hit cap"), "{out}");
+    }
+
+    #[test]
+    fn run_json_output_is_parseable() {
+        let (r, out) = run(&[
+            "run",
+            "--strategy",
+            "all-reduce",
+            "--workers",
+            "4",
+            "--max-updates",
+            "40",
+            "--eval-every",
+            "40",
+            "--threshold",
+            "0.99",
+            "--json",
+            "true",
+        ]);
+        r.unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["strategy"], "All-Reduce");
+        assert_eq!(v["updates"], 40);
+    }
+
+    #[test]
+    fn config_file_roundtrip_drives_a_run() {
+        // Serialize a config, load it back through --config, run it.
+        let args = Args::parse([
+            "--workers", "4", "--max-updates", "40", "--eval-every", "40",
+            "--threshold", "0.99",
+        ])
+        .unwrap();
+        let config = config_from_args(&args).unwrap();
+        let dir = std::env::temp_dir().join("preduce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&config).unwrap(),
+        )
+        .unwrap();
+
+        let (r, out) = run(&[
+            "run",
+            "--strategy",
+            "all-reduce",
+            "--config",
+            path.to_str().unwrap(),
+        ]);
+        r.unwrap();
+        assert!(out.contains("All-Reduce"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_config_file_is_a_clean_error() {
+        let command = Command::from_name("run").unwrap();
+        let args =
+            Args::parse(["--config", "/nonexistent/exp.json"]).unwrap();
+        let mut out = Vec::new();
+        let r = run_command(command, &args, &mut out);
+        assert!(matches!(r, Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn unknown_strategy_is_an_error() {
+        let command = Command::from_name("run").unwrap();
+        let args = Args::parse(["--strategy", "magic"]).unwrap();
+        let mut out = Vec::new();
+        let r = run_command(command, &args, &mut out);
+        assert!(matches!(r, Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(
+            Command::from_name("frobnicate"),
+            Err(CliError::Unknown(_))
+        ));
+    }
+}

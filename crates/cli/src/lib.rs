@@ -1,0 +1,9 @@
+//! Library half of the `preduce` command-line interface: a dependency-free
+//! argument parser plus the command implementations, kept out of `main.rs`
+//! so they are unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run_command, CliError, Command};

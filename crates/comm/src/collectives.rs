@@ -1,0 +1,669 @@
+//! Group collectives over arbitrary rank subsets.
+//!
+//! Partial reduce needs collectives over *dynamic temporary groups*
+//! (Algorithm 2, line 6-7): the controller names `P` ranks and exactly those
+//! ranks run a model average. These routines implement the standard ring
+//! algorithms restricted to a group, matching the bandwidth-optimal pattern
+//! used by Gloo/NCCL (`2(p−1)/p · bytes` on the wire per rank for
+//! all-reduce).
+//!
+//! Tag discipline: each logical collective must use a caller-unique
+//! `base_tag`; internal steps consume `base_tag + step`. Callers should
+//! space base tags by at least [`TAG_STRIDE`].
+
+use crate::endpoint::Endpoint;
+use crate::error::CommError;
+use crate::Result;
+
+/// Minimum spacing between base tags of concurrent collectives.
+pub const TAG_STRIDE: u64 = 1 << 16;
+
+/// Validates a group and returns the caller's position within it.
+fn position_in_group(ep: &Endpoint, group: &[usize]) -> Result<usize> {
+    if group.is_empty() {
+        return Err(CommError::InvalidGroup("empty group".into()));
+    }
+    let world = ep.world_size();
+    if let Some(&bad) = group.iter().find(|&&r| r >= world) {
+        return Err(CommError::InvalidGroup(format!(
+            "rank {bad} out of range for world of {world}"
+        )));
+    }
+    let mut sorted = group.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(CommError::InvalidGroup("duplicate member".into()));
+    }
+    group
+        .iter()
+        .position(|&r| r == ep.rank())
+        .ok_or_else(|| {
+            CommError::InvalidGroup(format!(
+                "caller rank {} not in group {group:?}",
+                ep.rank()
+            ))
+        })
+}
+
+/// The byte range of chunk `idx` of `len` elements split into `p` chunks.
+fn chunk_range(len: usize, p: usize, idx: usize) -> std::ops::Range<usize> {
+    let base = len / p;
+    let extra = len % p;
+    let start = idx * base + idx.min(extra);
+    let size = base + usize::from(idx < extra);
+    start..start + size
+}
+
+/// In-place ring all-reduce (sum) of `data` across `group`.
+///
+/// Every member must call this with the same `group` ordering, the same
+/// `base_tag`, and equal-length `data`. After return, every member holds the
+/// elementwise sum. A singleton group is a no-op.
+pub fn ring_allreduce(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+) -> Result<()> {
+    let me = position_in_group(ep, group)?;
+    let p = group.len();
+    if p == 1 {
+        return Ok(());
+    }
+    let next = group[(me + 1) % p];
+    let prev = group[(me + p - 1) % p];
+
+    // Phase 1: reduce-scatter. After step s, position i has accumulated
+    // (s+2) contributions in chunk (i - s - 1 mod p)... after p-1 steps,
+    // position i holds the full sum for chunk (i + 1 mod p).
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + p - s - 1) % p;
+        let tag = base_tag + s as u64;
+        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        let incoming = ep.recv(prev, tag)?;
+        let range = chunk_range(data.len(), p, recv_idx);
+        if incoming.len() != range.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: range.len(),
+                actual: incoming.len(),
+            });
+        }
+        for (d, x) in data[range].iter_mut().zip(incoming.iter()) {
+            *d += x;
+        }
+    }
+
+    // Phase 2: all-gather. Position i starts owning the complete chunk
+    // (i + 1 mod p) and circulates completed chunks.
+    for s in 0..p - 1 {
+        let send_idx = (me + 1 + p - s) % p;
+        let recv_idx = (me + p - s) % p;
+        let tag = base_tag + (p - 1 + s) as u64;
+        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        let incoming = ep.recv(prev, tag)?;
+        let range = chunk_range(data.len(), p, recv_idx);
+        if incoming.len() != range.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: range.len(),
+                actual: incoming.len(),
+            });
+        }
+        data[range].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// In-place weighted model average across `group`:
+/// every member ends up with `Σ_j weights[j] · data_j`.
+///
+/// This is the aggregation step of both constant partial reduce
+/// (`weights = [1/P; P]`) and dynamic partial reduce (EMA weights). It is
+/// implemented as scale-then-ring-all-reduce, so it costs the same on the
+/// wire as a plain all-reduce over the group.
+///
+/// # Panics
+/// Panics if `weights.len() != group.len()`.
+pub fn weighted_average(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+    weights: &[f32],
+) -> Result<()> {
+    assert_eq!(
+        weights.len(),
+        group.len(),
+        "one weight per group member required"
+    );
+    let me = position_in_group(ep, group)?;
+    let w = weights[me];
+    for d in data.iter_mut() {
+        *d *= w;
+    }
+    ring_allreduce(ep, group, base_tag, data)
+}
+
+/// Broadcast `data` from `group[root_pos]` to every member, in place.
+///
+/// Uses a simple linear fan-out from the root: fine for the few-member
+/// groups and small payloads this runtime broadcasts.
+pub fn broadcast(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    root_pos: usize,
+    data: &mut Vec<f32>,
+) -> Result<()> {
+    let me = position_in_group(ep, group)?;
+    if root_pos >= group.len() {
+        return Err(CommError::InvalidGroup(format!(
+            "root position {root_pos} out of group of {}",
+            group.len()
+        )));
+    }
+    if group.len() == 1 {
+        return Ok(());
+    }
+    if me == root_pos {
+        for (pos, &r) in group.iter().enumerate() {
+            if pos != root_pos {
+                ep.send(r, base_tag, data.clone())?;
+            }
+        }
+    } else {
+        *data = ep.recv(group[root_pos], base_tag)?;
+    }
+    Ok(())
+}
+
+/// Barrier across `group`: returns only after every member has entered.
+///
+/// Implemented as gather-to-position-0 plus broadcast of an empty token.
+pub fn barrier(ep: &mut Endpoint, group: &[usize], base_tag: u64) -> Result<()> {
+    let me = position_in_group(ep, group)?;
+    if group.len() == 1 {
+        return Ok(());
+    }
+    if me == 0 {
+        for &r in &group[1..] {
+            let _ = ep.recv(r, base_tag)?;
+        }
+        for &r in &group[1..] {
+            ep.send(r, base_tag + 1, Vec::new())?;
+        }
+    } else {
+        ep.send(group[0], base_tag, Vec::new())?;
+        let _ = ep.recv(group[0], base_tag + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::CommWorld;
+    use std::thread;
+
+    /// Runs `f(rank, endpoint)` on every rank in its own thread and returns
+    /// the per-rank results in rank order.
+    fn run_world<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(usize, &mut Endpoint) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let eps = CommWorld::new(n).into_endpoints();
+        let f = std::sync::Arc::new(f);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut ep)| {
+                let f = f.clone();
+                thread::spawn(move || f(rank, &mut ep))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_full_world_sums() {
+        let results = run_world(4, |rank, ep| {
+            let mut data = vec![rank as f32 + 1.0; 10];
+            ring_allreduce(ep, &[0, 1, 2, 3], 0, &mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0; 10]); // 1+2+3+4
+        }
+    }
+
+    #[test]
+    fn allreduce_subgroup_leaves_outsiders_alone() {
+        let results = run_world(4, |rank, ep| {
+            let mut data = vec![rank as f32; 7];
+            if rank == 1 || rank == 3 {
+                ring_allreduce(ep, &[1, 3], 100, &mut data).unwrap();
+            }
+            data
+        });
+        assert_eq!(results[0], vec![0.0; 7]);
+        assert_eq!(results[1], vec![4.0; 7]); // 1 + 3
+        assert_eq!(results[2], vec![2.0; 7]);
+        assert_eq!(results[3], vec![4.0; 7]);
+    }
+
+    #[test]
+    fn allreduce_data_shorter_than_group() {
+        // len < p exercises empty chunks.
+        let results = run_world(4, |rank, ep| {
+            let mut data = vec![rank as f32 + 1.0; 2];
+            ring_allreduce(ep, &[0, 1, 2, 3], 0, &mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0; 2]);
+        }
+    }
+
+    #[test]
+    fn allreduce_uneven_chunks() {
+        let results = run_world(3, |rank, ep| {
+            let mut data: Vec<f32> =
+                (0..11).map(|i| (i * (rank + 1)) as f32).collect();
+            ring_allreduce(ep, &[0, 1, 2], 0, &mut data).unwrap();
+            data
+        });
+        let expected: Vec<f32> = (0..11).map(|i| (i * 6) as f32).collect();
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn weighted_average_with_uniform_weights_is_mean() {
+        let results = run_world(3, |rank, ep| {
+            let mut data = vec![(rank * 3) as f32; 5];
+            let w = [1.0 / 3.0; 3];
+            weighted_average(ep, &[0, 1, 2], 0, &mut data, &w).unwrap();
+            data
+        });
+        for r in results {
+            for v in r {
+                assert!((v - 3.0).abs() < 1e-6); // (0+3+6)/3
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let results = run_world(2, |rank, ep| {
+            let mut data = vec![if rank == 0 { 10.0 } else { 20.0 }];
+            let w = [0.9, 0.1];
+            weighted_average(ep, &[0, 1], 0, &mut data, &w).unwrap();
+            data
+        });
+        for r in results {
+            assert!((r[0] - 11.0).abs() < 1e-5); // 0.9·10 + 0.1·20
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_data() {
+        let results = run_world(3, |rank, ep| {
+            let mut data = if rank == 2 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0; 2]
+            };
+            broadcast(ep, &[0, 1, 2], 0, 2, &mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let results = run_world(4, move |rank, ep| {
+            if rank == 0 {
+                // Give the others a head start to make a missed barrier
+                // observable.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            c2.fetch_add(1, Ordering::SeqCst);
+            barrier(ep, &[0, 1, 2, 3], 500).unwrap();
+            // Everyone must observe all 4 increments after the barrier.
+            c2.load(Ordering::SeqCst)
+        });
+        for r in results {
+            assert_eq!(r, 4);
+        }
+    }
+
+    #[test]
+    fn concurrent_groups_do_not_interfere() {
+        // Two disjoint pairs all-reduce concurrently with distinct tags.
+        let results = run_world(4, |rank, ep| {
+            let group: Vec<usize> =
+                if rank < 2 { vec![0, 1] } else { vec![2, 3] };
+            let tag = if rank < 2 { 0 } else { TAG_STRIDE };
+            let mut data = vec![rank as f32; 4];
+            ring_allreduce(ep, &group, tag, &mut data).unwrap();
+            data
+        });
+        assert_eq!(results[0], vec![1.0; 4]);
+        assert_eq!(results[1], vec![1.0; 4]);
+        assert_eq!(results[2], vec![5.0; 4]);
+        assert_eq!(results[3], vec![5.0; 4]);
+    }
+
+    #[test]
+    fn rejects_caller_outside_group() {
+        let mut eps = CommWorld::new(3).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let mut data = vec![0.0];
+        assert!(matches!(
+            ring_allreduce(&mut e0, &[1, 2], 0, &mut data),
+            Err(CommError::InvalidGroup(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_members() {
+        let mut eps = CommWorld::new(3).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let mut data = vec![0.0];
+        assert!(matches!(
+            ring_allreduce(&mut e0, &[0, 0], 0, &mut data),
+            Err(CommError::InvalidGroup(_))
+        ));
+    }
+
+    #[test]
+    fn singleton_group_is_noop() {
+        let mut eps = CommWorld::new(2).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let mut data = vec![3.0, 4.0];
+        ring_allreduce(&mut e0, &[0], 0, &mut data).unwrap();
+        assert_eq!(data, vec![3.0, 4.0]);
+        barrier(&mut e0, &[0], 0).unwrap();
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        for (len, p) in [(10usize, 3usize), (2, 4), (7, 7), (0, 2), (16, 4)] {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for i in 0..p {
+                let r = chunk_range(len, p, i);
+                assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+                total += r.len();
+            }
+            assert_eq!(total, len);
+            assert_eq!(prev_end, len);
+        }
+    }
+}
+
+/// Reduce-scatter: after the call, the member at position `i` of `group`
+/// holds the fully-summed chunk `i` of `data` (chunks as in
+/// [`ring_allreduce`]'s partition, ownership as in MPI's
+/// `Reduce_scatter`); other chunks are left in an unspecified
+/// partially-reduced state. Returns the caller's owned chunk range.
+pub fn reduce_scatter(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+) -> Result<std::ops::Range<usize>> {
+    let me = position_in_group(ep, group)?;
+    let p = group.len();
+    if p == 1 {
+        return Ok(0..data.len());
+    }
+    let next = group[(me + 1) % p];
+    let prev = group[(me + p - 1) % p];
+    // Offset −1 relative to `ring_allreduce`'s phase 1 so the caller ends
+    // up owning chunk `me` (MPI convention) rather than `(me+1) mod p`.
+    for s in 0..p - 1 {
+        let send_idx = (me + p - 1 - s) % p;
+        let recv_idx = (me + 2 * p - 2 - s) % p;
+        let tag = base_tag + s as u64;
+        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        let incoming = ep.recv(prev, tag)?;
+        let range = chunk_range(data.len(), p, recv_idx);
+        if incoming.len() != range.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: range.len(),
+                actual: incoming.len(),
+            });
+        }
+        for (d, x) in data[range].iter_mut().zip(incoming.iter()) {
+            *d += x;
+        }
+    }
+    Ok(chunk_range(data.len(), p, me))
+}
+
+/// All-gather: the member at position `i` contributes chunk `i` of `data`
+/// (the rest of its buffer is overwritten); after the call every member
+/// holds all chunks. Chunk partition as in [`ring_allreduce`].
+pub fn all_gather(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+) -> Result<()> {
+    let me = position_in_group(ep, group)?;
+    let p = group.len();
+    if p == 1 {
+        return Ok(());
+    }
+    let next = group[(me + 1) % p];
+    let prev = group[(me + p - 1) % p];
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + p - s - 1) % p;
+        let tag = base_tag + s as u64;
+        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        let incoming = ep.recv(prev, tag)?;
+        let range = chunk_range(data.len(), p, recv_idx);
+        if incoming.len() != range.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: range.len(),
+                actual: incoming.len(),
+            });
+        }
+        data[range].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// Gather: every member sends its full `data` to the member at
+/// `root_pos`; the root receives them in group order (its own buffer
+/// included). Non-roots receive `None`.
+pub fn gather(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    root_pos: usize,
+    data: &[f32],
+) -> Result<Option<Vec<Vec<f32>>>> {
+    let me = position_in_group(ep, group)?;
+    if root_pos >= group.len() {
+        return Err(CommError::InvalidGroup(format!(
+            "root position {root_pos} out of group of {}",
+            group.len()
+        )));
+    }
+    if me == root_pos {
+        let mut out = Vec::with_capacity(group.len());
+        for (pos, &r) in group.iter().enumerate() {
+            if pos == root_pos {
+                out.push(data.to_vec());
+            } else {
+                out.push(ep.recv(r, base_tag + pos as u64)?);
+            }
+        }
+        Ok(Some(out))
+    } else {
+        ep.send(group[root_pos], base_tag + me as u64, data.to_vec())?;
+        Ok(None)
+    }
+}
+
+/// Scatter: the root (at `root_pos`) distributes one buffer per member in
+/// group order; every member returns its slice. The root must pass
+/// `Some(buffers)` with exactly one buffer per member; non-roots pass
+/// `None`.
+pub fn scatter(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    root_pos: usize,
+    buffers: Option<Vec<Vec<f32>>>,
+) -> Result<Vec<f32>> {
+    let me = position_in_group(ep, group)?;
+    if root_pos >= group.len() {
+        return Err(CommError::InvalidGroup(format!(
+            "root position {root_pos} out of group of {}",
+            group.len()
+        )));
+    }
+    if me == root_pos {
+        let buffers = buffers.ok_or_else(|| {
+            CommError::InvalidGroup("scatter root needs buffers".into())
+        })?;
+        if buffers.len() != group.len() {
+            return Err(CommError::InvalidGroup(format!(
+                "scatter root got {} buffers for a group of {}",
+                buffers.len(),
+                group.len()
+            )));
+        }
+        let mut own = Vec::new();
+        for (pos, (buf, &r)) in
+            buffers.into_iter().zip(group.iter()).enumerate()
+        {
+            if pos == root_pos {
+                own = buf;
+            } else {
+                ep.send(r, base_tag + pos as u64, buf)?;
+            }
+        }
+        Ok(own)
+    } else {
+        ep.recv(group[root_pos], base_tag + me as u64)
+    }
+}
+
+#[cfg(test)]
+mod scatter_gather_tests {
+    use super::*;
+    use crate::endpoint::CommWorld;
+    use std::thread;
+
+    fn run_world<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(usize, &mut Endpoint) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let eps = CommWorld::new(n).into_endpoints();
+        let f = std::sync::Arc::new(f);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut ep)| {
+                let f = f.clone();
+                thread::spawn(move || f(rank, &mut ep))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn reduce_scatter_owns_summed_chunk() {
+        let results = run_world(3, |rank, ep| {
+            let mut data: Vec<f32> =
+                (0..9).map(|i| (i + rank) as f32).collect();
+            let range =
+                reduce_scatter(ep, &[0, 1, 2], 0, &mut data).unwrap();
+            (range.clone(), data[range].to_vec())
+        });
+        // Sum over ranks of (i + rank) = 3i + 3.
+        for (pos, (range, owned)) in results.iter().enumerate() {
+            assert_eq!(range.start, pos * 3);
+            for (off, v) in owned.iter().enumerate() {
+                let i = range.start + off;
+                assert_eq!(*v, (3 * i + 3) as f32, "rank {pos} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_allreduce() {
+        let results = run_world(4, |rank, ep| {
+            let mut a: Vec<f32> =
+                (0..10).map(|i| (i * (rank + 1)) as f32).collect();
+            let mut b = a.clone();
+            ring_allreduce(ep, &[0, 1, 2, 3], 0, &mut a).unwrap();
+            reduce_scatter(ep, &[0, 1, 2, 3], TAG_STRIDE, &mut b).unwrap();
+            all_gather(ep, &[0, 1, 2, 3], 2 * TAG_STRIDE, &mut b).unwrap();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_group_order() {
+        let results = run_world(3, |rank, ep| {
+            let data = vec![rank as f32; 2];
+            gather(ep, &[2, 0, 1], 0, 0, &data).unwrap()
+        });
+        // Root is group position 0 = rank 2.
+        assert!(results[0].is_none());
+        assert!(results[1].is_none());
+        let gathered = results[2].as_ref().unwrap();
+        assert_eq!(gathered[0], vec![2.0; 2]); // group[0] = rank 2
+        assert_eq!(gathered[1], vec![0.0; 2]); // group[1] = rank 0
+        assert_eq!(gathered[2], vec![1.0; 2]); // group[2] = rank 1
+    }
+
+    #[test]
+    fn scatter_distributes_per_member_buffers() {
+        let results = run_world(3, |rank, ep| {
+            let buffers = (rank == 1).then(|| {
+                vec![vec![10.0], vec![20.0], vec![30.0]]
+            });
+            scatter(ep, &[0, 1, 2], 0, 1, buffers).unwrap()
+        });
+        assert_eq!(results[0], vec![10.0]);
+        assert_eq!(results[1], vec![20.0]);
+        assert_eq!(results[2], vec![30.0]);
+    }
+
+    #[test]
+    fn scatter_root_without_buffers_errors() {
+        let mut eps = CommWorld::new(2).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let r = scatter(&mut e0, &[0, 1], 0, 0, None);
+        assert!(matches!(r, Err(CommError::InvalidGroup(_))));
+    }
+
+    #[test]
+    fn singleton_reduce_scatter_owns_everything() {
+        let mut eps = CommWorld::new(1).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let mut data = vec![1.0, 2.0];
+        let range = reduce_scatter(&mut e0, &[0], 0, &mut data).unwrap();
+        assert_eq!(range, 0..2);
+        all_gather(&mut e0, &[0], 0, &mut data).unwrap();
+        assert_eq!(data, vec![1.0, 2.0]);
+    }
+}

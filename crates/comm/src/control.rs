@@ -1,0 +1,309 @@
+//! Worker ↔ controller signaling channels.
+//!
+//! Mirrors the paper's message queue between workers and the controller
+//! (§4): workers send a few-bytes *ready signal* (their rank plus, for
+//! dynamic partial reduce, their current iteration number); the controller
+//! replies with a *group assignment* naming the members, the aggregation
+//! weights, a tag for the group's collective, and the fast-forwarded
+//! iteration number.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::error::CommError;
+use crate::Result;
+
+/// A signal from a worker to the controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerSignal {
+    /// "I finished my local update and am ready for a partial reduce."
+    Ready {
+        /// Worker rank.
+        worker: usize,
+        /// The worker's current iteration number (dynamic partial reduce
+        /// sends it so the controller can compute staleness weights).
+        iteration: u64,
+    },
+    /// The worker is leaving the computation (end of training).
+    Leaving {
+        /// Worker rank.
+        worker: usize,
+    },
+}
+
+/// The controller's reply: the composed group and how to aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupAssignment {
+    /// Member ranks, in collective order. Every member receives the same
+    /// assignment.
+    pub group: Vec<usize>,
+    /// Aggregation weight per member (aligned with `group`). Sums to 1.
+    pub weights: Vec<f32>,
+    /// Base tag the group must use for its collective.
+    pub base_tag: u64,
+    /// Iteration number every member adopts after the reduce
+    /// (`max` over the group — §3.3.3).
+    pub new_iteration: u64,
+}
+
+/// Controller-side transport abstraction: the threaded runtime works over
+/// any implementation — in-process channels ([`ControllerLink`]) or the
+/// TCP message queue of the paper's prototype
+/// ([`crate::tcp::TcpControllerLink`]).
+pub trait ControlPlane: Send {
+    /// Blocks for the next worker signal, up to `timeout`.
+    fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal>;
+    /// Sends a group assignment to one worker.
+    fn send_assignment(
+        &mut self,
+        worker: usize,
+        assignment: GroupAssignment,
+    ) -> Result<()>;
+    /// Broadcasts an assignment to all its group members.
+    fn announce(&mut self, assignment: &GroupAssignment) -> Result<()> {
+        for &w in &assignment.group {
+            self.send_assignment(w, assignment.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Worker-side transport abstraction; see [`ControlPlane`].
+pub trait WorkerControlPlane: Send {
+    /// This worker's rank.
+    fn rank(&self) -> usize;
+    /// Sends the ready signal (Algorithm 2, worker line 5).
+    fn send_ready(&mut self, iteration: u64) -> Result<()>;
+    /// Announces that this worker is done training.
+    fn send_leaving(&mut self) -> Result<()>;
+    /// Blocks for the controller's group assignment.
+    fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment>;
+}
+
+/// The controller's side of the signaling fabric.
+#[derive(Debug)]
+pub struct ControllerLink {
+    signals: Receiver<WorkerSignal>,
+    assignments: Vec<Sender<GroupAssignment>>,
+}
+
+impl ControllerLink {
+    /// Blocks for the next worker signal, with a timeout guarding against
+    /// dead worker threads.
+    pub fn recv_signal(&self, timeout: Duration) -> Result<WorkerSignal> {
+        self.signals.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout {
+                peer: usize::MAX,
+                tag: 0,
+            },
+            RecvTimeoutError::Disconnected => {
+                CommError::Disconnected { peer: usize::MAX }
+            }
+        })
+    }
+
+    /// Non-blocking signal poll.
+    pub fn try_recv_signal(&self) -> Option<WorkerSignal> {
+        self.signals.try_recv().ok()
+    }
+
+    /// Sends a group assignment to one member.
+    pub fn send_assignment(
+        &self,
+        worker: usize,
+        assignment: GroupAssignment,
+    ) -> Result<()> {
+        let tx = self
+            .assignments
+            .get(worker)
+            .ok_or(CommError::InvalidRank {
+                rank: worker,
+                world: self.assignments.len(),
+            })?;
+        tx.send(assignment)
+            .map_err(|_| CommError::Disconnected { peer: worker })
+    }
+
+    /// Broadcasts an assignment to all its group members.
+    pub fn announce(&self, assignment: &GroupAssignment) -> Result<()> {
+        for &w in &assignment.group {
+            self.send_assignment(w, assignment.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// One worker's side of the signaling fabric.
+#[derive(Debug)]
+pub struct WorkerLink {
+    rank: usize,
+    signal_tx: Sender<WorkerSignal>,
+    assignment_rx: Receiver<GroupAssignment>,
+}
+
+impl WorkerLink {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Sends the ready signal (Algorithm 2, worker line 5).
+    pub fn send_ready(&self, iteration: u64) -> Result<()> {
+        self.signal_tx
+            .send(WorkerSignal::Ready {
+                worker: self.rank,
+                iteration,
+            })
+            .map_err(|_| CommError::Disconnected { peer: usize::MAX })
+    }
+
+    /// Tells the controller this worker is done training.
+    pub fn send_leaving(&self) -> Result<()> {
+        self.signal_tx
+            .send(WorkerSignal::Leaving { worker: self.rank })
+            .map_err(|_| CommError::Disconnected { peer: usize::MAX })
+    }
+
+    /// Blocks for the controller's group assignment
+    /// (Algorithm 2, worker line 6).
+    pub fn recv_assignment(&self, timeout: Duration) -> Result<GroupAssignment> {
+        self.assignment_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout {
+                peer: usize::MAX,
+                tag: 1,
+            },
+            RecvTimeoutError::Disconnected => {
+                CommError::Disconnected { peer: usize::MAX }
+            }
+        })
+    }
+}
+
+impl ControlPlane for ControllerLink {
+    fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal> {
+        ControllerLink::recv_signal(self, timeout)
+    }
+
+    fn send_assignment(
+        &mut self,
+        worker: usize,
+        assignment: GroupAssignment,
+    ) -> Result<()> {
+        ControllerLink::send_assignment(self, worker, assignment)
+    }
+}
+
+impl WorkerControlPlane for WorkerLink {
+    fn rank(&self) -> usize {
+        WorkerLink::rank(self)
+    }
+
+    fn send_ready(&mut self, iteration: u64) -> Result<()> {
+        WorkerLink::send_ready(self, iteration)
+    }
+
+    fn send_leaving(&mut self) -> Result<()> {
+        WorkerLink::send_leaving(self)
+    }
+
+    fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment> {
+        WorkerLink::recv_assignment(self, timeout)
+    }
+}
+
+/// Builds the signaling fabric for `n` workers plus one controller.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn control_links(n: usize) -> (ControllerLink, Vec<WorkerLink>) {
+    assert!(n > 0, "need at least one worker");
+    let (signal_tx, signal_rx) = unbounded();
+    let mut assignment_txs = Vec::with_capacity(n);
+    let mut workers = Vec::with_capacity(n);
+    for rank in 0..n {
+        let (tx, rx) = unbounded();
+        assignment_txs.push(tx);
+        workers.push(WorkerLink {
+            rank,
+            signal_tx: signal_tx.clone(),
+            assignment_rx: rx,
+        });
+    }
+    (
+        ControllerLink {
+            signals: signal_rx,
+            assignments: assignment_txs,
+        },
+        workers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn ready_signal_roundtrip() {
+        let (ctl, workers) = control_links(3);
+        workers[1].send_ready(5).unwrap();
+        assert_eq!(
+            ctl.recv_signal(T).unwrap(),
+            WorkerSignal::Ready {
+                worker: 1,
+                iteration: 5
+            }
+        );
+    }
+
+    #[test]
+    fn announce_reaches_all_members() {
+        let (ctl, workers) = control_links(4);
+        let a = GroupAssignment {
+            group: vec![0, 2],
+            weights: vec![0.5, 0.5],
+            base_tag: 42,
+            new_iteration: 9,
+        };
+        ctl.announce(&a).unwrap();
+        assert_eq!(workers[0].recv_assignment(T).unwrap(), a);
+        assert_eq!(workers[2].recv_assignment(T).unwrap(), a);
+        // Worker 1 got nothing.
+        assert!(workers[1].recv_assignment(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn signals_arrive_fifo() {
+        let (ctl, workers) = control_links(3);
+        for w in [2usize, 0, 1] {
+            workers[w].send_ready(w as u64).unwrap();
+        }
+        let order: Vec<usize> = (0..3)
+            .map(|_| match ctl.recv_signal(T).unwrap() {
+                WorkerSignal::Ready { worker, .. } => worker,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn leaving_signal() {
+        let (ctl, workers) = control_links(1);
+        workers[0].send_leaving().unwrap();
+        assert_eq!(
+            ctl.recv_signal(T).unwrap(),
+            WorkerSignal::Leaving { worker: 0 }
+        );
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (ctl, workers) = control_links(1);
+        assert!(ctl.try_recv_signal().is_none());
+        workers[0].send_ready(0).unwrap();
+        assert!(ctl.try_recv_signal().is_some());
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors from the message-passing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank outside `0..world_size` was addressed.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The world size.
+        world: usize,
+    },
+    /// The peer's endpoint has been dropped; the world is shutting down.
+    Disconnected {
+        /// The peer whose channel closed.
+        peer: usize,
+    },
+    /// A receive did not complete within the configured timeout — in this
+    /// in-process runtime that indicates a deadlocked or panicked peer.
+    Timeout {
+        /// The peer being waited on.
+        peer: usize,
+        /// The tag being waited for.
+        tag: u64,
+    },
+    /// A collective was invoked with an invalid group (empty, duplicate
+    /// members, out-of-range ranks, or the caller not in the group).
+    InvalidGroup(String),
+    /// Payload length mismatch between group members in a collective.
+    PayloadMismatch {
+        /// Length this rank holds.
+        expected: usize,
+        /// Length received from a peer.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, world } => {
+                write!(f, "rank {rank} out of range for world of {world}")
+            }
+            CommError::Disconnected { peer } => {
+                write!(f, "peer {peer} disconnected")
+            }
+            CommError::Timeout { peer, tag } => {
+                write!(f, "timed out waiting for tag {tag} from peer {peer}")
+            }
+            CommError::InvalidGroup(msg) => write!(f, "invalid group: {msg}"),
+            CommError::PayloadMismatch { expected, actual } => write!(
+                f,
+                "payload length mismatch in collective: {expected} vs {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(CommError::InvalidRank { rank: 9, world: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(CommError::Timeout { peer: 2, tag: 77 }
+            .to_string()
+            .contains("77"));
+    }
+}

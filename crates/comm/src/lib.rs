@@ -1,0 +1,35 @@
+//! A threaded message-passing collective runtime — the substrate the paper
+//! gets from Gloo/`torch.distributed` and we build from scratch.
+//!
+//! The runtime provides:
+//!
+//! * a [`CommWorld`] of `n` ranks connected all-to-all by typed channels
+//!   ([`Endpoint`] per rank), with tagged [`Endpoint::send`] /
+//!   [`Endpoint::recv`] matching out-of-order arrivals like an MPI
+//!   implementation;
+//! * group collectives over *arbitrary subsets* of ranks —
+//!   [`collectives::ring_allreduce`], [`collectives::broadcast`],
+//!   [`collectives::barrier`] — which is exactly the capability partial
+//!   reduce needs (a collective over a dynamic temporary group, something
+//!   NCCL's fixed communicators make hard, §4 of the paper);
+//! * a [`control`] channel pair for the few-bytes worker↔controller
+//!   signaling traffic, behind a [`control::ControlPlane`] abstraction
+//!   with two transports: in-process channels and the paper prototype's
+//!   TCP message queue ([`tcp`]).
+//!
+//! Everything is in-process: transports are `crossbeam` channels, and a
+//! "worker" is a thread. The collective *semantics* (who averages what,
+//! when) are identical to a networked deployment, which is what the
+//! reproduction's claims rest on.
+
+pub mod collectives;
+pub mod control;
+mod endpoint;
+mod error;
+pub mod tcp;
+
+pub use endpoint::{CommWorld, Endpoint, Message};
+pub use error::CommError;
+
+/// Result alias for communication operations.
+pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,0 +1,337 @@
+//! The paper's prototype control plane: a TCP/IP message queue between the
+//! workers and the controller (§4: "we also implement a message queue with
+//! TCP/IP protocols for the communication between the controller and the
+//! workers ... each message from the workers is only a few bytes").
+//!
+//! Wire format: 4-byte big-endian length prefix + JSON payload. Every
+//! message really is a few dozen bytes; the model data never touches this
+//! channel (that is what distinguishes the controller from a parameter
+//! server).
+//!
+//! Topology: the controller binds a listener; each worker dials in and
+//! introduces itself with a `Hello { rank }` frame. One reader thread per
+//! worker socket funnels decoded signals into a single queue, so the
+//! controller side exposes the same [`ControlPlane`] interface as the
+//! in-process channels.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+use crate::control::{ControlPlane, GroupAssignment, WorkerControlPlane, WorkerSignal};
+use crate::error::CommError;
+use crate::Result;
+
+/// Maximum accepted frame size: control messages are tiny; anything close
+/// to this indicates protocol corruption.
+const MAX_FRAME: u32 = 1 << 20;
+
+/// The worker's first frame after connecting.
+#[derive(Debug, Serialize, Deserialize)]
+struct Hello {
+    rank: usize,
+}
+
+fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<()> {
+    let payload = serde_json::to_vec(msg).map_err(|_| {
+        CommError::InvalidGroup("unserializable control message".into())
+    })?;
+    let len = payload.len() as u32;
+    debug_assert!(len < MAX_FRAME);
+    stream
+        .write_all(&len.to_be_bytes())
+        .and_then(|_| stream.write_all(&payload))
+        .map_err(|_| CommError::Disconnected { peer: usize::MAX })
+}
+
+fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream) -> Result<T> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+    let len = u32::from_be_bytes(len_buf);
+    if len >= MAX_FRAME {
+        return Err(CommError::InvalidGroup(format!(
+            "oversized control frame ({len} bytes)"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+    serde_json::from_slice(&payload).map_err(|_| {
+        CommError::InvalidGroup("malformed control frame".into())
+    })
+}
+
+/// Controller side of the TCP message queue.
+#[derive(Debug)]
+pub struct TcpControllerLink {
+    signals: Receiver<WorkerSignal>,
+    /// Write half per worker, shared with nothing else (reads happen on
+    /// the reader threads' clones).
+    writers: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+/// Binds a controller listener on `addr` (use port 0 for an ephemeral
+/// port) and returns the bound address to hand to workers.
+///
+/// # Panics
+/// Panics if the address cannot be bound.
+pub fn bind_controller(addr: &str) -> (TcpListener, SocketAddr) {
+    let listener = TcpListener::bind(addr).expect("bind controller listener");
+    let local = listener.local_addr().expect("listener has a local address");
+    (listener, local)
+}
+
+/// Accepts exactly `n` workers on `listener`, spawning one reader thread
+/// per connection. Returns once every rank 0..n has said hello.
+///
+/// # Errors
+/// Fails if a connection breaks during the handshake or a rank is
+/// duplicated/out of range.
+pub fn accept_workers(
+    listener: &TcpListener,
+    n: usize,
+) -> Result<TcpControllerLink> {
+    assert!(n > 0, "need at least one worker");
+    let (tx, rx) = unbounded::<WorkerSignal>();
+    let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> =
+        (0..n).map(|_| None).collect();
+
+    for _ in 0..n {
+        let (mut stream, _) = listener
+            .accept()
+            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+        stream.set_nodelay(true).ok();
+        let hello: Hello = read_frame(&mut stream)?;
+        if hello.rank >= n {
+            return Err(CommError::InvalidRank {
+                rank: hello.rank,
+                world: n,
+            });
+        }
+        if writers[hello.rank].is_some() {
+            return Err(CommError::InvalidGroup(format!(
+                "duplicate hello from rank {}",
+                hello.rank
+            )));
+        }
+        let reader = stream
+            .try_clone()
+            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
+        writers[hello.rank] = Some(Arc::new(Mutex::new(stream)));
+
+        // Reader thread: decode signals until the socket closes.
+        let tx = tx.clone();
+        thread::Builder::new()
+            .name(format!("preduce-tcp-reader-{}", hello.rank))
+            .spawn(move || {
+                let mut reader = reader;
+                while let Ok(signal) = read_frame::<WorkerSignal>(&mut reader)
+                {
+                    if tx.send(signal).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn reader thread");
+    }
+
+    Ok(TcpControllerLink {
+        signals: rx,
+        writers: writers
+            .into_iter()
+            .map(|w| w.expect("all ranks said hello"))
+            .collect(),
+    })
+}
+
+impl ControlPlane for TcpControllerLink {
+    fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal> {
+        self.signals.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout {
+                peer: usize::MAX,
+                tag: 0,
+            },
+            RecvTimeoutError::Disconnected => {
+                CommError::Disconnected { peer: usize::MAX }
+            }
+        })
+    }
+
+    fn send_assignment(
+        &mut self,
+        worker: usize,
+        assignment: GroupAssignment,
+    ) -> Result<()> {
+        let writer =
+            self.writers
+                .get(worker)
+                .ok_or(CommError::InvalidRank {
+                    rank: worker,
+                    world: self.writers.len(),
+                })?;
+        write_frame(&mut writer.lock(), &assignment)
+            .map_err(|_| CommError::Disconnected { peer: worker })
+    }
+}
+
+/// Worker side of the TCP message queue.
+#[derive(Debug)]
+pub struct TcpWorkerLink {
+    rank: usize,
+    stream: TcpStream,
+}
+
+impl TcpWorkerLink {
+    /// Dials the controller and introduces this worker.
+    ///
+    /// # Errors
+    /// Fails if the connection or handshake fails.
+    pub fn connect(addr: SocketAddr, rank: usize) -> Result<Self> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+        stream.set_nodelay(true).ok();
+        write_frame(&mut stream, &Hello { rank })?;
+        Ok(TcpWorkerLink { rank, stream })
+    }
+}
+
+impl WorkerControlPlane for TcpWorkerLink {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn send_ready(&mut self, iteration: u64) -> Result<()> {
+        let signal = WorkerSignal::Ready {
+            worker: self.rank,
+            iteration,
+        };
+        write_frame(&mut self.stream, &signal)
+    }
+
+    fn send_leaving(&mut self) -> Result<()> {
+        let signal = WorkerSignal::Leaving { worker: self.rank };
+        write_frame(&mut self.stream, &signal)
+    }
+
+    fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+        let r = read_frame(&mut self.stream);
+        // A read timeout surfaces as Disconnected from read_frame; map it
+        // to Timeout when the socket is still alive.
+        match r {
+            Err(CommError::Disconnected { .. }) => Err(CommError::Timeout {
+                peer: usize::MAX,
+                tag: 1,
+            }),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn tcp_control_roundtrip() {
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        let worker = thread::spawn(move || {
+            let mut w = TcpWorkerLink::connect(addr, 0).unwrap();
+            w.send_ready(7).unwrap();
+            let a = w.recv_assignment(T).unwrap();
+            w.send_leaving().unwrap();
+            a
+        });
+        let mut ctl = accept_workers(&listener, 1).unwrap();
+        match ctl.recv_signal(T).unwrap() {
+            WorkerSignal::Ready { worker, iteration } => {
+                assert_eq!(worker, 0);
+                assert_eq!(iteration, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let assignment = GroupAssignment {
+            group: vec![0],
+            weights: vec![1.0],
+            base_tag: 9,
+            new_iteration: 7,
+        };
+        ctl.send_assignment(0, assignment.clone()).unwrap();
+        assert_eq!(worker.join().unwrap(), assignment);
+        assert!(matches!(
+            ctl.recv_signal(T).unwrap(),
+            WorkerSignal::Leaving { worker: 0 }
+        ));
+    }
+
+    #[test]
+    fn multiple_workers_multiplex_onto_one_queue() {
+        let n = 4;
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        let workers: Vec<_> = (0..n)
+            .map(|rank| {
+                thread::spawn(move || {
+                    let mut w = TcpWorkerLink::connect(addr, rank).unwrap();
+                    w.send_ready(rank as u64 * 10).unwrap();
+                    w.recv_assignment(T).unwrap()
+                })
+            })
+            .collect();
+        let mut ctl = accept_workers(&listener, n).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            match ctl.recv_signal(T).unwrap() {
+                WorkerSignal::Ready { worker, iteration } => {
+                    assert_eq!(iteration, worker as u64 * 10);
+                    seen.insert(worker);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), n);
+        let a = GroupAssignment {
+            group: (0..n).collect(),
+            weights: vec![1.0 / n as f32; n],
+            base_tag: 0,
+            new_iteration: 30,
+        };
+        ctl.announce(&a).unwrap();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected() {
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        let w = thread::spawn(move || TcpWorkerLink::connect(addr, 5));
+        let r = accept_workers(&listener, 2);
+        assert!(matches!(r, Err(CommError::InvalidRank { rank: 5, .. })));
+        let _ = w.join().unwrap();
+    }
+
+    #[test]
+    fn worker_recv_times_out_without_controller_message() {
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        let worker = thread::spawn(move || {
+            let mut w = TcpWorkerLink::connect(addr, 0).unwrap();
+            w.recv_assignment(Duration::from_millis(100))
+        });
+        let _ctl = accept_workers(&listener, 1).unwrap();
+        let r = worker.join().unwrap();
+        assert!(matches!(r, Err(CommError::Timeout { .. })), "{r:?}");
+    }
+}

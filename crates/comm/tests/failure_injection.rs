@@ -1,0 +1,134 @@
+//! Failure injection: the runtime must surface dead peers as errors, not
+//! hangs — a production collective library's most important property.
+
+use std::thread;
+use std::time::Duration;
+
+use preduce_comm::collectives::{barrier, ring_allreduce};
+use preduce_comm::control::{control_links, GroupAssignment};
+use preduce_comm::{CommError, CommWorld};
+
+#[test]
+fn collective_with_dead_peer_times_out() {
+    // Rank 1 is dropped before participating: rank 0's all-reduce must
+    // fail with Timeout (the channel stays open via rank 0's own sender
+    // clone, so disconnection cannot be detected — only the timeout can).
+    let mut eps = CommWorld::new(2).into_endpoints();
+    let _e1 = eps.pop().unwrap(); // kept alive but silent
+    let mut e0 = eps.pop().unwrap();
+    e0.set_timeout(Duration::from_millis(50));
+    let mut data = vec![1.0f32; 8];
+    let err = ring_allreduce(&mut e0, &[0, 1], 0, &mut data).unwrap_err();
+    assert!(matches!(err, CommError::Timeout { peer: 1, .. }), "{err:?}");
+}
+
+#[test]
+fn peer_panic_mid_collective_does_not_hang_survivors() {
+    let mut eps = CommWorld::new(3).into_endpoints();
+    for ep in &mut eps {
+        ep.set_timeout(Duration::from_millis(100));
+    }
+    let e2 = eps.pop().unwrap();
+    let mut e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+
+    // Rank 2 "crashes" before the barrier (its endpoint is dropped inside
+    // a thread that exits immediately).
+    let crasher = thread::spawn(move || {
+        drop(e2);
+    });
+    crasher.join().unwrap();
+
+    let t0 = thread::spawn(move || {
+        let r = barrier(&mut e0, &[0, 1, 2], 0);
+        r.unwrap_err()
+    });
+    let t1 = thread::spawn(move || {
+        let r = barrier(&mut e1, &[0, 1, 2], 0);
+        r.unwrap_err()
+    });
+    // Both survivors must return (with errors) rather than hang.
+    let e0_err = t0.join().unwrap();
+    let e1_err = t1.join().unwrap();
+    for e in [e0_err, e1_err] {
+        assert!(
+            matches!(e, CommError::Timeout { .. }),
+            "expected timeout, got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn controller_death_is_visible_to_workers() {
+    let (ctl, workers) = control_links(2);
+    drop(ctl);
+    // Sending a ready signal into a dead controller errors immediately.
+    let err = workers[0].send_ready(1).unwrap_err();
+    assert!(matches!(err, CommError::Disconnected { .. }), "{err:?}");
+}
+
+#[test]
+fn worker_death_is_visible_to_controller() {
+    let (ctl, mut workers) = control_links(2);
+    let _w1 = workers.pop().unwrap();
+    let dead = workers.pop().unwrap();
+    drop(dead);
+    let err = ctl
+        .send_assignment(
+            0,
+            GroupAssignment {
+                group: vec![0],
+                weights: vec![1.0],
+                base_tag: 0,
+                new_iteration: 0,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, CommError::Disconnected { peer: 0 }), "{err:?}");
+}
+
+#[test]
+fn mismatched_payload_lengths_are_rejected_not_corrupted() {
+    // Two ranks enter the same collective with different vector lengths:
+    // the receiver must observe PayloadMismatch instead of silently
+    // writing a short chunk.
+    let mut eps = CommWorld::new(2).into_endpoints();
+    let mut e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    e0.set_timeout(Duration::from_millis(500));
+    e1.set_timeout(Duration::from_millis(500));
+
+    let t1 = thread::spawn(move || {
+        let mut data = vec![1.0f32; 100];
+        ring_allreduce(&mut e1, &[0, 1], 0, &mut data)
+    });
+    let mut data = vec![1.0f32; 10];
+    let r0 = ring_allreduce(&mut e0, &[0, 1], 0, &mut data);
+    let r1 = t1.join().unwrap();
+    assert!(
+        r0.is_err() || r1.is_err(),
+        "length mismatch went unnoticed: {r0:?} {r1:?}"
+    );
+    let mismatch = [r0, r1]
+        .into_iter()
+        .filter_map(|r| r.err())
+        .any(|e| matches!(e, CommError::PayloadMismatch { .. }));
+    assert!(mismatch, "expected a PayloadMismatch error");
+}
+
+#[test]
+fn stash_survives_interleaved_failures() {
+    // A message for a later tag arrives, then the peer dies: the stashed
+    // message must still be deliverable even though new receives fail.
+    let mut eps = CommWorld::new(2).into_endpoints();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    e0.set_timeout(Duration::from_millis(50));
+
+    e1.send(0, 7, vec![42.0]).unwrap();
+    drop(e1);
+
+    // Tag 3 never arrives → timeout; tag 7 is stashed → succeeds.
+    assert!(e0.recv(1, 3).is_err());
+    assert_eq!(e0.recv(1, 7).unwrap(), vec![42.0]);
+}

@@ -1,0 +1,561 @@
+//! The partial-reduce controller (Fig. 6).
+//!
+//! Workers send ready signals; the controller's *signal queue* collects them
+//! FIFO, the *group filter* pops `P` at a time and — consulting the *group
+//! history database* — repairs would-be frozen schedules, the *weight
+//! generator* derives aggregation weights (constant or staleness-aware
+//! dynamic), and the *group broadcaster* returns the decision to the
+//! members. The controller never touches model data: every message is a few
+//! bytes (§4), which is what distinguishes it from a parameter server.
+//!
+//! This module is transport-independent state-machine logic; it is driven
+//! by the threaded runtime ([`crate::runtime`]) and by the virtual-time
+//! simulator in the trainer crate alike — one implementation, two harnesses.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{min_history_window, GroupHistory};
+use crate::weights::{constant_weights, dynamic_weights, GapPolicy};
+
+/// How group models are aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Constant partial reduce: uniform `1/P` weights (§3.1).
+    Constant,
+    /// Dynamic partial reduce: staleness-aware EMA weights (§3.3).
+    Dynamic {
+        /// EMA decay `α ∈ (0, 1)`.
+        alpha: f64,
+        /// Policy for EMA mass on unrepresented relative iterations.
+        gap_policy: GapPolicy,
+    },
+}
+
+impl AggregationMode {
+    /// The default dynamic mode.
+    ///
+    /// α = 0.3 rather than a classic EMA 0.9-style decay: with the paper's
+    /// conservative gap approximation, all unrepresented relative
+    /// iterations route their mass to the stalest member, so a large α
+    /// can *up-weight* stale models when fresh members tie (e.g. relative
+    /// iterations `[1, 1, 3]` at α = 0.5 give the stale member 3/7 >
+    /// 1/3). At α = 0.3 fresh members dominate across group compositions,
+    /// matching the intent "the more substantial the staleness, the
+    /// smaller weights".
+    pub fn dynamic_default() -> Self {
+        AggregationMode::Dynamic {
+            alpha: 0.3,
+            gap_policy: GapPolicy::Initial,
+        }
+    }
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Cluster size `N`.
+    pub num_workers: usize,
+    /// Group size `P`.
+    pub group_size: usize,
+    /// Aggregation mode.
+    pub mode: AggregationMode,
+    /// Sync-graph window `T`; `None` uses the paper's minimum
+    /// `⌈(N−1)/(P−1)⌉`.
+    pub history_window: Option<usize>,
+    /// Enable group-frozen avoidance (§4). Disable only for ablations.
+    pub frozen_avoidance: bool,
+}
+
+impl ControllerConfig {
+    /// A constant-mode controller with default history settings.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ group_size ≤ num_workers`.
+    pub fn constant(num_workers: usize, group_size: usize) -> Self {
+        let c = ControllerConfig {
+            num_workers,
+            group_size,
+            mode: AggregationMode::Constant,
+            history_window: None,
+            frozen_avoidance: true,
+        };
+        c.validate();
+        c
+    }
+
+    /// A dynamic-mode controller with default history settings.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ group_size ≤ num_workers`.
+    pub fn dynamic(num_workers: usize, group_size: usize) -> Self {
+        let c = ControllerConfig {
+            mode: AggregationMode::dynamic_default(),
+            ..Self::constant(num_workers, group_size)
+        };
+        c.validate();
+        c
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid `N`/`P` combination or a zero window.
+    pub fn validate(&self) {
+        assert!(
+            self.group_size >= 2,
+            "group size must be at least 2, got {}",
+            self.group_size
+        );
+        assert!(
+            self.group_size <= self.num_workers,
+            "group size {} exceeds cluster size {}",
+            self.group_size,
+            self.num_workers
+        );
+        if let Some(w) = self.history_window {
+            assert!(w > 0, "history window must be positive");
+        }
+        if let AggregationMode::Dynamic { alpha, .. } = self.mode {
+            assert!(
+                alpha > 0.0 && alpha < 1.0,
+                "EMA decay must lie in (0, 1), got {alpha}"
+            );
+        }
+    }
+
+    /// The effective sync-graph window.
+    pub fn effective_window(&self) -> usize {
+        self.history_window.unwrap_or_else(|| {
+            min_history_window(self.num_workers, self.group_size).max(1)
+        })
+    }
+}
+
+/// A pending ready signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadySignal {
+    worker: usize,
+    iteration: u64,
+}
+
+/// The controller's decision for one partial reduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDecision {
+    /// Member ranks in collective order.
+    pub group: Vec<usize>,
+    /// Aggregation weight per member (aligned with `group`, sums to 1).
+    pub weights: Vec<f32>,
+    /// Iteration number all members adopt after the reduce
+    /// (`max` over member iterations, §3.3.3).
+    pub new_iteration: u64,
+    /// Sequence number of this group (0-based count of groups formed).
+    pub sequence: u64,
+    /// Whether the group filter intervened to repair a frozen schedule.
+    pub repaired: bool,
+}
+
+/// The controller state machine.
+#[derive(Debug)]
+pub struct Controller {
+    config: ControllerConfig,
+    queue: VecDeque<ReadySignal>,
+    history: GroupHistory,
+    groups_formed: u64,
+    repairs: u64,
+    deferrals: u64,
+    /// Workers still participating (starts at `N`; shrinks as workers
+    /// leave). Bounds how long a frozen-avoidance deferral can wait.
+    active: usize,
+}
+
+impl Controller {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(config: ControllerConfig) -> Self {
+        config.validate();
+        let window = config.effective_window();
+        let active = config.num_workers;
+        Controller {
+            config,
+            queue: VecDeque::new(),
+            history: GroupHistory::new(window),
+            groups_formed: 0,
+            repairs: 0,
+            deferrals: 0,
+            active,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Number of signals waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total groups formed so far.
+    pub fn groups_formed(&self) -> u64 {
+        self.groups_formed
+    }
+
+    /// Number of frozen-schedule repairs performed.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Number of times group formation was deferred to wait for a
+    /// cross-component signal.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Workers still participating.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Records that `worker` left the computation. Deferred groups that
+    /// were waiting on the departed component re-evaluate on the next
+    /// [`Controller::try_form_group`] call.
+    ///
+    /// # Panics
+    /// Panics if more workers leave than exist.
+    pub fn mark_left(&mut self, _worker: usize) {
+        assert!(self.active > 0, "more departures than workers");
+        self.active -= 1;
+    }
+
+    /// The group history database.
+    pub fn history(&self) -> &GroupHistory {
+        &self.history
+    }
+
+    /// Removes and returns every queued signal as `(worker, iteration)`
+    /// pairs, FIFO. Used at shutdown, when the active fleet has shrunk
+    /// below `P` and queued workers must be released individually.
+    pub fn drain_pending(&mut self) -> Vec<(usize, u64)> {
+        self.queue
+            .drain(..)
+            .map(|s| (s.worker, s.iteration))
+            .collect()
+    }
+
+    /// Enqueues a worker's ready signal (controller lines 6–7 of
+    /// Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics if the worker rank is out of range or the worker already has
+    /// a pending signal (each worker is ready at most once at a time).
+    pub fn push_ready(&mut self, worker: usize, iteration: u64) {
+        assert!(
+            worker < self.config.num_workers,
+            "worker {worker} out of range (N = {})",
+            self.config.num_workers
+        );
+        assert!(
+            !self.queue.iter().any(|s| s.worker == worker),
+            "worker {worker} signalled ready twice without reducing"
+        );
+        self.queue.push_back(ReadySignal { worker, iteration });
+    }
+
+    /// Attempts to form a group (controller lines 3–5 of Algorithm 2):
+    /// pops `P` signals FIFO, applies the group filter, generates weights,
+    /// and returns the decision. Returns `None` while fewer than `P`
+    /// signals are queued.
+    ///
+    /// Call repeatedly until `None` to drain all formable groups — multiple
+    /// groups may proceed in parallel (§3.1.1).
+    pub fn try_form_group(&mut self) -> Option<GroupDecision> {
+        let p = self.config.group_size;
+        if self.queue.len() < p {
+            return None;
+        }
+
+        // Candidate: the first P signals, FIFO.
+        let mut member_idx: Vec<usize> = (0..p).collect();
+        let mut repaired = false;
+
+        if self.config.frozen_avoidance && self.history.is_warm() {
+            let graph = self.history.sync_graph(self.config.num_workers);
+            if !graph.is_connected() {
+                let comps = graph.components();
+                let queued_comps: Vec<usize> = {
+                    let mut cs: Vec<usize> = self
+                        .queue
+                        .iter()
+                        .map(|s| comps[s.worker])
+                        .collect();
+                    cs.sort_unstable();
+                    cs.dedup();
+                    cs
+                };
+                if queued_comps.len() == 1 {
+                    // Every queued signal sits in one frozen component: a
+                    // FIFO group would deepen the freeze. Defer — hold the
+                    // signals until a worker from another component
+                    // arrives (bounded by one fleet iteration). If every
+                    // *active* worker is already queued, no such signal
+                    // can come: fall through to FIFO rather than stall.
+                    if self.queue.len() < self.active {
+                        self.deferrals += 1;
+                        return None;
+                    }
+                } else {
+                    // Cross-component signals available: form the repair
+                    // group greedily, one member per distinct component
+                    // (FIFO within each), topping up FIFO.
+                    let mut chosen: Vec<usize> = Vec::with_capacity(p);
+                    let mut used_comps: Vec<usize> = Vec::new();
+                    for (idx, s) in self.queue.iter().enumerate() {
+                        if chosen.len() == p {
+                            break;
+                        }
+                        let c = comps[s.worker];
+                        if !used_comps.contains(&c) {
+                            used_comps.push(c);
+                            chosen.push(idx);
+                        }
+                    }
+                    for idx in 0..self.queue.len() {
+                        if chosen.len() == p {
+                            break;
+                        }
+                        if !chosen.contains(&idx) {
+                            chosen.push(idx);
+                        }
+                    }
+                    if chosen.len() == p {
+                        chosen.sort_unstable();
+                        repaired = chosen != member_idx;
+                        member_idx = chosen;
+                    }
+                }
+            }
+        }
+
+        // Extract the chosen signals (descending index for stable removal).
+        let mut signals: Vec<ReadySignal> = Vec::with_capacity(p);
+        for &idx in member_idx.iter().rev() {
+            signals.push(
+                self.queue
+                    .remove(idx)
+                    .expect("indices validated against queue"),
+            );
+        }
+        signals.reverse(); // restore FIFO order
+
+        let group: Vec<usize> = signals.iter().map(|s| s.worker).collect();
+        let iterations: Vec<u64> =
+            signals.iter().map(|s| s.iteration).collect();
+        let new_iteration =
+            *iterations.iter().max().expect("group non-empty");
+
+        let weights = match self.config.mode {
+            AggregationMode::Constant => constant_weights(p),
+            AggregationMode::Dynamic { alpha, gap_policy } => {
+                dynamic_weights(&iterations, alpha, gap_policy)
+            }
+        };
+
+        self.history.record(group.clone());
+        let sequence = self.groups_formed;
+        self.groups_formed += 1;
+        if repaired {
+            self.repairs += 1;
+        }
+
+        Some(GroupDecision {
+            group,
+            weights,
+            new_iteration,
+            sequence,
+            repaired,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_group_formation() {
+        let mut c = Controller::new(ControllerConfig::constant(6, 3));
+        assert!(c.try_form_group().is_none());
+        c.push_ready(4, 0);
+        c.push_ready(1, 0);
+        assert!(c.try_form_group().is_none());
+        c.push_ready(5, 0);
+        let d = c.try_form_group().unwrap();
+        assert_eq!(d.group, vec![4, 1, 5]);
+        assert_eq!(d.weights, vec![1.0 / 3.0; 3]);
+        assert_eq!(d.sequence, 0);
+        assert!(!d.repaired);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn multiple_groups_drain_in_parallel() {
+        let mut c = Controller::new(ControllerConfig::constant(8, 2));
+        for w in 0..6 {
+            c.push_ready(w, 0);
+        }
+        let mut groups = Vec::new();
+        while let Some(d) = c.try_form_group() {
+            groups.push(d.group);
+        }
+        assert_eq!(groups.len(), 3);
+        assert_eq!(c.groups_formed(), 3);
+    }
+
+    #[test]
+    fn dynamic_mode_weights_penalize_staleness() {
+        let mut c = Controller::new(ControllerConfig::dynamic(4, 2));
+        c.push_ready(0, 10);
+        c.push_ready(1, 2);
+        let d = c.try_form_group().unwrap();
+        assert!(d.weights[0] > d.weights[1]);
+        assert_eq!(d.new_iteration, 10);
+    }
+
+    #[test]
+    fn constant_mode_still_fast_forwards_iteration() {
+        let mut c = Controller::new(ControllerConfig::constant(4, 2));
+        c.push_ready(2, 3);
+        c.push_ready(3, 9);
+        assert_eq!(c.try_form_group().unwrap().new_iteration, 9);
+    }
+
+    #[test]
+    fn frozen_pairs_are_repaired() {
+        // Adversarial arrival: (0,1) then (2,3), forever. Without the
+        // filter, the sync-graph never connects.
+        let mut c = Controller::new(ControllerConfig {
+            num_workers: 4,
+            group_size: 2,
+            mode: AggregationMode::Constant,
+            history_window: Some(3),
+            frozen_avoidance: true,
+        });
+        let mut saw_cross_group = false;
+        let mut free = [true; 4];
+        for round in 0..20 {
+            // Only free workers re-signal (deferred ones stay queued).
+            for (w, f) in free.iter_mut().enumerate() {
+                if *f {
+                    c.push_ready(w, round);
+                    *f = false;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                let in_left =
+                    d.group.iter().filter(|&&w| w < 2).count();
+                if in_left == 1 {
+                    saw_cross_group = true;
+                }
+                for &m in &d.group {
+                    free[m] = true;
+                }
+            }
+        }
+        assert!(saw_cross_group, "filter never formed a cross-pair group");
+        assert!(c.repairs() > 0);
+        // The schedule is repaired *repeatedly*: roughly once per window
+        // under this adversarial arrival pattern, never just once.
+        assert!(c.repairs() >= 5, "repairs = {}", c.repairs());
+    }
+
+    #[test]
+    fn frozen_avoidance_disabled_keeps_fifo() {
+        let mut c = Controller::new(ControllerConfig {
+            num_workers: 4,
+            group_size: 2,
+            mode: AggregationMode::Constant,
+            history_window: Some(3),
+            frozen_avoidance: false,
+        });
+        let mut free = [true; 4];
+        for round in 0..20 {
+            for (w, f) in free.iter_mut().enumerate() {
+                if *f {
+                    c.push_ready(w, round);
+                    *f = false;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                // Pure FIFO keeps the frozen pairs.
+                assert!(d.group == vec![0, 1] || d.group == vec![2, 3]);
+                assert!(!d.repaired);
+                for &m in &d.group {
+                    free[m] = true;
+                }
+            }
+        }
+        assert!(!c.history().sync_graph(4).is_connected());
+        assert_eq!(c.repairs(), 0);
+    }
+
+    #[test]
+    fn default_window_is_paper_minimum() {
+        let c = ControllerConfig::constant(8, 3);
+        assert_eq!(c.effective_window(), 4); // ⌈7/2⌉
+        let c = ControllerConfig::constant(8, 5);
+        assert_eq!(c.effective_window(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_ready_rejected() {
+        let mut c = Controller::new(ControllerConfig::constant(4, 2));
+        c.push_ready(0, 0);
+        c.push_ready(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster size")]
+    fn rejects_p_greater_than_n() {
+        ControllerConfig::constant(2, 3);
+    }
+
+    #[test]
+    fn repair_preserves_group_size_and_membership_validity() {
+        let mut c = Controller::new(ControllerConfig {
+            num_workers: 6,
+            group_size: 3,
+            mode: AggregationMode::Constant,
+            history_window: Some(2),
+            frozen_avoidance: true,
+        });
+        // Freeze two triples, then verify repairs still produce valid
+        // groups of exactly P distinct members.
+        let mut free = [true; 6];
+        for round in 0..10 {
+            for (w, f) in free.iter_mut().enumerate() {
+                if *f {
+                    c.push_ready(w, round);
+                    *f = false;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                assert_eq!(d.group.len(), 3);
+                let mut g = d.group.clone();
+                g.sort_unstable();
+                g.dedup();
+                assert_eq!(g.len(), 3, "duplicate members in {:?}", d.group);
+                assert_eq!(d.weights.len(), 3);
+                for &m in &d.group {
+                    free[m] = true;
+                }
+            }
+        }
+        assert!(c.repairs() > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The sync-graph and group-history database behind *group frozen
+//! avoidance* (§4).
+//!
+//! A partial-reduce schedule can, in adversarial arrival patterns, freeze
+//! into isolated sub-clusters (e.g. workers {1,2} always pairing and {3,4}
+//! always pairing) — two independent training runs wasting half the fleet.
+//! The paper's defense: connect the members of each of the last `T` groups
+//! in a *sync-graph* and check connectivity; each P-reduce adds `P − 1`
+//! edges, so `T ≥ ⌈(N−1)/(P−1)⌉` is the minimum window at which a connected
+//! schedule is possible at all.
+
+use std::collections::VecDeque;
+
+/// Minimum history window `T = ⌈(N−1)/(P−1)⌉` for which a connected
+/// sync-graph is achievable (§4).
+///
+/// # Panics
+/// Panics if `n == 0` or `p < 2`.
+pub fn min_history_window(n: usize, p: usize) -> usize {
+    assert!(n > 0, "empty cluster");
+    assert!(p >= 2, "groups must have at least two members");
+    (n - 1).div_ceil(p - 1)
+}
+
+/// An undirected graph over the `N` workers, built from recent groups.
+#[derive(Debug, Clone)]
+pub struct SyncGraph {
+    n: usize,
+    /// Adjacency matrix, row-major (symmetric).
+    adj: Vec<bool>,
+}
+
+impl SyncGraph {
+    /// Creates an edgeless graph over `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty cluster");
+        SyncGraph {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.n
+    }
+
+    /// Connects all members of `group` pairwise (a P-reduce among them).
+    ///
+    /// # Panics
+    /// Panics if any member is out of range.
+    pub fn add_group(&mut self, group: &[usize]) {
+        for &w in group {
+            assert!(w < self.n, "worker {w} out of range (N = {})", self.n);
+        }
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                self.adj[a * self.n + b] = true;
+                self.adj[b * self.n + a] = true;
+            }
+        }
+    }
+
+    /// Whether an edge exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "worker out of range");
+        self.adj[a * self.n + b]
+    }
+
+    /// Connected-component label per worker (labels are the component's
+    /// smallest member).
+    pub fn components(&self) -> Vec<usize> {
+        let mut label = vec![usize::MAX; self.n];
+        for start in 0..self.n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            // BFS from `start`.
+            let mut queue = VecDeque::from([start]);
+            label[start] = start;
+            while let Some(u) = queue.pop_front() {
+                let row = &self.adj[u * self.n..(u + 1) * self.n];
+                for (v, lv) in label.iter_mut().enumerate() {
+                    if row[v] && *lv == usize::MAX {
+                        *lv = start;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// Whether the graph is connected (a single component).
+    pub fn is_connected(&self) -> bool {
+        let labels = self.components();
+        labels.iter().all(|&l| l == labels[0])
+    }
+}
+
+/// A bounded FIFO of the most recent P-reduce groups — the paper's "group
+/// history database" (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct GroupHistory {
+    window: usize,
+    groups: VecDeque<Vec<usize>>,
+    total_recorded: u64,
+}
+
+impl GroupHistory {
+    /// Creates a history retaining the last `window` groups.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "history window must be positive");
+        GroupHistory {
+            window,
+            groups: VecDeque::with_capacity(window),
+            total_recorded: 0,
+        }
+    }
+
+    /// The retention window `T`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records a formed group, evicting the oldest beyond the window.
+    pub fn record(&mut self, group: Vec<usize>) {
+        if self.groups.len() == self.window {
+            self.groups.pop_front();
+        }
+        self.groups.push_back(group);
+        self.total_recorded += 1;
+    }
+
+    /// Number of groups currently retained.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups are retained.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total groups ever recorded.
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Whether the window is full — only then is a disconnection
+    /// *meaningful* (§4: below `T` groups the graph may simply not have had
+    /// time to connect).
+    pub fn is_warm(&self) -> bool {
+        self.groups.len() == self.window
+    }
+
+    /// Builds the sync-graph of the retained groups over `n` workers.
+    pub fn sync_graph(&self, n: usize) -> SyncGraph {
+        let mut g = SyncGraph::new(n);
+        for group in &self.groups {
+            g.add_group(group);
+        }
+        g
+    }
+
+    /// Iterates over retained groups, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.groups.iter().map(|g| g.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_window_formula() {
+        assert_eq!(min_history_window(8, 3), 4); // ⌈7/2⌉
+        assert_eq!(min_history_window(8, 5), 2); // ⌈7/4⌉
+        assert_eq!(min_history_window(4, 2), 3);
+        assert_eq!(min_history_window(2, 2), 1);
+        assert_eq!(min_history_window(1, 2), 0);
+    }
+
+    #[test]
+    fn empty_graph_components_are_singletons() {
+        let g = SyncGraph::new(3);
+        assert_eq!(g.components(), vec![0, 1, 2]);
+        assert!(!g.is_connected());
+        let g1 = SyncGraph::new(1);
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    fn group_connects_members_pairwise() {
+        let mut g = SyncGraph::new(5);
+        g.add_group(&[0, 2, 4]);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 4));
+        assert!(g.has_edge(0, 4));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.components(), vec![0, 1, 0, 3, 0]);
+    }
+
+    #[test]
+    fn chain_of_groups_connects_cluster() {
+        let mut g = SyncGraph::new(6);
+        g.add_group(&[0, 1]);
+        g.add_group(&[1, 2]);
+        g.add_group(&[2, 3]);
+        g.add_group(&[3, 4]);
+        assert!(!g.is_connected()); // 5 still isolated
+        g.add_group(&[4, 5]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn isolated_pairs_stay_disconnected() {
+        let mut g = SyncGraph::new(4);
+        for _ in 0..10 {
+            g.add_group(&[0, 1]);
+            g.add_group(&[2, 3]);
+        }
+        assert!(!g.is_connected());
+        let comps = g.components();
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[2], comps[3]);
+        assert_ne!(comps[0], comps[2]);
+    }
+
+    #[test]
+    fn history_evicts_beyond_window() {
+        let mut h = GroupHistory::new(2);
+        assert!(!h.is_warm());
+        h.record(vec![0, 1]);
+        h.record(vec![1, 2]);
+        assert!(h.is_warm());
+        h.record(vec![2, 3]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.total_recorded(), 3);
+        // Oldest group (0,1) evicted: its edge is gone from the graph.
+        let g = h.sync_graph(4);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn sync_graph_reflects_window_only() {
+        let mut h = GroupHistory::new(3);
+        h.record(vec![0, 1]);
+        h.record(vec![2, 3]);
+        let g = h.sync_graph(4);
+        assert!(!g.is_connected());
+        h.record(vec![1, 2]);
+        assert!(h.sync_graph(4).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_group_checks_bounds() {
+        SyncGraph::new(2).add_group(&[0, 5]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The threaded partial-reduce runtime: the paper's prototype (§4) rebuilt
+//! over the in-process message-passing fabric.
+//!
+//! [`spawn`] starts a controller thread and hands back one
+//! [`PartialReducer`] per worker. A training thread calls
+//! [`PartialReducer::reduce`] where All-Reduce training would call
+//! `all_reduce`: the call sends the ready signal, blocks for the
+//! controller's group assignment, runs the weighted ring average among
+//! exactly the assigned group, and returns — without ever synchronizing
+//! with workers outside the group. Groups formed from disjoint workers
+//! proceed fully in parallel.
+//!
+//! Termination follows the cooperative protocol the paper's prototype
+//! needs but leaves implicit: a finished worker announces
+//! [`PartialReducer::finish`]; once fewer than `P` workers remain active the
+//! controller answers every subsequent ready signal with a singleton group
+//! (a local no-op), so stragglers drain without deadlock.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use preduce_comm::collectives::{weighted_average, TAG_STRIDE};
+use preduce_comm::control::{
+    control_links, ControlPlane, GroupAssignment, WorkerControlPlane,
+    WorkerSignal,
+};
+use preduce_comm::{CommWorld, Endpoint};
+
+use crate::controller::{Controller, ControllerConfig};
+
+/// Statistics returned by the controller thread at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Total partial-reduce groups formed.
+    pub groups_formed: u64,
+    /// Groups adjusted by the frozen-schedule repair.
+    pub repairs: u64,
+    /// Singleton assignments issued during drain-out.
+    pub singletons: u64,
+}
+
+/// Handle to the running controller thread.
+#[derive(Debug)]
+pub struct ControllerHandle {
+    join: JoinHandle<ControllerStats>,
+}
+
+impl ControllerHandle {
+    /// Waits for the controller to finish (after every worker called
+    /// [`PartialReducer::finish`]) and returns its statistics.
+    ///
+    /// # Panics
+    /// Panics if the controller thread panicked.
+    pub fn join(self) -> ControllerStats {
+        self.join.join().expect("controller thread panicked")
+    }
+}
+
+/// The outcome of one partial reduce as seen by a member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceOutcome {
+    /// The group this worker was averaged with (singleton during drain).
+    pub group: Vec<usize>,
+    /// The iteration number this worker must adopt (§3.3.3 fast-forward).
+    pub new_iteration: u64,
+}
+
+/// A worker's handle to the partial-reduce service. Transport-agnostic:
+/// the control plane may be in-process channels ([`spawn`]) or the paper
+/// prototype's TCP message queue ([`spawn_tcp`]).
+pub struct PartialReducer {
+    link: Box<dyn WorkerControlPlane>,
+    endpoint: Endpoint,
+    timeout: Duration,
+    finished: bool,
+}
+
+impl std::fmt::Debug for PartialReducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PartialReducer(rank={})", self.link.rank())
+    }
+}
+
+impl PartialReducer {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.link.rank()
+    }
+
+    /// Overrides the blocking timeout (default 30 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Executes one partial reduce: `params` is averaged (with the
+    /// controller's weights) across the assigned group, in place.
+    ///
+    /// `iteration` is this worker's current iteration count; the returned
+    /// [`ReduceOutcome::new_iteration`] is the group maximum, which the
+    /// caller must adopt.
+    ///
+    /// # Panics
+    /// Panics if called after [`PartialReducer::finish`].
+    pub fn reduce(
+        &mut self,
+        params: &mut [f32],
+        iteration: u64,
+    ) -> preduce_comm::Result<ReduceOutcome> {
+        assert!(!self.finished, "reduce() after finish()");
+        self.link.send_ready(iteration)?;
+        let GroupAssignment {
+            group,
+            weights,
+            base_tag,
+            new_iteration,
+        } = self.link.recv_assignment(self.timeout)?;
+        if group.len() > 1 {
+            weighted_average(
+                &mut self.endpoint,
+                &group,
+                base_tag,
+                params,
+                &weights,
+            )?;
+        }
+        Ok(ReduceOutcome {
+            group,
+            new_iteration,
+        })
+    }
+
+    /// Announces that this worker will issue no further reduces.
+    pub fn finish(&mut self) -> preduce_comm::Result<()> {
+        if !self.finished {
+            self.finished = true;
+            self.link.send_leaving()?;
+        }
+        Ok(())
+    }
+}
+
+/// Spawns the controller thread for `config` and returns its handle plus
+/// one [`PartialReducer`] per worker.
+///
+/// # Panics
+/// Panics if the config is invalid.
+pub fn spawn(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>) {
+    config.validate();
+    let n = config.num_workers;
+    let (ctl_link, worker_links) = control_links(n);
+    let endpoints = CommWorld::new(n).into_endpoints();
+
+    let join = thread::Builder::new()
+        .name("preduce-controller".into())
+        .spawn(move || controller_loop(config, ctl_link))
+        .expect("failed to spawn controller thread");
+
+    let reducers = worker_links
+        .into_iter()
+        .zip(endpoints)
+        .map(|(link, endpoint)| PartialReducer {
+            link: Box::new(link) as Box<dyn WorkerControlPlane>,
+            endpoint,
+            timeout: Duration::from_secs(30),
+            finished: false,
+        })
+        .collect();
+
+    (ControllerHandle { join }, reducers)
+}
+
+/// Like [`spawn`], but the control plane runs over a real TCP message
+/// queue on loopback — the paper prototype's architecture (§4). The model
+/// collectives remain in-process; only the few-bytes signaling crosses
+/// sockets, exactly as in the paper (Gloo for data, TCP MQ for control).
+///
+/// # Panics
+/// Panics if the loopback listener cannot be bound or the handshake fails.
+pub fn spawn_tcp(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>) {
+    config.validate();
+    let n = config.num_workers;
+    let (listener, addr) = preduce_comm::tcp::bind_controller("127.0.0.1:0");
+
+    // Dial all workers first (the listener backlog holds them), then
+    // accept; avoids needing a connector thread per worker.
+    let worker_links: Vec<preduce_comm::tcp::TcpWorkerLink> = (0..n)
+        .map(|rank| {
+            preduce_comm::tcp::TcpWorkerLink::connect(addr, rank)
+                .expect("loopback connect")
+        })
+        .collect();
+    let ctl_link = preduce_comm::tcp::accept_workers(&listener, n)
+        .expect("worker handshake");
+
+    let endpoints = CommWorld::new(n).into_endpoints();
+    let join = thread::Builder::new()
+        .name("preduce-controller-tcp".into())
+        .spawn(move || controller_loop(config, ctl_link))
+        .expect("failed to spawn controller thread");
+
+    let reducers = worker_links
+        .into_iter()
+        .zip(endpoints)
+        .map(|(link, endpoint)| PartialReducer {
+            link: Box::new(link) as Box<dyn WorkerControlPlane>,
+            endpoint,
+            timeout: Duration::from_secs(30),
+            finished: false,
+        })
+        .collect();
+
+    (ControllerHandle { join }, reducers)
+}
+
+fn controller_loop<C: ControlPlane>(
+    config: ControllerConfig,
+    mut link: C,
+) -> ControllerStats {
+    let n = config.num_workers;
+    let p = config.group_size;
+    let mut controller = Controller::new(config);
+    let mut active = n;
+    let mut singletons = 0u64;
+    // Worker iterations seen in pending singleton-drain signals.
+    let mut pending_drain: Vec<(usize, u64)> = Vec::new();
+
+    while active > 0 {
+        let signal = match link.recv_signal(Duration::from_secs(60)) {
+            Ok(s) => s,
+            // All worker handles dropped: shut down.
+            Err(_) => break,
+        };
+        match signal {
+            WorkerSignal::Ready { worker, iteration } => {
+                if active < p {
+                    // Too few workers remain to ever fill a group: answer
+                    // with a singleton so the caller proceeds alone.
+                    pending_drain.push((worker, iteration));
+                } else {
+                    controller.push_ready(worker, iteration);
+                    if drain_groups(&mut controller, &mut link).is_err() {
+                        return stats(&controller, singletons);
+                    }
+                }
+            }
+            WorkerSignal::Leaving { worker } => {
+                active -= 1;
+                controller.mark_left(worker);
+                // A departure can unblock a frozen-avoidance deferral
+                // (the queue may now cover every remaining worker).
+                if active >= p
+                    && drain_groups(&mut controller, &mut link).is_err()
+                {
+                    return stats(&controller, singletons);
+                }
+            }
+        }
+        // If the fleet shrank below P, flush everyone still queued or
+        // drain-pending as singletons.
+        if active < p {
+            let mut flush: Vec<(usize, u64)> = controller.drain_pending();
+            flush.append(&mut pending_drain);
+            for (worker, iteration) in flush.drain(..) {
+                singletons += 1;
+                let assignment = GroupAssignment {
+                    group: vec![worker],
+                    weights: vec![1.0],
+                    base_tag: 0,
+                    new_iteration: iteration,
+                };
+                if link.send_assignment(worker, assignment).is_err() {
+                    return stats(&controller, singletons);
+                }
+            }
+        }
+    }
+    stats(&controller, singletons)
+}
+
+fn drain_groups<C: ControlPlane>(
+    controller: &mut Controller,
+    link: &mut C,
+) -> Result<(), ()> {
+    while let Some(d) = controller.try_form_group() {
+        let assignment = GroupAssignment {
+            group: d.group,
+            weights: d.weights,
+            base_tag: d.sequence.wrapping_mul(TAG_STRIDE),
+            new_iteration: d.new_iteration,
+        };
+        if link.announce(&assignment).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
+}
+
+fn stats(controller: &Controller, singletons: u64) -> ControllerStats {
+    ControllerStats {
+        groups_formed: controller.groups_formed(),
+        repairs: controller.repairs(),
+        singletons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::AggregationMode;
+
+    /// Run `iters` reduces on every worker concurrently; return final
+    /// params per worker.
+    fn run_fleet(
+        config: ControllerConfig,
+        iters: usize,
+        dim: usize,
+    ) -> (Vec<Vec<f32>>, ControllerStats) {
+        run_fleet_with(config, iters, dim, spawn)
+    }
+
+    fn run_fleet_with(
+        config: ControllerConfig,
+        iters: usize,
+        dim: usize,
+        spawner: fn(
+            ControllerConfig,
+        ) -> (ControllerHandle, Vec<PartialReducer>),
+    ) -> (Vec<Vec<f32>>, ControllerStats) {
+        let (handle, reducers) = spawner(config);
+        let threads: Vec<_> = reducers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut r)| {
+                thread::spawn(move || {
+                    // Worker rank starts with params = rank everywhere.
+                    let mut params = vec![rank as f32; dim];
+                    let mut iteration = 0u64;
+                    for _ in 0..iters {
+                        // "Local update": add 1 to every parameter.
+                        for v in &mut params {
+                            *v += 1.0;
+                        }
+                        iteration += 1;
+                        let out = r.reduce(&mut params, iteration).unwrap();
+                        iteration = out.new_iteration;
+                    }
+                    r.finish().unwrap();
+                    params
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let stats = handle.join();
+        (results, stats)
+    }
+
+    #[test]
+    fn full_group_reduce_is_allreduce() {
+        // P = N: every reduce averages everyone, so all params equal the
+        // global mean trajectory.
+        let cfg = ControllerConfig::constant(4, 4);
+        let (results, stats) = run_fleet(cfg, 3, 5);
+        // After iter 1: params_i = i + 1 → mean = 2.5. After each later
+        // iter everyone stays equal: +1 then average = same.
+        for r in &results {
+            for v in r {
+                assert!((v - 4.5).abs() < 1e-5, "{results:?}");
+            }
+        }
+        assert_eq!(stats.groups_formed, 3);
+    }
+
+    #[test]
+    fn partial_groups_mix_models_toward_consensus() {
+        let cfg = ControllerConfig::constant(6, 2);
+        let (results, stats) = run_fleet(cfg, 50, 3);
+        // Pairwise averaging preserves the fleet *mean* exactly: initial
+        // mean (0+..+5)/6 = 2.5, plus 50 increments per worker = 52.5.
+        // (Individual workers can deviate: they average at different
+        // progress points, so a racer ends high and a laggard's partner
+        // ends low.)
+        let mean: f32 = results.iter().map(|r| r[0]).sum::<f32>() / 6.0;
+        assert!((mean - 52.5).abs() < 1e-3, "fleet mean drifted: {mean}");
+        // Sanity band: every worker made substantial progress (≫ its own
+        // initial value) without running away (≪ initial + all increments
+        // it could possibly absorb). Tight pointwise bounds don't exist —
+        // averaging mixes values captured at different progress points.
+        for r in &results {
+            for v in r {
+                assert!((20.0..=80.0).contains(v), "out of range: {v}");
+            }
+        }
+        assert!(stats.groups_formed > 0);
+        // The run ends with drain singletons for the last workers.
+        assert!(stats.singletons <= 50 * 6);
+    }
+
+    #[test]
+    fn dynamic_mode_runs_and_fast_forwards() {
+        // α = 0.3 so the fresh member's weight (1 − α = 0.7) dominates
+        // visibly (with α = 0.5 a fresh/stale pair weighs exactly 0.5/0.5
+        // under the conservative gap policy).
+        let cfg = ControllerConfig {
+            num_workers: 3,
+            group_size: 2,
+            mode: AggregationMode::Dynamic {
+                alpha: 0.3,
+                gap_policy: crate::weights::GapPolicy::Initial,
+            },
+            history_window: None,
+            frozen_avoidance: true,
+        };
+        let (handle, mut reducers) = spawn(cfg);
+        let r2 = reducers.pop().unwrap();
+        let r1 = reducers.pop().unwrap();
+        let r0 = reducers.pop().unwrap();
+
+        let t1 = thread::spawn(move || {
+            let mut r = r0;
+            let mut params = vec![0.0f32; 4];
+            // Report a high iteration count.
+            let out = r.reduce(&mut params, 100).unwrap();
+            r.finish().unwrap();
+            out
+        });
+        let t2 = thread::spawn(move || {
+            let mut r = r1;
+            let mut params = vec![10.0f32; 4];
+            let out = r.reduce(&mut params, 1).unwrap();
+            r.finish().unwrap();
+            (out, params)
+        });
+        let t3 = thread::spawn(move || {
+            let mut r = r2;
+            // Third worker never reduces; it just leaves so the controller
+            // can shut down.
+            r.finish().unwrap();
+        });
+
+        let out1 = t1.join().unwrap();
+        let (out2, params2) = t2.join().unwrap();
+        t3.join().unwrap();
+        handle.join();
+
+        // Both members fast-forward to iteration 100.
+        assert_eq!(out1.new_iteration, 100);
+        assert_eq!(out2.new_iteration, 100);
+        // The stale worker (iteration 1) got down-weighted: the average
+        // lies closer to worker 0's value (0) than the midpoint 5.
+        assert!(params2[0] < 5.0, "stale model overweighted: {params2:?}");
+    }
+
+    #[test]
+    fn drain_singletons_prevent_deadlock() {
+        // Worker 0 runs many more iterations than the other; once worker 1
+        // leaves, worker 0 must keep making progress alone.
+        let cfg = ControllerConfig::constant(2, 2);
+        let (handle, mut reducers) = spawn(cfg);
+        let r1 = reducers.pop().unwrap();
+        let r0 = reducers.pop().unwrap();
+
+        let t0 = thread::spawn(move || {
+            let mut r = r0;
+            let mut params = vec![0.0f32; 2];
+            for i in 1..=10 {
+                r.reduce(&mut params, i).unwrap();
+            }
+            r.finish().unwrap();
+        });
+        let t1 = thread::spawn(move || {
+            let mut r = r1;
+            let mut params = vec![1.0f32; 2];
+            r.reduce(&mut params, 1).unwrap();
+            r.finish().unwrap();
+        });
+        t0.join().unwrap();
+        t1.join().unwrap();
+        let stats = handle.join();
+        assert!(stats.singletons >= 9, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn tcp_control_plane_behaves_like_channels() {
+        // P = N over the TCP message queue: same all-reduce semantics as
+        // the channel transport.
+        let cfg = ControllerConfig::constant(4, 4);
+        let (results, stats) = run_fleet_with(cfg, 3, 5, spawn_tcp);
+        for r in &results {
+            for v in r {
+                assert!((v - 4.5).abs() < 1e-5, "{results:?}");
+            }
+        }
+        assert_eq!(stats.groups_formed, 3);
+    }
+
+    #[test]
+    fn tcp_partial_groups_run_concurrently() {
+        let cfg = ControllerConfig::constant(6, 2);
+        let (results, stats) = run_fleet_with(cfg, 20, 3, spawn_tcp);
+        // Mean conservation, as in the channel-transport test.
+        let mean: f32 = results.iter().map(|r| r[0]).sum::<f32>() / 6.0;
+        assert!((mean - 22.5).abs() < 1e-3, "fleet mean drifted: {mean}");
+        assert!(stats.groups_formed > 0);
+    }
+
+    #[test]
+    fn reduce_after_finish_panics() {
+        let cfg = ControllerConfig::constant(2, 2);
+        let (handle, mut reducers) = spawn(cfg);
+        let mut r1 = reducers.pop().unwrap();
+        let mut r0 = reducers.pop().unwrap();
+        r0.finish().unwrap();
+        r1.finish().unwrap();
+        let result = std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(|| {
+                let _ = r0.reduce(&mut [0.0], 1);
+            }),
+        );
+        assert!(result.is_err());
+        handle.join();
+    }
+}

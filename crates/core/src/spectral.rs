@@ -1,0 +1,224 @@
+//! Spectral-gap analysis (Assumption 2.3, Eq. 6, Fig. 4).
+//!
+//! The convergence bound's *network error* scales with
+//! `ρ̄ = ρ/(1−ρ) + 2√ρ/(1−√ρ)²`, where
+//! `ρ = max(|λ₂(E[W])|, |λ_N(E[W])|)` is the second-largest eigenvalue
+//! magnitude of the expected synchronization matrix. A smaller `ρ` means
+//! faster update spreading; homogeneity ⇒ smaller `ρ` (Fig. 4), and
+//! `P = N` all-reduce ⇒ `ρ = 0`.
+
+use preduce_tensor::{
+    symmetric_eigenvalues, JacobiOptions, Tensor, TensorError,
+};
+
+use crate::matrix::sync_matrix;
+
+/// The spectral diagnostics of a partial-reduce schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralReport {
+    /// `ρ = max(|λ₂|, |λ_N|)` of `E[W]`.
+    pub rho: f64,
+    /// The error coefficient `ρ̄` of Theorem 1.
+    pub rho_bar: f64,
+    /// All eigenvalues of `E[W]`, descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Averages the constant-P-reduce synchronization matrices of an observed
+/// group sequence into an empirical `E[W]`.
+///
+/// # Panics
+/// Panics if `groups` is empty or any group is invalid for `n` workers.
+pub fn expected_sync_matrix(n: usize, groups: &[Vec<usize>]) -> Tensor {
+    assert!(!groups.is_empty(), "need at least one observed group");
+    let mut acc = Tensor::zeros([n, n]);
+    for g in groups {
+        acc.add_assign(&sync_matrix(n, g));
+    }
+    acc.scale(1.0 / groups.len() as f32);
+    acc
+}
+
+/// Closed-form `E[W]` when every size-`P` group is equally likely (the
+/// homogeneous environment): diagonal
+/// `P(i∈S)/P + P(i∉S) = (P−1)/N · 1/P · … ` reduces to
+/// `d = 1 − (P−1)/N · (1 − 1/P) · N/(N−?)`… computed directly from pair
+/// inclusion probabilities:
+///
+/// * `P(i ∈ S) = P/N`, so `E[W](i,i) = (P/N)·(1/P) + (1 − P/N)·1`;
+/// * `P(i,j ∈ S) = P(P−1)/(N(N−1))`, so
+///   `E[W](i,j) = P(P−1)/(N(N−1)) · 1/P` for `i ≠ j`.
+///
+/// # Panics
+/// Panics unless `2 ≤ p ≤ n`.
+pub fn expected_sync_matrix_uniform(n: usize, p: usize) -> Tensor {
+    assert!(p >= 2 && p <= n, "need 2 ≤ P ≤ N, got P={p}, N={n}");
+    let nf = n as f64;
+    let pf = p as f64;
+    let diag = (pf / nf) * (1.0 / pf) + (1.0 - pf / nf);
+    let off = (pf * (pf - 1.0)) / (nf * (nf - 1.0)) / pf;
+    let mut w = Tensor::zeros([n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            w.set(&[i, j], if i == j { diag as f32 } else { off as f32 });
+        }
+    }
+    w
+}
+
+/// The error coefficient `ρ̄ = ρ/(1−ρ) + 2√ρ/(1−√ρ)²` of Theorem 1.
+///
+/// # Panics
+/// Panics unless `0 ≤ rho < 1` (Assumption 2.3 requires a spectral gap).
+pub fn rho_bar(rho: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "rho must lie in [0, 1), got {rho}"
+    );
+    let sqrt = rho.sqrt();
+    rho / (1.0 - rho) + 2.0 * sqrt / ((1.0 - sqrt) * (1.0 - sqrt))
+}
+
+/// Computes the spectral report of an expected synchronization matrix.
+///
+/// `e_w` must be symmetric (constant partial reduce always yields symmetric
+/// `W_k`, hence symmetric expectation). The top eigenvalue of a doubly
+/// stochastic matrix is 1; `ρ` is the largest magnitude among the rest.
+pub fn spectral_gap(e_w: &Tensor) -> Result<SpectralReport, TensorError> {
+    let eigenvalues = symmetric_eigenvalues(e_w, JacobiOptions::default())?;
+    // eigenvalues are sorted descending; λ1 ≈ 1.
+    let rho = if eigenvalues.len() < 2 {
+        0.0
+    } else {
+        let lambda_2 = eigenvalues[1];
+        let lambda_n = *eigenvalues.last().expect("non-empty");
+        lambda_2.abs().max(lambda_n.abs()).min(1.0)
+    };
+    // Clamp tiny negatives from float error; snap near-1 values (a
+    // disconnected schedule's repeated unit eigenvalue) to exactly 1.
+    let rho = rho.max(0.0);
+    let rho = if rho > 1.0 - 1e-6 { 1.0 } else { rho };
+    let bar = if rho < 1.0 { rho_bar(rho) } else { f64::INFINITY };
+    Ok(SpectralReport {
+        rho,
+        rho_bar: bar,
+        eigenvalues,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_n3_p2_matches_paper_fig4a() {
+        // Fig. 4(a): N=3, P=2, uniform groups ⇒ ρ = 0.5.
+        let w = expected_sync_matrix_uniform(3, 2);
+        let r = spectral_gap(&w).unwrap();
+        assert!((r.eigenvalues[0] - 1.0).abs() < 1e-5);
+        assert!((r.rho - 0.5).abs() < 1e-5, "rho = {}", r.rho);
+    }
+
+    #[test]
+    fn heterogeneous_n3_p2_matches_paper_fig4b() {
+        // Fig. 4(b): worker 3 is 2× slower; pair frequencies
+        // {1,2}: 1/2, {1,3}: 1/4, {2,3}: 1/4 ⇒ ρ = 0.625.
+        let groups = vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+        ];
+        let w = expected_sync_matrix(3, &groups);
+        let r = spectral_gap(&w).unwrap();
+        assert!((r.rho - 0.625).abs() < 1e-5, "rho = {}", r.rho);
+    }
+
+    #[test]
+    fn heterogeneity_increases_rho() {
+        // More skew toward one pair ⇒ larger ρ (slower spreading).
+        let balanced = expected_sync_matrix(
+            3,
+            &[vec![0, 1], vec![0, 2], vec![1, 2]],
+        );
+        let skewed = expected_sync_matrix(
+            3,
+            &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]],
+        );
+        let r_b = spectral_gap(&balanced).unwrap();
+        let r_s = spectral_gap(&skewed).unwrap();
+        assert!(r_s.rho > r_b.rho);
+        assert!(r_s.rho_bar > r_b.rho_bar);
+    }
+
+    #[test]
+    fn allreduce_has_zero_rho() {
+        // P = N: every W_k is the uniform matrix; ρ = 0, network error 0.
+        let w = expected_sync_matrix_uniform(4, 4);
+        let r = spectral_gap(&w).unwrap();
+        assert!(r.rho < 1e-6, "rho = {}", r.rho);
+        assert!(r.rho_bar < 1e-2);
+    }
+
+    #[test]
+    fn disconnected_schedule_has_rho_one() {
+        // Isolated pairs {0,1} and {2,3}: E[W] has a repeated eigenvalue 1
+        // ⇒ ρ = 1 (no spectral gap; Assumption 2.3 violated).
+        let w = expected_sync_matrix(4, &[vec![0, 1], vec![2, 3]]);
+        let r = spectral_gap(&w).unwrap();
+        assert!((r.rho - 1.0).abs() < 1e-6, "rho = {}", r.rho);
+        assert!(r.rho_bar.is_infinite());
+    }
+
+    #[test]
+    fn uniform_closed_form_matches_empirical_average() {
+        // Enumerate all C(4,2)=6 pairs; empirical average over the full
+        // enumeration must equal the closed form.
+        let n = 4;
+        let mut groups = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                groups.push(vec![i, j]);
+            }
+        }
+        let emp = expected_sync_matrix(n, &groups);
+        let closed = expected_sync_matrix_uniform(n, 2);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (emp.at(&[i, j]) - closed.at(&[i, j])).abs() < 1e-6,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_p_shrinks_rho_in_uniform_case() {
+        let mut prev = f64::INFINITY;
+        for p in 2..=8 {
+            let w = expected_sync_matrix_uniform(8, p);
+            let r = spectral_gap(&w).unwrap();
+            assert!(r.rho < prev, "P={p}: rho {} !< {prev}", r.rho);
+            prev = r.rho;
+        }
+    }
+
+    #[test]
+    fn rho_bar_monotone_and_zero_at_zero() {
+        assert_eq!(rho_bar(0.0), 0.0);
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let r = i as f64 / 10.0;
+            let v = rho_bar(r);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn rho_bar_rejects_one() {
+        rho_bar(1.0);
+    }
+}

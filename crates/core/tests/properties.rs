@@ -1,0 +1,238 @@
+//! Property-based tests for the partial-reduce core: weight generation,
+//! synchronization matrices, controller behaviour, sync-graph invariants.
+
+use partial_reduce::{
+    constant_weights, dynamic_weights, min_history_window, spectral_gap,
+    sync_matrix, weighted_sync_matrix, AggregationMode, Controller,
+    ControllerConfig, GapPolicy, GroupHistory, SyncGraph,
+};
+use proptest::prelude::*;
+
+fn group_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    // A random subset of 2..=n workers out of n.
+    prop::collection::btree_set(0..n, 2..=n)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn constant_weights_sum_to_one(p in 1usize..64) {
+        let w = constant_weights(p);
+        prop_assert_eq!(w.len(), p);
+        let s: f32 = w.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dynamic_weights_normalized_for_arbitrary_iterations(
+        iterations in prop::collection::vec(1u64..10_000, 1..12),
+        alpha in 0.05f64..0.95,
+        nearest in any::<bool>(),
+    ) {
+        let policy = if nearest { GapPolicy::Nearest } else { GapPolicy::Initial };
+        let w = dynamic_weights(&iterations, alpha, policy);
+        prop_assert_eq!(w.len(), iterations.len());
+        let s: f32 = w.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-4, "sum = {s}");
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn dynamic_weights_freshest_unique_member_beats_constant(
+        stale_count in 1usize..6,
+        gap in 1u64..50,
+        alpha in 0.05f64..0.5,
+    ) {
+        // One member strictly fresher than all others (who tie): for
+        // α ≤ 0.5 the fresh member's weight (1−α)/(1−α^k̂max) ≥ 1−α ≥ 1/2
+        // ≥ 1/P, so it always beats the uniform share. (Above α ≈ 0.55
+        // the conservative gap policy can push enough mass to the stalest
+        // member to break this — the reason `dynamic_default` uses 0.3.)
+        let p = stale_count + 1;
+        let mut iterations = vec![100u64; 1];
+        iterations.extend(std::iter::repeat_n(100 - gap, stale_count));
+        let w = dynamic_weights(&iterations, alpha, GapPolicy::Initial);
+        prop_assert!(
+            w[0] >= 1.0 / p as f32 - 1e-6,
+            "fresh weight {} below uniform {}",
+            w[0],
+            1.0 / p as f32
+        );
+    }
+
+    #[test]
+    fn sync_matrix_doubly_stochastic_for_any_group(
+        group in group_strategy(10),
+    ) {
+        let w = sync_matrix(10, &group);
+        // Row and column sums are 1, entries non-negative, symmetric.
+        for i in 0..10 {
+            let mut row = 0.0f32;
+            let mut col = 0.0f32;
+            for j in 0..10 {
+                let x = w.at(&[i, j]);
+                prop_assert!(x >= 0.0);
+                prop_assert!((x - w.at(&[j, i])).abs() < 1e-7);
+                row += x;
+                col += w.at(&[j, i]);
+            }
+            prop_assert!((row - 1.0).abs() < 1e-5);
+            prop_assert!((col - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_sync_matrix_column_stochastic(
+        group in group_strategy(8),
+        seed in any::<u64>(),
+    ) {
+        // Random normalized weights.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut weights: Vec<f32> =
+            (0..group.len()).map(|_| rng.gen_range(0.01f32..1.0)).collect();
+        let total: f32 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let m = weighted_sync_matrix(8, &group, &weights);
+        for j in 0..8 {
+            let col: f32 = (0..8).map(|i| m.at(&[i, j])).sum();
+            prop_assert!((col - 1.0).abs() < 1e-4, "column {j} sums to {col}");
+        }
+    }
+
+    #[test]
+    fn spectral_gap_of_any_schedule_is_in_unit_interval(
+        groups in prop::collection::vec(group_strategy(6), 1..20),
+    ) {
+        let e_w = partial_reduce::expected_sync_matrix(6, &groups);
+        let r = spectral_gap(&e_w).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.rho), "rho = {}", r.rho);
+        prop_assert!((r.eigenvalues[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn controller_fifo_without_avoidance(
+        seed in any::<u64>(),
+    ) {
+        // Push workers in a seeded random order; with frozen avoidance off
+        // the first P queued always form the group, in queue order.
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut workers: Vec<usize> = (0..8).collect();
+        workers.shuffle(&mut rng);
+        let mut c = Controller::new(ControllerConfig {
+            num_workers: 8,
+            group_size: 3,
+            mode: AggregationMode::Constant,
+            history_window: Some(3),
+            frozen_avoidance: false,
+        });
+        for &w in &workers {
+            c.push_ready(w, 0);
+        }
+        let mut formed = Vec::new();
+        while let Some(d) = c.try_form_group() {
+            prop_assert!(!d.repaired);
+            formed.extend(d.group);
+        }
+        // 8 workers, P = 3 ⇒ two groups of 3 in FIFO order; 2 left queued.
+        prop_assert_eq!(formed.as_slice(), &workers[..6]);
+        prop_assert_eq!(c.pending(), 2);
+    }
+
+    #[test]
+    fn controller_groups_always_valid_under_random_traffic(
+        seed in any::<u64>(),
+        p in 2usize..5,
+        rounds in 1usize..30,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut c = Controller::new(ControllerConfig {
+            num_workers: n,
+            group_size: p,
+            mode: AggregationMode::dynamic_default(),
+            history_window: None,
+            frozen_avoidance: true,
+        });
+        let mut queued = vec![false; n];
+        let mut iter = vec![0u64; n];
+        for _ in 0..rounds {
+            // Random subset of free workers signal ready.
+            for w in 0..n {
+                if !queued[w] && rng.gen_bool(0.6) {
+                    iter[w] += rng.gen_range(1..4);
+                    c.push_ready(w, iter[w]);
+                    queued[w] = true;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                prop_assert_eq!(d.group.len(), p);
+                let mut g = d.group.clone();
+                g.sort_unstable();
+                g.dedup();
+                prop_assert_eq!(g.len(), p, "duplicates");
+                let ws: f32 = d.weights.iter().sum();
+                prop_assert!((ws - 1.0).abs() < 1e-4);
+                let max_iter = d.group.iter().map(|&m| iter[m]).max().unwrap();
+                prop_assert_eq!(d.new_iteration, max_iter);
+                for &m in &d.group {
+                    queued[m] = false;
+                    iter[m] = d.new_iteration;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn history_graph_edges_only_from_recent_groups(
+        groups in prop::collection::vec(group_strategy(6), 1..30),
+        window in 1usize..6,
+    ) {
+        let mut h = GroupHistory::new(window);
+        for g in &groups {
+            h.record(g.clone());
+        }
+        let graph = h.sync_graph(6);
+        // Every edge must be witnessed by one of the last `window` groups.
+        let recent: Vec<&Vec<usize>> =
+            groups.iter().rev().take(window).collect();
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b && graph.has_edge(a, b) {
+                    let witnessed = recent.iter().any(|g| {
+                        g.contains(&a) && g.contains(&b)
+                    });
+                    prop_assert!(witnessed, "stale edge {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_groups_connect_iff_enough_links(
+        n in 3usize..10,
+        p in 2usize..4,
+    ) {
+        prop_assume!(p < n);
+        // A chain of minimal groups: exactly T = ⌈(N−1)/(P−1)⌉ groups can
+        // connect N workers.
+        let t = min_history_window(n, p);
+        let mut g = SyncGraph::new(n);
+        let mut covered = 1usize; // worker 0
+        let mut added = 0;
+        while covered < n {
+            let start = covered - 1;
+            let members: Vec<usize> =
+                (start..(start + p).min(n)).collect();
+            g.add_group(&members);
+            covered = (start + p).min(n);
+            added += 1;
+        }
+        prop_assert!(g.is_connected());
+        prop_assert!(added <= t, "needed {added} groups, bound was {t}");
+    }
+}

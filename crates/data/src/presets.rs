@@ -1,0 +1,114 @@
+//! Named dataset presets standing in for the paper's benchmarks.
+//!
+//! Each preset keeps the class count of the original corpus and scales the
+//! sample count / dimensionality to what a CPU-only reproduction can train in
+//! seconds. The convergence thresholds used by the experiments are calibrated
+//! per preset in the trainer crate and recorded in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use crate::synth::{GaussianMixture, SynthConfig};
+
+/// A named synthetic stand-in for one of the paper's datasets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetPreset {
+    /// Human-readable name, e.g. `"cifar10-like"`.
+    pub name: String,
+    /// The generator configuration.
+    pub config: SynthConfig,
+    /// Held-out test-set size used by convergence experiments.
+    pub test_size: usize,
+}
+
+impl DatasetPreset {
+    /// Instantiates the mixture for this preset with the given seed.
+    pub fn mixture(&self, seed: u64) -> GaussianMixture {
+        GaussianMixture::new(SynthConfig {
+            seed,
+            ..self.config.clone()
+        })
+    }
+}
+
+/// Stand-in for CIFAR10: 10 classes, moderate difficulty.
+pub fn cifar10_like() -> DatasetPreset {
+    DatasetPreset {
+        name: "cifar10-like".into(),
+        config: SynthConfig {
+            num_classes: 10,
+            feature_dim: 64,
+            num_samples: 8000,
+            center_norm: 3.5,
+            noise_std: 1.0,
+            nonlinear_warp: true,
+            seed: 0,
+        },
+        test_size: 2000,
+    }
+}
+
+/// Stand-in for CIFAR100: 100 classes, harder (more class confusion).
+pub fn cifar100_like() -> DatasetPreset {
+    DatasetPreset {
+        name: "cifar100-like".into(),
+        config: SynthConfig {
+            num_classes: 100,
+            feature_dim: 128,
+            num_samples: 12000,
+            center_norm: 4.0,
+            noise_std: 1.0,
+            nonlinear_warp: true,
+            seed: 0,
+        },
+        test_size: 2000,
+    }
+}
+
+/// Stand-in for ImageNet: 1000 classes, the largest preset. The feature
+/// dimension and sample count are trimmed relative to the class count so
+/// 32-worker convergence sweeps stay CPU-tractable; the 1000-way output
+/// layer still dominates model size, as in the original.
+pub fn imagenet_like() -> DatasetPreset {
+    DatasetPreset {
+        name: "imagenet-like".into(),
+        config: SynthConfig {
+            num_classes: 1000,
+            feature_dim: 128,
+            num_samples: 20000,
+            center_norm: 8.0,
+            noise_std: 1.0,
+            nonlinear_warp: true,
+            seed: 0,
+        },
+        test_size: 4000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_class_counts() {
+        assert_eq!(cifar10_like().config.num_classes, 10);
+        assert_eq!(cifar100_like().config.num_classes, 100);
+        assert_eq!(imagenet_like().config.num_classes, 1000);
+    }
+
+    #[test]
+    fn preset_mixture_respects_seed() {
+        let p = cifar10_like();
+        let a = p.mixture(7).generate();
+        let b = p.mixture(7).generate();
+        assert_eq!(a.features(), b.features());
+        let c = p.mixture(8).generate();
+        assert_ne!(a.features(), c.features());
+    }
+
+    #[test]
+    fn test_split_fits_in_samples() {
+        for p in [cifar10_like(), cifar100_like(), imagenet_like()] {
+            assert!(p.test_size < p.config.num_samples, "{}", p.name);
+        }
+    }
+}

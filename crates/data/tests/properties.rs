@@ -1,0 +1,129 @@
+//! Property-based tests for dataset generation, sharding, and sampling.
+
+use preduce_data::{
+    shard_dataset, BatchSampler, Dataset, GaussianMixture, ShardStrategy,
+    SynthConfig,
+};
+use preduce_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn indexed_dataset(n: usize) -> Dataset {
+    // Feature value encodes the example index — lets properties check
+    // coverage exactly.
+    let features =
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1]).unwrap();
+    Dataset::new(features, (0..n).map(|i| i % 3).collect(), 3)
+}
+
+proptest! {
+    #[test]
+    fn sharding_partitions_exactly(
+        n in 4usize..200,
+        shards in 1usize..8,
+        seed in any::<u64>(),
+        strategy_pick in 0u8..3,
+    ) {
+        prop_assume!(shards <= n);
+        let strategy = match strategy_pick {
+            0 => ShardStrategy::Contiguous,
+            1 => ShardStrategy::RoundRobin,
+            _ => ShardStrategy::Shuffled { seed },
+        };
+        let ds = indexed_dataset(n);
+        let parts = shard_dataset(&ds, shards, strategy);
+        prop_assert_eq!(parts.len(), shards);
+        let mut seen: Vec<i64> = parts
+            .iter()
+            .flat_map(|s| {
+                (0..s.len()).map(|i| s.features().row(i)[0] as i64)
+            })
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
+        // Near-equal sizes.
+        let sizes: Vec<usize> = parts.iter().map(|s| s.len()).collect();
+        prop_assert!(
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1
+        );
+    }
+
+    #[test]
+    fn batches_never_repeat_within(
+        n in 8usize..100,
+        batch in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut s = BatchSampler::new(indexed_dataset(n), batch, seed);
+        for _ in 0..5 {
+            let b = s.next_batch();
+            let mut vals: Vec<i64> = (0..b.len())
+                .map(|i| b.features.row(i)[0] as i64)
+                .collect();
+            vals.sort_unstable();
+            let before = vals.len();
+            vals.dedup();
+            prop_assert_eq!(vals.len(), before, "duplicate inside batch");
+        }
+    }
+
+    #[test]
+    fn mixture_generation_is_seed_pure(
+        seed in any::<u64>(),
+        classes in 2usize..8,
+    ) {
+        let cfg = SynthConfig {
+            num_classes: classes,
+            num_samples: 64,
+            seed,
+            ..SynthConfig::default()
+        };
+        let a = GaussianMixture::new(cfg.clone()).generate();
+        let b = GaussianMixture::new(cfg).generate();
+        prop_assert_eq!(a.features(), b.features());
+        prop_assert_eq!(a.labels(), b.labels());
+        prop_assert!(a.labels().iter().all(|&y| y < classes));
+    }
+
+    #[test]
+    fn label_noise_fraction_is_respected(
+        noise_pct in 0u8..=100,
+    ) {
+        let frac = noise_pct as f64 / 100.0;
+        let n = 4000;
+        let ds = indexed_dataset(n);
+        let before = ds.labels().to_vec();
+        let noisy = ds.with_label_noise(
+            frac,
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+        );
+        let changed = noisy
+            .labels()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / n as f64;
+        // A resampled label matches the old one 1/3 of the time, so the
+        // observed change rate is ≈ frac·(2/3).
+        let expected = frac * 2.0 / 3.0;
+        prop_assert!(
+            (changed - expected).abs() < 0.06,
+            "noise {frac}: changed {changed}, expected {expected}"
+        );
+        prop_assert!(noisy.labels().iter().all(|&y| y < 3));
+    }
+
+    #[test]
+    fn split_test_is_a_partition(
+        n in 10usize..100,
+        test in 1usize..9,
+    ) {
+        prop_assume!(test < n);
+        let (train, held) = indexed_dataset(n).split_test(test);
+        prop_assert_eq!(train.len() + held.len(), n);
+        prop_assert_eq!(held.len(), test);
+        // Held-out examples are exactly the tail.
+        prop_assert_eq!(held.features().row(0)[0], (n - test) as f32);
+    }
+}

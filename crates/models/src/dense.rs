@@ -1,0 +1,211 @@
+use preduce_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use rand::Rng;
+
+use crate::layer::Layer;
+
+/// A fully-connected layer: `y = x · W + b` with `W: [in, out]`, `b: [out]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    /// Cached forward input, needed for the weight gradient.
+    input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero-sized dense layer");
+        Dense {
+            weight: he_normal(rng, [in_features, out_features], in_features),
+            bias: Tensor::zeros([out_features]),
+            grad_weight: Tensor::zeros([in_features, out_features]),
+            grad_bias: Tensor::zeros([out_features]),
+            input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape().dim(1),
+            self.in_features,
+            "dense layer expects [batch, {}], got {}",
+            self.in_features,
+            x.shape()
+        );
+        let mut y = matmul(x, &self.weight);
+        let batch = y.shape().dim(0);
+        for r in 0..batch {
+            let row = y.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.as_slice()) {
+                *v += b;
+            }
+        }
+        self.input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let input = self
+            .input
+            .take()
+            .expect("Dense::backward called before forward");
+        // dW += xᵀ · g
+        self.grad_weight.add_assign(&matmul_at_b(&input, grad));
+        // db += column sums of g
+        let batch = grad.shape().dim(0);
+        for r in 0..batch {
+            let row = grad.row(r);
+            for (g, &v) in
+                self.grad_bias.as_mut_slice().iter_mut().zip(row.iter())
+            {
+                *g += v;
+            }
+        }
+        // dx = g · Wᵀ
+        matmul_a_bt(grad, &self.weight)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut l = Dense::new(&mut rng(), 2, 3);
+        // Overwrite params with known values.
+        l.params_mut()[0]
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        l.params_mut()[1].as_mut_slice().copy_from_slice(&[0.1, 0.2, 0.3]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap();
+        let y = l.forward(&x);
+        // y = [1+4, 2+5, 3+6] + b = [5.1, 7.2, 9.3]
+        let expect = [5.1f32, 7.2, 9.3];
+        for (a, b) in y.as_slice().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_bias_gradient() {
+        let mut l = Dense::new(&mut rng(), 2, 2);
+        let x = Tensor::ones([3, 2]);
+        let _ = l.forward(&x);
+        let g = Tensor::ones([3, 2]);
+        let _ = l.backward(&g);
+        // db = column sums = 3 for each output.
+        assert_eq!(l.grads()[1].as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_batches() {
+        let mut l = Dense::new(&mut rng(), 2, 2);
+        for _ in 0..2 {
+            let x = Tensor::ones([1, 2]);
+            let _ = l.forward(&x);
+            let _ = l.backward(&Tensor::ones([1, 2]));
+        }
+        assert_eq!(l.grads()[1].as_slice(), &[2.0, 2.0]);
+        l.zero_grads();
+        assert_eq!(l.grads()[1].as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count_is_w_plus_b() {
+        let l = Dense::new(&mut rng(), 4, 5);
+        assert_eq!(l.param_count(), 4 * 5 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut l = Dense::new(&mut rng(), 2, 2);
+        l.backward(&Tensor::ones([1, 2]));
+    }
+
+    #[test]
+    fn finite_difference_gradient_check() {
+        // Loss = sum(forward(x)); check dL/dW numerically.
+        let mut l = Dense::new(&mut rng(), 3, 2);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5], [2, 3])
+            .unwrap();
+
+        let y = l.forward(&x);
+        let ones = Tensor::ones(y.shape().clone());
+        let _ = l.backward(&ones);
+        let analytic = l.grads()[0].clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..l.params()[0].len() {
+            let orig = l.params()[0].as_slice()[idx];
+            l.params_mut()[0].as_mut_slice()[idx] = orig + eps;
+            let y_hi: f64 = l.forward(&x).sum();
+            l.params_mut()[0].as_mut_slice()[idx] = orig - eps;
+            let y_lo: f64 = l.forward(&x).sum();
+            l.params_mut()[0].as_mut_slice()[idx] = orig;
+            let numeric = ((y_hi - y_lo) / (2.0 * eps as f64)) as f32;
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (a - numeric).abs() < 1e-2,
+                "param {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+use preduce_tensor::Tensor;
+
+/// A trainable (or stateless) network layer.
+///
+/// Layers own their parameters and gradient accumulators and cache whatever
+/// forward-pass state their backward pass needs. `forward` then `backward`
+/// must be called in matched pairs; `backward` *accumulates* into the stored
+/// gradients so gradient accumulation across micro-batches works naturally
+/// (call [`Layer::zero_grads`] between optimizer steps).
+pub trait Layer: Send {
+    /// Short human-readable layer name (for debugging and spec display).
+    fn name(&self) -> &'static str;
+
+    /// Switches between training and evaluation behaviour. Only layers
+    /// with mode-dependent forward passes (e.g. dropout) override this;
+    /// the default is a no-op.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Runs the layer on a `[batch, in_features]` activation tensor,
+    /// returning `[batch, out_features]`.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Propagates `grad` (w.r.t. this layer's output) backward, accumulating
+    /// parameter gradients and returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the layer's parameter tensors (same order as
+    /// [`Layer::params`]).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Immutable views of the accumulated gradients (same order/shapes as
+    /// [`Layer::params`]).
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grads(&mut self);
+
+    /// Total number of scalar parameters in this layer.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Clones the layer (parameters and gradients included) behind a box.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

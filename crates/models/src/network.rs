@@ -1,0 +1,250 @@
+use preduce_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A sequential feed-forward network.
+///
+/// The network is the unit of replication in distributed training: each
+/// worker owns one, and all communication happens through the *flat
+/// parameter vector* ([`Network::param_vector`] /
+/// [`Network::set_param_vector`]) and *flat gradient vector*
+/// ([`Network::grad_vector`]) — exactly the view a collective library like
+/// Gloo or NCCL has of a model.
+pub struct Network {
+    input_dim: usize,
+    layers: Vec<Box<dyn Layer>>,
+    param_count: usize,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            input_dim: self.input_dim,
+            layers: self.layers.clone(),
+            param_count: self.param_count,
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network(input_dim={}, layers=[", self.input_dim)?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "], params={})", self.param_count)
+    }
+}
+
+impl Network {
+    /// Assembles a network from constructed layers.
+    ///
+    /// # Panics
+    /// Panics if `input_dim == 0`.
+    pub fn new(input_dim: usize, layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(input_dim > 0, "network input dimension must be positive");
+        let param_count = layers.iter().map(|l| l.param_count()).sum();
+        Network {
+            input_dim,
+            layers,
+            param_count,
+        }
+    }
+
+    /// Expected input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Total scalar parameter count `d` — the length of the flat vectors.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the forward pass on `[batch, input_dim]`, caching state for a
+    /// subsequent [`Network::backward`].
+    ///
+    /// # Panics
+    /// Panics if `x` is not `[batch, input_dim]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape().dim(1),
+            self.input_dim,
+            "network expects [batch, {}], got {}",
+            self.input_dim,
+            x.shape()
+        );
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h);
+        }
+        h
+    }
+
+    /// Propagates `grad` (w.r.t. the network output) through all layers,
+    /// accumulating parameter gradients.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut g = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// Resets all accumulated gradients to zero.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Switches every layer between training and evaluation behaviour
+    /// (dropout etc.).
+    pub fn set_training(&mut self, training: bool) {
+        for l in &mut self.layers {
+            l.set_training(training);
+        }
+    }
+
+    /// All parameters concatenated into one flat `[d]` tensor
+    /// (layer order, then the per-layer parameter order).
+    pub fn param_vector(&self) -> Tensor {
+        let mut flat = Vec::with_capacity(self.param_count);
+        for l in &self.layers {
+            for p in l.params() {
+                flat.extend_from_slice(p.as_slice());
+            }
+        }
+        Tensor::from_vec(flat, [self.param_count.max(1)])
+            .expect("param volume matches")
+    }
+
+    /// All accumulated gradients concatenated into one flat `[d]` tensor,
+    /// matching the layout of [`Network::param_vector`].
+    pub fn grad_vector(&self) -> Tensor {
+        let mut flat = Vec::with_capacity(self.param_count);
+        for l in &self.layers {
+            for g in l.grads() {
+                flat.extend_from_slice(g.as_slice());
+            }
+        }
+        Tensor::from_vec(flat, [self.param_count.max(1)])
+            .expect("grad volume matches")
+    }
+
+    /// Overwrites all parameters from a flat `[d]` tensor.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != param_count()`.
+    pub fn set_param_vector(&mut self, flat: &Tensor) {
+        assert_eq!(
+            flat.len(),
+            self.param_count,
+            "flat parameter vector has length {}, expected {}",
+            flat.len(),
+            self.param_count
+        );
+        let src = flat.as_slice();
+        let mut off = 0;
+        for l in &mut self.layers {
+            for p in l.params_mut() {
+                let n = p.len();
+                p.as_mut_slice().copy_from_slice(&src[off..off + n]);
+                off += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+
+    #[test]
+    fn param_vector_roundtrip() {
+        let mut net = NetworkSpec::mlp(6, &[8, 4], 3).build(1);
+        let v = net.param_vector();
+        assert_eq!(v.len(), net.param_count());
+        let mut scaled = v.clone();
+        scaled.scale(0.5);
+        net.set_param_vector(&scaled);
+        assert_eq!(net.param_vector(), scaled);
+    }
+
+    #[test]
+    fn forward_backward_produces_gradients() {
+        let mut net = NetworkSpec::mlp(4, &[8], 2).build(0);
+        let x = Tensor::ones([3, 4]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape().dims(), &[3, 2]);
+        net.backward(&Tensor::ones([3, 2]));
+        let g = net.grad_vector();
+        assert_eq!(g.len(), net.param_count());
+        assert!(g.norm2() > 0.0, "no gradient signal");
+        net.zero_grads();
+        assert_eq!(net.grad_vector().norm2(), 0.0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let net = NetworkSpec::mlp(4, &[4], 2).build(0);
+        let mut other = net.clone();
+        let mut zeroed = other.param_vector();
+        zeroed.fill_zero();
+        other.set_param_vector(&zeroed);
+        assert!(net.param_vector().norm2() > 0.0);
+        assert_eq!(other.param_vector().norm2(), 0.0);
+    }
+
+    #[test]
+    fn whole_network_gradient_check() {
+        // Sum-of-logits loss; verify d(sum)/d(theta) numerically for a
+        // sample of parameters across layers.
+        let mut net = NetworkSpec::mlp(3, &[5], 2).build(7);
+        let x = Tensor::from_vec(
+            vec![0.2, -0.4, 1.0, 0.9, 0.1, -0.7],
+            [2, 3],
+        )
+        .unwrap();
+
+        let y = net.forward(&x);
+        net.zero_grads();
+        net.backward(&Tensor::ones(y.shape().clone()));
+        let analytic = net.grad_vector();
+
+        let base = net.param_vector();
+        let eps = 1e-3f32;
+        let d = net.param_count();
+        for idx in (0..d).step_by(d / 10 + 1) {
+            let mut hi = base.clone();
+            hi.as_mut_slice()[idx] += eps;
+            net.set_param_vector(&hi);
+            let f_hi: f64 = net.forward(&x).sum();
+            let mut lo = base.clone();
+            lo.as_mut_slice()[idx] -= eps;
+            net.set_param_vector(&lo);
+            let f_lo: f64 = net.forward(&x).sum();
+            let numeric = ((f_hi - f_lo) / (2.0 * eps as f64)) as f32;
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (a - numeric).abs() < 1e-2,
+                "param {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects [batch, 4]")]
+    fn forward_rejects_wrong_width() {
+        let mut net = NetworkSpec::mlp(4, &[], 2).build(0);
+        net.forward(&Tensor::ones([1, 5]));
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event simulation of a heterogeneous training cluster.
+//!
+//! The paper's experiments run on a V100 GPU cluster whose heterogeneity
+//! comes from GPU sharing (synthetic, Table 1) or from production resource
+//! contention (Figs. 9–11). Neither is available here, so this crate builds
+//! the substrate the reproduction needs: a virtual-time simulator whose
+//! *per-update time distributions* match the paper's heterogeneity model
+//! (§2.3 models heterogeneity exactly as "different time costs on a single
+//! update among workers, independently distributed").
+//!
+//! Pieces:
+//!
+//! * [`SimTime`] / [`EventQueue`] — a deterministic discrete-event core.
+//! * [`HeterogeneityModel`] implementations — [`UniformFleet`] (homogeneous),
+//!   [`GpuSharingFleet`] (the paper's HL knob: `HL` workers share one
+//!   physical GPU), [`SpeedFleet`] (fixed per-worker multipliers, e.g. the
+//!   "one worker is 2× slower" example of Fig. 4(b)), and [`MarkovFleet`]
+//!   (a two-state Markov-modulated slowdown reproducing production-cluster
+//!   dynamics for Figs. 9–11).
+//! * [`NetworkModel`] — analytic collective/point-to-point cost model
+//!   (α-β model: latency + bytes/bandwidth), with ring all-reduce,
+//!   sharded parameter-server push/pull, controller signaling, and gossip
+//!   costs.
+//! * [`FifoResource`] — a serially-shared resource timeline for modeling a
+//!   congested central link where needed.
+//!
+//! Calibration against the paper's Table 1 (device throughput, link
+//! bandwidth) is documented in EXPERIMENTS.md.
+
+mod events;
+mod hetero;
+mod network;
+mod resource;
+mod time;
+
+pub use events::EventQueue;
+pub use hetero::{
+    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet,
+    UniformFleet,
+};
+pub use network::NetworkModel;
+pub use resource::FifoResource;
+pub use time::SimTime;

@@ -1,0 +1,106 @@
+//! A serially-shared resource timeline (capacity-1 FIFO server).
+//!
+//! Used to model a genuinely centralized bottleneck — e.g. an *unsharded*
+//! parameter server's NIC — where requests queue behind each other. The
+//! sharded-PS cost model in [`crate::NetworkModel`] covers the common case;
+//! this resource exists for the ablation that shows what happens without
+//! sharding.
+
+use crate::time::SimTime;
+
+/// A capacity-1 resource that serves requests in arrival order.
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    free_at: SimTime,
+    served: u64,
+    busy_seconds: f64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        FifoResource {
+            free_at: SimTime::ZERO,
+            served: 0,
+            busy_seconds: 0.0,
+        }
+    }
+
+    /// Requests `duration` seconds of exclusive service starting no earlier
+    /// than `now`; returns the completion time.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or not finite.
+    pub fn acquire(&mut self, now: SimTime, duration: f64) -> SimTime {
+        assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "service duration must be non-negative and finite"
+        );
+        let start = self.free_at.max(now);
+        let done = start + duration;
+        self.free_at = done;
+        self.served += 1;
+        self.busy_seconds += duration;
+        done
+    }
+
+    /// When the resource next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total busy time accumulated (for utilization reporting).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+}
+
+impl Default for FifoResource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FifoResource::new();
+        let done = r.acquire(SimTime::new(5.0), 2.0);
+        assert_eq!(done.seconds(), 7.0);
+    }
+
+    #[test]
+    fn busy_resource_queues() {
+        let mut r = FifoResource::new();
+        let d1 = r.acquire(SimTime::ZERO, 3.0);
+        assert_eq!(d1.seconds(), 3.0);
+        // Arrives at t=1 but must wait until t=3.
+        let d2 = r.acquire(SimTime::new(1.0), 2.0);
+        assert_eq!(d2.seconds(), 5.0);
+        assert_eq!(r.served(), 2);
+        assert_eq!(r.busy_seconds(), 5.0);
+    }
+
+    #[test]
+    fn gap_leaves_resource_idle() {
+        let mut r = FifoResource::new();
+        let _ = r.acquire(SimTime::ZERO, 1.0);
+        let d = r.acquire(SimTime::new(10.0), 1.0);
+        assert_eq!(d.seconds(), 11.0);
+        assert_eq!(r.busy_seconds(), 2.0);
+    }
+
+    #[test]
+    fn zero_duration_is_allowed() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.acquire(SimTime::new(4.0), 0.0).seconds(), 4.0);
+    }
+}

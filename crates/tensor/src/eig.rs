@@ -1,0 +1,226 @@
+//! Jacobi eigensolver for symmetric matrices.
+//!
+//! The paper's spectral-gap analysis (Assumption 2, Eq. 6) needs the second-
+//! largest and smallest eigenvalues of the *expected synchronization matrix*
+//! `E[W_k]`, which is symmetric and doubly stochastic. The cyclic Jacobi
+//! method is exact-enough, dependency-free, and unconditionally stable for
+//! symmetric input, which makes it the right tool for matrices of size
+//! `N ≤ 64` (the cluster sizes in the experiments).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Options controlling the Jacobi sweep loop.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Stop once the off-diagonal Frobenius norm falls below this value.
+    pub tolerance: f64,
+    /// Maximum number of full sweeps before giving up.
+    pub max_sweeps: usize,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions {
+            tolerance: 1e-12,
+            max_sweeps: 100,
+        }
+    }
+}
+
+/// Computes all eigenvalues of a symmetric matrix, sorted descending.
+///
+/// The input is validated to be square and (approximately) symmetric; the
+/// computation is performed in `f64`. Asymmetry up to `1e-4` per entry is
+/// tolerated and symmetrized away, since callers build `E[W]` from
+/// single-precision averages.
+pub fn symmetric_eigenvalues(
+    m: &Tensor,
+    opts: JacobiOptions,
+) -> Result<Vec<f64>, TensorError> {
+    if m.shape().rank() != 2 {
+        return Err(TensorError::NotSquare {
+            rows: m.shape().dim(0),
+            cols: if m.shape().rank() > 1 {
+                m.shape().dim(1)
+            } else {
+                1
+            },
+        });
+    }
+    let n = m.shape().dim(0);
+    if m.shape().dim(1) != n {
+        return Err(TensorError::NotSquare {
+            rows: n,
+            cols: m.shape().dim(1),
+        });
+    }
+
+    // Copy to f64, symmetrizing: a[i][j] = (m[i][j] + m[j][i]) / 2.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let x = m.at(&[i, j]) as f64;
+            let y = m.at(&[j, i]) as f64;
+            debug_assert!(
+                (x - y).abs() < 1e-3,
+                "matrix is far from symmetric at ({i},{j}): {x} vs {y}"
+            );
+            a[i * n + j] = 0.5 * (x + y);
+        }
+    }
+
+    for sweep in 0..opts.max_sweeps {
+        let off = off_diagonal_norm(&a, n);
+        if off < opts.tolerance {
+            let mut eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+            eigs.sort_by(|x, y| y.partial_cmp(x).expect("finite eigenvalues"));
+            return Ok(eigs);
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut a, n, p, q);
+            }
+        }
+        // Bound runaway loops in debug builds.
+        debug_assert!(sweep < opts.max_sweeps);
+    }
+
+    let off = off_diagonal_norm(&a, n);
+    if off < opts.tolerance.max(1e-9) {
+        let mut eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+        eigs.sort_by(|x, y| y.partial_cmp(x).expect("finite eigenvalues"));
+        Ok(eigs)
+    } else {
+        Err(TensorError::EigNoConvergence {
+            off_diagonal: off,
+            sweeps: opts.max_sweeps,
+        })
+    }
+}
+
+fn off_diagonal_norm(a: &[f64], n: usize) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies one Jacobi rotation zeroing `a[p][q]` (and `a[q][p]`).
+fn jacobi_rotate(a: &mut [f64], n: usize, p: usize, q: usize) {
+    let apq = a[p * n + q];
+    if apq.abs() < 1e-300 {
+        return;
+    }
+    let app = a[p * n + p];
+    let aqq = a[q * n + q];
+    let theta = (aqq - app) / (2.0 * apq);
+    // Stable computation of tan of the rotation angle.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    for k in 0..n {
+        let akp = a[k * n + p];
+        let akq = a[k * n + q];
+        a[k * n + p] = c * akp - s * akq;
+        a[k * n + q] = s * akp + c * akq;
+    }
+    for k in 0..n {
+        let apk = a[p * n + k];
+        let aqk = a[q * n + k];
+        a[p * n + k] = c * apk - s * aqk;
+        a[q * n + k] = s * apk + c * aqk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eig(data: &[f32], n: usize) -> Vec<f64> {
+        let m = Tensor::from_vec(data.to_vec(), [n, n]).unwrap();
+        symmetric_eigenvalues(&m, JacobiOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_entries() {
+        let e = eig(&[3.0, 0.0, 0.0, -1.0], 2);
+        assert!((e[0] - 3.0).abs() < 1e-9);
+        assert!((e[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let e = eig(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((e[0] - 3.0).abs() < 1e-9);
+        assert!((e[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubly_stochastic_has_unit_top_eigenvalue() {
+        // Fig. 4(a): homogeneous N=3, P=2 — E[W] has 2/3 on the diagonal and
+        // 1/6 elsewhere; eigenvalues are 1, 1/2, 1/2, so ρ = 0.5.
+        let d = 2.0 / 3.0;
+        let o = 1.0 / 6.0;
+        let e = eig(&[d, o, o, o, d, o, o, o, d], 3);
+        assert!((e[0] - 1.0).abs() < 1e-6);
+        assert!((e[1] - 0.5).abs() < 1e-6);
+        assert!((e[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let data = [4.0, 1.0, 0.5, 1.0, 3.0, -1.0, 0.5, -1.0, 2.0];
+        let e = eig(&data, 3);
+        let trace = 4.0 + 3.0 + 2.0;
+        assert!((e.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = Tensor::zeros([2, 3]);
+        assert!(matches!(
+            symmetric_eigenvalues(&m, JacobiOptions::default()),
+            Err(TensorError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_rank1() {
+        let m = Tensor::zeros([4]);
+        assert!(symmetric_eigenvalues(&m, JacobiOptions::default()).is_err());
+    }
+
+    #[test]
+    fn handles_larger_random_symmetric() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 16;
+        let mut m = Tensor::zeros([n, n]);
+        for i in 0..n {
+            for j in i..n {
+                let v: f32 = rng.gen_range(-1.0..1.0);
+                m.set(&[i, j], v);
+                m.set(&[j, i], v);
+            }
+        }
+        let e = symmetric_eigenvalues(&m, JacobiOptions::default()).unwrap();
+        assert_eq!(e.len(), n);
+        // Sorted descending.
+        assert!(e.windows(2).all(|w| w[0] >= w[1]));
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| m.at(&[i, i]) as f64).sum();
+        assert!((e.iter().sum::<f64>() - trace).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense `f32` tensor kernel for the `preduce` workspace.
+//!
+//! This crate provides the minimal-but-complete numerical substrate that the
+//! rest of the reproduction is built on: an owned dense tensor type with
+//! row-major layout, the linear-algebra kernels needed for feed-forward /
+//! convolutional network training (GEMM variants, elementwise maps, reductions,
+//! softmax), random initialization schemes, and a Jacobi eigensolver for the
+//! symmetric synchronization matrices used in the paper's spectral-gap
+//! analysis (Assumption 2, Eq. 6).
+//!
+//! Design notes:
+//!
+//! * Everything is `f32`. Distributed deep-learning traffic is
+//!   single-precision in practice and the paper's cost model counts 4-byte
+//!   parameters.
+//! * Shape mismatches on the core arithmetic ops are programmer errors and
+//!   panic with a descriptive message (the same contract as `ndarray`);
+//!   construction from untrusted dimensions goes through fallible
+//!   constructors returning [`TensorError`].
+//! * Kernels are written as straightforward loops over slices so that the
+//!   compiler can autovectorize; the GEMM uses a cache-blocked loop order
+//!   that is adequate for the model sizes in the experiments.
+
+mod eig;
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use eig::{symmetric_eigenvalues, JacobiOptions};
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use ops::{
+    argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,208 @@
+//! Property-based tests for the tensor kernel.
+
+use preduce_tensor::{
+    matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, symmetric_eigenvalues,
+    JacobiOptions, Shape, Tensor,
+};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| x)
+}
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_len).prop_flat_map(|n| {
+        prop::collection::vec(finite_f32(), n)
+            .prop_map(move |v| Tensor::from_vec(v, [n]).unwrap())
+    })
+}
+
+fn tensor_pair(max_len: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(finite_f32(), n),
+            prop::collection::vec(finite_f32(), n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(a, [n]).unwrap(),
+                    Tensor::from_vec(b, [n]).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative((a, b) in tensor_pair(64)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip((a, b) in tensor_pair(64)) {
+        let back = a.add(&b).sub(&b);
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3f32.max(y.abs() * 1e-5));
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop((mut y, x) in tensor_pair(64), alpha in -2.0f32..2.0) {
+        let expected: Vec<f32> = y
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&yi, &xi)| yi + alpha * xi)
+            .collect();
+        y.axpy(alpha, &x);
+        prop_assert_eq!(y.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn scale_then_inverse_scale_is_identity(mut t in tensor_strategy(64), s in 0.1f32..10.0) {
+        let orig = t.clone();
+        t.scale(s);
+        t.scale(1.0 / s);
+        for (x, y) in t.as_slice().iter().zip(orig.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3f32.max(y.abs() * 1e-4));
+        }
+    }
+
+    #[test]
+    fn norm2_is_nonnegative_and_zero_only_for_zero(t in tensor_strategy(64)) {
+        let n = t.norm2();
+        prop_assert!(n >= 0.0);
+        if t.as_slice().iter().all(|&x| x == 0.0) {
+            prop_assert_eq!(n, 0.0);
+        }
+    }
+
+    #[test]
+    fn sq_dist_symmetric((a, b) in tensor_pair(64)) {
+        prop_assert!((a.sq_dist(&b) - b.sq_dist(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relu_is_idempotent(t in tensor_strategy(64)) {
+        let once = relu(&t);
+        let twice = relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..5,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let t = Tensor::from_vec(data, [rows, cols]).unwrap();
+        let s = softmax_rows(&t);
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (m, k, n) = (3, 4, 2);
+        let mk = |rng: &mut rand::rngs::StdRng, r: usize, c: usize| {
+            Tensor::from_vec(
+                (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                [r, c],
+            )
+            .unwrap()
+        };
+        let a = mk(&mut rng, m, k);
+        let b = mk(&mut rng, k, n);
+        let c = mk(&mut rng, k, n);
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_variants_consistent(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (m, k) = (4, 3);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            [m, k],
+        )
+        .unwrap();
+        // (A · Aᵀ) must be symmetric with nonnegative diagonal.
+        let g = matmul_a_bt(&a, &a);
+        for i in 0..m {
+            prop_assert!(g.at(&[i, i]) >= -1e-6);
+            for j in 0..m {
+                prop_assert!((g.at(&[i, j]) - g.at(&[j, i])).abs() < 1e-5);
+            }
+        }
+        // (Aᵀ · A) likewise, in the other dimension.
+        let h = matmul_at_b(&a, &a);
+        for i in 0..k {
+            prop_assert!(h.at(&[i, i]) >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_symmetric_psd_are_nonneg(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 5;
+        let a = Tensor::from_vec(
+            (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            [n, n],
+        )
+        .unwrap();
+        // A·Aᵀ is symmetric PSD.
+        let g = matmul_a_bt(&a, &a);
+        let e = symmetric_eigenvalues(&g, JacobiOptions::default()).unwrap();
+        prop_assert!(e.iter().all(|&x| x > -1e-5));
+        prop_assert!(e.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn reshape_roundtrip(t in tensor_strategy(64)) {
+        let n = t.len();
+        let orig = t.clone();
+        let back = t.reshape([1, n]).unwrap().reshape([n]).unwrap();
+        prop_assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn shape_offset_bijective(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::of(dims.clone());
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&idx);
+            prop_assert!(off < shape.volume());
+            prop_assert!(seen.insert(off), "offset collision");
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] < dims[axis] { break; }
+                idx[axis] = 0;
+                if axis == 0 {
+                    prop_assert_eq!(seen.len(), shape.volume());
+                    return Ok(());
+                }
+            }
+            if idx.iter().all(|&x| x == 0) { break; }
+        }
+        prop_assert_eq!(seen.len(), shape.volume());
+    }
+}

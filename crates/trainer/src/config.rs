@@ -1,0 +1,299 @@
+//! Experiment configuration.
+
+use preduce_data::{DatasetPreset, ShardStrategy};
+use serde::{Deserialize, Serialize};
+use preduce_models::zoo::ModelZooEntry;
+use preduce_models::SgdConfig;
+use preduce_simnet::{
+    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, NetworkModel,
+    SpeedFleet, UniformFleet,
+};
+
+/// Which heterogeneity regime the simulated cluster runs under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum HeteroSpec {
+    /// Homogeneous fleet (HL = 1).
+    Uniform,
+    /// The paper's synthetic knob: `hl` workers share one GPU (Table 1).
+    GpuSharing {
+        /// Number of colocated workers.
+        hl: usize,
+    },
+    /// Fixed per-worker slowdown multipliers (Fig. 4(b) style).
+    Speed {
+        /// Multiplier per worker.
+        multipliers: Vec<f64>,
+    },
+    /// Production cluster: Markov-modulated slowdowns (Figs. 9–11).
+    Production {
+        /// Probability of entering the degraded state per update.
+        p_degrade: f64,
+        /// Probability of recovering per update while degraded.
+        p_recover: f64,
+        /// Slowdown while degraded.
+        slow_factor: f64,
+    },
+}
+
+impl HeteroSpec {
+    /// The production regime calibrated in EXPERIMENTS.md.
+    pub fn production_default() -> Self {
+        HeteroSpec::Production {
+            p_degrade: 0.08,
+            p_recover: 0.25,
+            slow_factor: 8.0,
+        }
+    }
+
+    /// Builds the heterogeneity model for `n` workers on devices of
+    /// `device_flops` sustained throughput.
+    pub fn build(
+        &self,
+        n: usize,
+        device_flops: f64,
+        jitter: Jitter,
+    ) -> Box<dyn HeterogeneityModel> {
+        match self {
+            HeteroSpec::Uniform => {
+                Box::new(UniformFleet::new(n, device_flops, jitter))
+            }
+            HeteroSpec::GpuSharing { hl } => {
+                Box::new(GpuSharingFleet::new(n, *hl, device_flops, jitter))
+            }
+            HeteroSpec::Speed { multipliers } => {
+                assert_eq!(
+                    multipliers.len(),
+                    n,
+                    "need one multiplier per worker"
+                );
+                Box::new(SpeedFleet::new(
+                    multipliers.clone(),
+                    device_flops,
+                    jitter,
+                ))
+            }
+            HeteroSpec::Production {
+                p_degrade,
+                p_recover,
+                slow_factor,
+            } => Box::new(MarkovFleet::new(
+                n,
+                device_flops,
+                *p_degrade,
+                *p_recover,
+                *slow_factor,
+                jitter,
+            )),
+        }
+    }
+}
+
+/// Everything one experiment run needs.
+///
+/// Two batch sizes appear because the reproduction decouples *timing* from
+/// *optimization math* (DESIGN.md §3): `sim_batch_size` feeds the cost
+/// model using the **original** model's per-example FLOPs and parameter
+/// bytes (paper setting: 256), while `math_batch_size` is the batch
+/// actually pushed through the analog network on the CPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Model (analog architecture + original cost profile).
+    pub model: ModelZooEntry,
+    /// Dataset preset.
+    pub preset: DatasetPreset,
+    /// Cluster size `N`.
+    pub num_workers: usize,
+    /// Batch size used for simulated compute/communication costs.
+    pub sim_batch_size: usize,
+    /// Batch size used for the actual SGD math.
+    pub math_batch_size: usize,
+    /// Optimizer hyperparameters.
+    pub sgd: SgdConfig,
+    /// Heterogeneity regime.
+    pub hetero: HeteroSpec,
+    /// Multiplicative compute-time jitter.
+    pub jitter: Jitter,
+    /// Network cost model.
+    pub network: NetworkModel,
+    /// Sustained device throughput in FLOP/s (calibrated: 2.5e12 ≈ a V100
+    /// at the utilization the paper's CIFAR workloads reach).
+    pub device_flops: f64,
+    /// Test-accuracy convergence threshold.
+    pub threshold: f64,
+    /// Hard cap on updates (safety for non-converging baselines like ER).
+    pub max_updates: u64,
+    /// Evaluate the averaged model every this many updates.
+    pub eval_every: u64,
+    /// Fraction of *training* labels randomized (test labels stay clean).
+    /// Keeps gradient noise high near the plateau; see
+    /// `Dataset::with_label_noise`.
+    pub label_noise: f64,
+    /// Momentum used by the parameter-server *server-side* optimizer in
+    /// the async PS baselines (ASP/SSP/HETE). Defaults to 0: async PS
+    /// systems classically run plain SGD server-side because a shared
+    /// momentum buffer fed by stale, interleaved pushes destabilizes
+    /// training. Set to the worker momentum to study that instability.
+    pub ps_server_momentum: f32,
+    /// Per-worker *communication* slowdown factors (intro Case 1:
+    /// communication heterogeneity — e.g. geo-distributed workers behind
+    /// inter-datacenter links up to 10x slower). A collective's wire time
+    /// is scaled by the slowest participant's factor; `None` means all
+    /// links are equal. Length must equal `num_workers` when set.
+    pub link_slowdown: Option<Vec<f64>>,
+    /// Fraction of collective-communication time hidden under backward
+    /// computation for *static-topology* methods (All-Reduce / PS BSP),
+    /// à la PyTorch DDP bucketing. The paper leaves overlap as future
+    /// work because P-Reduce's dynamic groups preclude it (§4) — this
+    /// knob reproduces that discussion: even granting the baselines full
+    /// overlap, partial reduce keeps its heterogeneity advantage (see the
+    /// `ablations` bench). In `[0, 1]`; default 0.
+    pub overlap_fraction: f64,
+    /// How the training set is partitioned across workers. Defaults to a
+    /// seeded shuffle (IID shards, the paper's Assumption 1.2); `ByLabel`
+    /// creates adversarially non-IID shards for isolation studies.
+    pub shard_strategy: Option<ShardStrategy>,
+    /// When set, each evaluation also records `‖∇F(u_k)‖²` of the
+    /// averaged model over the held-out set into the trace — the quantity
+    /// Theorem 1 bounds (used by the `theorem1_validation` bench).
+    pub track_grad_norm: bool,
+    /// Master seed: controls init, shards, batches, and compute jitter.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The Table 1 base configuration for a model/preset pair.
+    pub fn table1(
+        model: ModelZooEntry,
+        preset: DatasetPreset,
+        hl: usize,
+    ) -> Self {
+        ExperimentConfig {
+            model,
+            preset,
+            num_workers: 8,
+            sim_batch_size: 256,
+            math_batch_size: 32,
+            sgd: SgdConfig::default(),
+            hetero: if hl <= 1 {
+                HeteroSpec::Uniform
+            } else {
+                HeteroSpec::GpuSharing { hl }
+            },
+            jitter: Jitter::LogNormal { sigma: 0.15 },
+            network: NetworkModel::ten_gbe(),
+            device_flops: 2.5e12,
+            threshold: 0.90,
+            max_updates: 60_000,
+            eval_every: 64,
+            label_noise: 0.0,
+            ps_server_momentum: 0.0,
+            link_slowdown: None,
+            overlap_fraction: 0.0,
+            shard_strategy: None,
+            track_grad_norm: false,
+            seed: 42,
+        }
+    }
+
+    /// Simulated FLOPs of one local update.
+    pub fn update_flops(&self) -> f64 {
+        self.model.profile.batch_flops(self.sim_batch_size)
+    }
+
+    /// Message size of one model/gradient transfer.
+    pub fn message_bytes(&self) -> u64 {
+        self.model.profile.message_bytes()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero-sized fields or a threshold outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.num_workers > 0, "need at least one worker");
+        assert!(
+            self.sim_batch_size > 0 && self.math_batch_size > 0,
+            "batch sizes must be positive"
+        );
+        assert!(self.device_flops > 0.0, "device throughput must be positive");
+        assert!(
+            self.threshold > 0.0 && self.threshold <= 1.0,
+            "threshold must lie in (0, 1]"
+        );
+        assert!(self.max_updates > 0, "need a positive update cap");
+        assert!(self.eval_every > 0, "eval interval must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.label_noise),
+            "label noise must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.overlap_fraction),
+            "overlap fraction must lie in [0, 1]"
+        );
+        if let Some(ls) = &self.link_slowdown {
+            assert_eq!(
+                ls.len(),
+                self.num_workers,
+                "one link slowdown per worker required"
+            );
+            assert!(
+                ls.iter().all(|&f| f >= 1.0 && f.is_finite()),
+                "link slowdowns must be >= 1"
+            );
+        }
+        self.network.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preduce_data::cifar10_like;
+    use preduce_models::zoo;
+
+    #[test]
+    fn table1_config_validates() {
+        let c = ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), 3);
+        c.validate();
+        assert!(matches!(c.hetero, HeteroSpec::GpuSharing { hl: 3 }));
+        let c = ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), 1);
+        assert!(matches!(c.hetero, HeteroSpec::Uniform));
+    }
+
+    #[test]
+    fn update_flops_scale_with_batch() {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        let f1 = c.update_flops();
+        c.sim_batch_size *= 2;
+        assert!((c.update_flops() - 2.0 * f1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hetero_spec_builders() {
+        use preduce_simnet::SimTime;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for spec in [
+            HeteroSpec::Uniform,
+            HeteroSpec::GpuSharing { hl: 2 },
+            HeteroSpec::Speed {
+                multipliers: vec![1.0, 2.0, 1.0, 1.0],
+            },
+            HeteroSpec::production_default(),
+        ] {
+            let mut m = spec.build(4, 1e9, Jitter::None);
+            assert_eq!(m.num_workers(), 4);
+            let t = m.compute_time(0, 1e9, SimTime::ZERO, &mut rng);
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one multiplier per worker")]
+    fn speed_spec_checks_length() {
+        HeteroSpec::Speed {
+            multipliers: vec![1.0],
+        }
+        .build(4, 1e9, Jitter::None);
+    }
+}

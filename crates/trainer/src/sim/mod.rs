@@ -1,0 +1,369 @@
+//! Virtual-time simulation drivers, one per strategy family.
+//!
+//! All drivers share [`SimHarness`]: the worker replicas (real models, real
+//! SGD math), the heterogeneity model (per-update compute times), the
+//! network cost model, and a convergence tracker that periodically
+//! evaluates the worker-averaged model on the held-out test set and stops
+//! the run at the configured threshold — precisely the paper's protocol
+//! (§5.1–5.2: run time and #updates to a fixed test accuracy; inference on
+//! the average of all workers' models per Algorithm 2 line 8).
+
+mod gossip;
+mod preduce;
+mod ps_async;
+mod sync;
+
+pub use gossip::{run_ad_psgd, run_d_psgd};
+pub use preduce::run_preduce;
+pub use ps_async::{run_ps_asp, run_ps_hete, run_ps_ssp};
+pub use sync::{run_allreduce, run_eager_reduce, run_ps_bk, run_ps_bsp};
+
+use preduce_data::{shard_dataset, Dataset, ShardStrategy};
+use preduce_models::{evaluate_accuracy, softmax_cross_entropy, Network};
+use preduce_simnet::{HeterogeneityModel, NetworkModel, SimTime};
+use preduce_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::config::ExperimentConfig;
+use crate::metrics::{RunResult, TracePoint};
+use crate::worker::{weighted_model_average, WorkerState};
+
+/// Cap on retained per-update time samples (reservoir not needed: the
+/// early-run distribution is representative because the heterogeneity
+/// models are stationary).
+const MAX_UPDATE_SAMPLES: usize = 4096;
+
+/// Evaluation batch size for test-set accuracy.
+const EVAL_BATCH: usize = 256;
+
+/// Shared simulation state handed to every driver.
+pub struct SimHarness {
+    /// Worker replicas (identical initialization).
+    pub workers: Vec<WorkerState>,
+    /// Per-worker compute-time model.
+    pub hetero: Box<dyn HeterogeneityModel>,
+    /// Communication cost model.
+    pub network: NetworkModel,
+    /// Simulated FLOPs per local update.
+    pub update_flops: f64,
+    /// Message bytes per model/gradient transfer.
+    pub bytes: u64,
+    /// The simulation's single RNG (batches, jitter, tie-breaking).
+    pub rng: StdRng,
+    /// Server-side momentum for the async PS drivers.
+    pub ps_server_momentum: f32,
+    /// Communication/computation overlap granted to static-topology
+    /// collectives (All-Reduce, PS BSP).
+    pub overlap_fraction: f64,
+    /// Per-worker link slowdown (communication heterogeneity, Case 1).
+    pub link_slowdown: Vec<f64>,
+    tracker: ConvergenceTracker,
+}
+
+impl SimHarness {
+    /// Builds the harness from an experiment configuration: dataset,
+    /// shards, identically-initialized replicas, heterogeneity model.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        config.validate();
+        let n = config.num_workers;
+
+        let mixture = config.preset.mixture(config.seed);
+        let full = mixture.generate();
+        let (train, test) = full.split_test(config.preset.test_size);
+        let train = train.with_label_noise(
+            config.label_noise,
+            &mut StdRng::seed_from_u64(config.seed ^ 0x1abe1),
+        );
+        let shards = shard_dataset(
+            &train,
+            n,
+            config
+                .shard_strategy
+                .unwrap_or(ShardStrategy::Shuffled { seed: config.seed }),
+        );
+
+        let spec = config
+            .model
+            .spec(train.feature_dim(), train.num_classes());
+        let reference = spec.build(config.seed);
+
+        let workers: Vec<WorkerState> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(rank, shard)| {
+                let sampler = preduce_data::BatchSampler::new(
+                    shard,
+                    config.math_batch_size,
+                    // Sampler seeds are unused (drivers sample through the
+                    // harness RNG) but must still be distinct per worker.
+                    config.seed ^ (rank as u64 + 1),
+                );
+                WorkerState::new(rank, reference.clone(), config.sgd, sampler)
+            })
+            .collect();
+
+        let hetero =
+            config
+                .hetero
+                .build(n, config.device_flops, config.jitter);
+
+        SimHarness {
+            workers,
+            hetero,
+            network: config.network,
+            update_flops: config.update_flops(),
+            bytes: config.message_bytes(),
+            rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e3779b9)),
+            ps_server_momentum: config.ps_server_momentum,
+            overlap_fraction: config.overlap_fraction,
+            link_slowdown: config
+                .link_slowdown
+                .clone()
+                .unwrap_or_else(|| vec![1.0; n]),
+            tracker: ConvergenceTracker::new(config, reference, test),
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Samples the compute time of one local update for `worker` at `now`.
+    pub fn compute_time(&mut self, worker: usize, now: SimTime) -> f64 {
+        self.hetero
+            .compute_time(worker, self.update_flops, now, &mut self.rng)
+    }
+
+    /// The link-slowdown factor of a collective over `members`: gated by
+    /// the slowest participant's link (a ring moves at its slowest hop).
+    pub fn link_factor(&self, members: impl IntoIterator<Item = usize>) -> f64 {
+        members
+            .into_iter()
+            .map(|w| self.link_slowdown[w])
+            .fold(1.0, f64::max)
+    }
+
+    /// Ring all-reduce time for a specific member set, link-aware.
+    pub fn group_ring_time(&self, members: &[usize]) -> f64 {
+        self.network.ring_allreduce_time(members.len(), self.bytes)
+            * self.link_factor(members.iter().copied())
+    }
+
+    /// Records one completed update at `now` that took `duration`;
+    /// evaluates the averaged model when due. Returns `true` when the run
+    /// should stop (threshold reached or cap hit).
+    pub fn record_update(&mut self, now: SimTime, duration: f64) -> bool {
+        self.tracker.record(now, duration, &mut self.workers)
+    }
+
+    /// Updates completed so far.
+    pub fn updates(&self) -> u64 {
+        self.tracker.updates
+    }
+
+    /// Finalizes the run into a [`RunResult`].
+    pub fn finish(self, strategy_label: String, end: SimTime) -> RunResult {
+        self.finish_with_stats(strategy_label, end, Default::default())
+    }
+
+    /// Finalizes the run, attaching driver-specific diagnostics.
+    pub fn finish_with_stats(
+        mut self,
+        strategy_label: String,
+        end: SimTime,
+        stats: std::collections::BTreeMap<String, f64>,
+    ) -> RunResult {
+        let final_accuracy = self.tracker.evaluate(&self.workers);
+        let t = self.tracker;
+        RunResult {
+            strategy: strategy_label,
+            run_time: end.seconds(),
+            updates: t.updates,
+            converged: t.converged,
+            final_accuracy,
+            trace: t.trace,
+            per_update_samples: t.samples,
+            stats,
+        }
+    }
+}
+
+/// Periodic evaluation of the worker-averaged model.
+struct ConvergenceTracker {
+    eval_net: Network,
+    test: Dataset,
+    threshold: f64,
+    eval_every: u64,
+    max_updates: u64,
+    track_grad_norm: bool,
+    updates: u64,
+    converged: bool,
+    trace: Vec<TracePoint>,
+    samples: Vec<f64>,
+}
+
+impl ConvergenceTracker {
+    fn new(config: &ExperimentConfig, eval_net: Network, test: Dataset) -> Self {
+        ConvergenceTracker {
+            eval_net,
+            test,
+            threshold: config.threshold,
+            eval_every: config.eval_every,
+            max_updates: config.max_updates,
+            track_grad_norm: config.track_grad_norm,
+            updates: 0,
+            converged: false,
+            trace: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        now: SimTime,
+        duration: f64,
+        workers: &mut [WorkerState],
+    ) -> bool {
+        self.updates += 1;
+        if self.samples.len() < MAX_UPDATE_SAMPLES {
+            self.samples.push(duration);
+        }
+        if self.updates.is_multiple_of(self.eval_every) {
+            let acc = self.evaluate(workers);
+            let grad_norm_sq = self
+                .track_grad_norm
+                .then(|| self.grad_norm_sq(workers));
+            self.trace.push(TracePoint {
+                time: now.seconds(),
+                updates: self.updates,
+                accuracy: acc,
+                grad_norm_sq,
+            });
+            if acc >= self.threshold {
+                self.converged = true;
+                return true;
+            }
+        }
+        self.updates >= self.max_updates
+    }
+
+    fn evaluate(&mut self, workers: &[WorkerState]) -> f64 {
+        let avg = average_params(workers);
+        self.eval_net.set_param_vector(&avg);
+        evaluate_accuracy(&mut self.eval_net, &self.test, EVAL_BATCH)
+    }
+
+    /// `‖∇F(u_k)‖²` of the averaged model over the whole held-out set.
+    fn grad_norm_sq(&mut self, workers: &[WorkerState]) -> f64 {
+        let avg = average_params(workers);
+        self.eval_net.set_param_vector(&avg);
+        self.eval_net.zero_grads();
+        // Accumulate gradients over the full set in eval batches; the
+        // per-batch mean losses are reweighted to the global mean.
+        let n = self.test.len();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + EVAL_BATCH).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = self.test.gather(&idx);
+            let logits = self.eval_net.forward(&batch.features);
+            let mut loss = softmax_cross_entropy(&logits, &batch.labels);
+            loss.grad.scale((end - start) as f32 / n as f32);
+            self.eval_net.backward(&loss.grad);
+            start = end;
+        }
+        let g = self.eval_net.grad_vector();
+        let norm = g.norm2();
+        norm * norm
+    }
+}
+
+/// The uniform average of all workers' parameter vectors (the model used
+/// for inference, Algorithm 2 line 8).
+pub fn average_params(workers: &[WorkerState]) -> Tensor {
+    let refs: Vec<&Tensor> = workers.iter().map(|w| &w.params).collect();
+    let w = vec![1.0 / workers.len() as f32; workers.len()];
+    weighted_model_average(&refs, &w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preduce_data::cifar10_like;
+    use preduce_models::zoo;
+
+    fn small_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        c.num_workers = 4;
+        c.max_updates = 64;
+        c.eval_every = 16;
+        c
+    }
+
+    #[test]
+    fn harness_builds_identical_replicas() {
+        let h = SimHarness::new(&small_config());
+        assert_eq!(h.num_workers(), 4);
+        for w in &h.workers[1..] {
+            assert_eq!(w.params, h.workers[0].params);
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_sizes() {
+        let c = small_config();
+        let h = SimHarness::new(&c);
+        let total: usize =
+            h.workers.iter().map(|w| w.sampler.dataset().len()).sum();
+        assert_eq!(
+            total,
+            c.preset.config.num_samples - c.preset.test_size
+        );
+    }
+
+    #[test]
+    fn tracker_caps_updates() {
+        let c = small_config();
+        let mut h = SimHarness::new(&c);
+        let mut stop = false;
+        let mut count = 0;
+        while !stop {
+            count += 1;
+            stop = h.record_update(SimTime::new(count as f64), 1.0);
+            assert!(count <= 64, "cap not enforced");
+        }
+        assert_eq!(h.updates(), count);
+    }
+
+    #[test]
+    fn finish_produces_consistent_result() {
+        let c = small_config();
+        let mut h = SimHarness::new(&c);
+        for i in 1..=32u64 {
+            h.record_update(SimTime::new(i as f64), 1.0);
+        }
+        let r = h.finish("test".into(), SimTime::new(32.0));
+        assert_eq!(r.updates, 32);
+        assert_eq!(r.trace.len(), 2); // evals at 16 and 32
+        assert!((r.per_update_time() - 1.0).abs() < 1e-9);
+        assert!(!r.converged);
+        assert!(r.final_accuracy >= 0.0 && r.final_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn compute_time_positive_and_seeded() {
+        let c = small_config();
+        let mut h1 = SimHarness::new(&c);
+        let mut h2 = SimHarness::new(&c);
+        for w in 0..4 {
+            let a = h1.compute_time(w, SimTime::ZERO);
+            let b = h2.compute_time(w, SimTime::ZERO);
+            assert!(a > 0.0);
+            assert_eq!(a, b, "same seed must give same times");
+        }
+    }
+}

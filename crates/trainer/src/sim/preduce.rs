@@ -1,0 +1,127 @@
+//! The partial-reduce simulation driver: Algorithm 2 under virtual time,
+//! reusing the transport-independent [`partial_reduce::Controller`].
+
+use partial_reduce::{AggregationMode, Controller, ControllerConfig};
+use preduce_simnet::{EventQueue, SimTime};
+
+use super::SimHarness;
+use crate::metrics::RunResult;
+use crate::worker::weighted_model_average;
+
+/// Event payloads for the P-Reduce event loop.
+enum Event {
+    /// A worker finished its local update and signals ready.
+    Ready(usize),
+    /// A partial-reduce group's collective completed.
+    GroupDone {
+        group: Vec<usize>,
+        weights: Vec<f32>,
+        new_iteration: u64,
+    },
+}
+
+/// Runs partial reduce with the given controller configuration.
+///
+/// One *update* is one partial-reduce group operation (§3.1.2 counts each
+/// partial reduce as one iteration), matching the paper's Table 1 metric.
+///
+/// # Panics
+/// Panics if the controller config disagrees with the harness size.
+pub fn run_preduce(mut h: SimHarness, cfg: ControllerConfig) -> RunResult {
+    assert_eq!(
+        cfg.num_workers,
+        h.num_workers(),
+        "controller config sized for a different fleet"
+    );
+    let p = cfg.group_size;
+    let label = match cfg.mode {
+        AggregationMode::Constant => format!("P-Reduce CON (P={p})"),
+        AggregationMode::Dynamic { .. } => format!("P-Reduce DYN (P={p})"),
+    };
+    let dynamic = matches!(cfg.mode, AggregationMode::Dynamic { .. });
+    let mut controller = Controller::new(cfg);
+
+    let signal = h.network.signal_time();
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // `last_free[w]`: when worker w last became free to compute (for the
+    // per-update duration sample).
+    let mut last_free = vec![SimTime::ZERO; h.num_workers()];
+    let mut nonuniform_groups = 0u64;
+    let mut total_groups = 0u64;
+
+    for w in 0..h.num_workers() {
+        let ct = h.compute_time(w, SimTime::ZERO);
+        queue.schedule(SimTime::new(ct), Event::Ready(w));
+    }
+
+    let mut now = SimTime::ZERO;
+    while let Some((t, ev)) = queue.pop() {
+        now = t;
+        match ev {
+            Event::Ready(w) => {
+                // Lines 2–4 of Algorithm 2: the local update completes as
+                // the worker becomes ready.
+                h.workers[w].local_update(&mut h.rng);
+                controller.push_ready(w, h.workers[w].iteration);
+                // The ready signal and group notification each cost one
+                // network latency; then the group collective runs.
+                while let Some(d) = controller.try_form_group() {
+                    total_groups += 1;
+                    let w0 = d.weights[0];
+                    if d.weights.iter().any(|&w| (w - w0).abs() > 1e-6) {
+                        nonuniform_groups += 1;
+                    }
+                    // Link-aware: the group's ring runs at its slowest
+                    // member's link speed.
+                    let group_comm = h.group_ring_time(&d.group);
+                    queue.schedule(
+                        t + 2.0 * signal + group_comm,
+                        Event::GroupDone {
+                            group: d.group,
+                            weights: d.weights,
+                            new_iteration: d.new_iteration,
+                        },
+                    );
+                }
+            }
+            Event::GroupDone {
+                group,
+                weights,
+                new_iteration,
+            } => {
+                // Weighted model average among exactly the group (line 7).
+                let avg = {
+                    let models: Vec<&preduce_tensor::Tensor> =
+                        group.iter().map(|&m| &h.workers[m].params).collect();
+                    weighted_model_average(&models, &weights)
+                };
+                let mut dur_sum = 0.0;
+                for &m in &group {
+                    h.workers[m].set_params(&avg);
+                    if dynamic {
+                        // §3.3.3: members adopt the group max iteration.
+                        h.workers[m].iteration = new_iteration;
+                    }
+                    dur_sum += t - last_free[m];
+                }
+                let dur = dur_sum / group.len() as f64;
+                if h.record_update(t, dur) {
+                    break;
+                }
+                // Members immediately start their next iteration.
+                for &m in &group {
+                    last_free[m] = t;
+                    let ct = h.compute_time(m, t);
+                    queue.schedule(t + ct, Event::Ready(m));
+                }
+            }
+        }
+    }
+    let mut stats = std::collections::BTreeMap::new();
+    stats.insert("groups".into(), total_groups as f64);
+    stats.insert("nonuniform_groups".into(), nonuniform_groups as f64);
+    stats.insert("repairs".into(), controller.repairs() as f64);
+    stats.insert("deferrals".into(), controller.deferrals() as f64);
+    h.finish_with_stats(label, now, stats)
+}

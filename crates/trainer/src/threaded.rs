@@ -1,0 +1,258 @@
+//! Real multithreaded training — the prototype system running on actual
+//! concurrency rather than virtual time.
+//!
+//! One OS thread per worker plus the controller thread from
+//! [`partial_reduce::runtime`]. Timing here is wall-clock (and therefore
+//! machine-dependent); the *trajectories* are what tests assert on. The
+//! virtual-time simulator remains the measurement instrument for the
+//! paper's experiments.
+
+use std::thread;
+use std::time::Instant;
+
+use partial_reduce::runtime::{spawn, ControllerStats};
+use partial_reduce::ControllerConfig;
+use preduce_comm::collectives::{barrier, ring_allreduce, TAG_STRIDE};
+use preduce_comm::CommWorld;
+use preduce_data::{shard_dataset, BatchSampler, ShardStrategy};
+use preduce_models::evaluate_accuracy;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::config::ExperimentConfig;
+use crate::worker::WorkerState;
+
+/// Outcome of a threaded training run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Wall-clock seconds for the training loops (excludes evaluation).
+    pub wall_seconds: f64,
+    /// Test accuracy of the worker-averaged model.
+    pub accuracy: f64,
+    /// Per-worker iteration counts actually executed.
+    pub iterations: Vec<u64>,
+    /// Controller statistics (P-Reduce runs only).
+    pub controller: Option<ControllerStats>,
+}
+
+fn build_workers(config: &ExperimentConfig) -> (Vec<WorkerState>, preduce_data::Dataset) {
+    config.validate();
+    let mixture = config.preset.mixture(config.seed);
+    let full = mixture.generate();
+    let (train, test) = full.split_test(config.preset.test_size);
+    let train = train.with_label_noise(
+        config.label_noise,
+        &mut StdRng::seed_from_u64(config.seed ^ 0x1abe1),
+    );
+    let shards = shard_dataset(
+        &train,
+        config.num_workers,
+        config
+            .shard_strategy
+            .unwrap_or(ShardStrategy::Shuffled { seed: config.seed }),
+    );
+    let spec = config.model.spec(train.feature_dim(), train.num_classes());
+    let reference = spec.build(config.seed);
+    let workers = shards
+        .into_iter()
+        .enumerate()
+        .map(|(rank, shard)| {
+            let sampler = BatchSampler::new(
+                shard,
+                config.math_batch_size,
+                config.seed ^ (rank as u64 + 1),
+            );
+            WorkerState::new(rank, reference.clone(), config.sgd, sampler)
+        })
+        .collect();
+    (workers, test)
+}
+
+fn evaluate_average(
+    config: &ExperimentConfig,
+    test: &preduce_data::Dataset,
+    params: &[preduce_tensor::Tensor],
+) -> f64 {
+    let spec = config
+        .model
+        .spec(test.feature_dim(), test.num_classes());
+    let mut net = spec.build(config.seed);
+    let mut avg = preduce_tensor::Tensor::zeros([params[0].len()]);
+    for p in params {
+        avg.axpy(1.0 / params.len() as f32, p);
+    }
+    net.set_param_vector(&avg);
+    evaluate_accuracy(&mut net, test, 256)
+}
+
+/// Trains with the threaded partial-reduce runtime: every worker runs
+/// `iters` local updates, each followed by a `reduce` call.
+///
+/// # Panics
+/// Panics if a worker thread or the controller panics.
+pub fn train_threaded_preduce(
+    config: &ExperimentConfig,
+    controller: ControllerConfig,
+    iters: u64,
+) -> ThreadedReport {
+    let (workers, test) = build_workers(config);
+    let (handle, reducers) = spawn(controller);
+
+    let start = Instant::now();
+    let threads: Vec<_> = workers
+        .into_iter()
+        .zip(reducers)
+        .map(|(mut w, mut r)| {
+            let seed = config.seed ^ (0xabcd << 8) ^ w.rank as u64;
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..iters {
+                    w.local_update(&mut rng);
+                    let iteration = w.iteration;
+                    let mut flat = w.params.clone().into_vec();
+                    let out = r
+                        .reduce(&mut flat, iteration)
+                        .expect("reduce failed");
+                    w.params = preduce_tensor::Tensor::from_vec(
+                        flat,
+                        [w.params.len()],
+                    )
+                    .expect("length preserved");
+                    w.iteration = out.new_iteration;
+                }
+                r.finish().expect("finish failed");
+                (w.params, w.iteration)
+            })
+        })
+        .collect();
+
+    let mut params = Vec::new();
+    let mut iterations = Vec::new();
+    for t in threads {
+        let (p, i) = t.join().expect("worker thread panicked");
+        params.push(p);
+        iterations.push(i);
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let stats = handle.join();
+
+    ThreadedReport {
+        wall_seconds,
+        accuracy: evaluate_average(config, &test, &params),
+        iterations,
+        controller: Some(stats),
+    }
+}
+
+/// Trains with threaded synchronous All-Reduce: every worker runs `iters`
+/// rounds of gradient computation + full-world ring all-reduce (gradient
+/// averaging), with a barrier per round.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn train_threaded_allreduce(
+    config: &ExperimentConfig,
+    iters: u64,
+) -> ThreadedReport {
+    let (workers, test) = build_workers(config);
+    let n = config.num_workers;
+    let endpoints = CommWorld::new(n).into_endpoints();
+    let all: Vec<usize> = (0..n).collect();
+
+    let start = Instant::now();
+    let threads: Vec<_> = workers
+        .into_iter()
+        .zip(endpoints)
+        .map(|(mut w, mut ep)| {
+            let group = all.clone();
+            let seed = config.seed ^ (0xdcba << 8) ^ w.rank as u64;
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for k in 0..iters {
+                    let grad = w.gradient(&mut rng);
+                    let mut flat = grad.into_vec();
+                    ring_allreduce(
+                        &mut ep,
+                        &group,
+                        (2 * k) * TAG_STRIDE,
+                        &mut flat,
+                    )
+                    .expect("allreduce failed");
+                    // Sum → mean.
+                    for v in &mut flat {
+                        *v /= group.len() as f32;
+                    }
+                    let avg = preduce_tensor::Tensor::from_vec(
+                        flat,
+                        [w.params.len()],
+                    )
+                    .expect("length preserved");
+                    w.apply(&avg, 1.0);
+                    w.iteration += 1;
+                    barrier(&mut ep, &group, (2 * k + 1) * TAG_STRIDE)
+                        .expect("barrier failed");
+                }
+                (w.params, w.iteration)
+            })
+        })
+        .collect();
+
+    let mut params = Vec::new();
+    let mut iterations = Vec::new();
+    for t in threads {
+        let (p, i) = t.join().expect("worker thread panicked");
+        params.push(p);
+        iterations.push(i);
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    ThreadedReport {
+        wall_seconds,
+        accuracy: evaluate_average(config, &test, &params),
+        iterations,
+        controller: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preduce_data::cifar10_like;
+    use preduce_models::zoo;
+
+    fn config(n: usize) -> ExperimentConfig {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        c.num_workers = n;
+        c
+    }
+
+    #[test]
+    fn threaded_allreduce_replicas_stay_identical() {
+        let c = config(4);
+        let r = train_threaded_allreduce(&c, 10);
+        assert_eq!(r.iterations, vec![10; 4]);
+        assert!(r.accuracy > 0.0);
+    }
+
+    #[test]
+    fn threaded_preduce_trains_and_terminates() {
+        let c = config(4);
+        let ctl = ControllerConfig::constant(4, 2);
+        let r = train_threaded_preduce(&c, ctl, 15);
+        let stats = r.controller.expect("controller stats");
+        assert!(stats.groups_formed > 0);
+        assert!(r.accuracy > 0.1, "below chance: {}", r.accuracy);
+    }
+
+    #[test]
+    fn threaded_preduce_dynamic_mode() {
+        let c = config(3);
+        let ctl = ControllerConfig::dynamic(3, 2);
+        let r = train_threaded_preduce(&c, ctl, 10);
+        assert!(r.controller.expect("stats").groups_formed > 0);
+        // Dynamic fast-forwarding means iteration counters can exceed the
+        // loop count; they must never be below it.
+        for &i in &r.iterations {
+            assert!(i >= 10);
+        }
+    }
+}

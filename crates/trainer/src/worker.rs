@@ -1,0 +1,194 @@
+//! Per-worker training state: model replica, optimizer, data shard.
+
+use preduce_data::BatchSampler;
+use preduce_models::{softmax_cross_entropy, Network, SgdConfig, SgdOptimizer};
+use preduce_tensor::Tensor;
+use rand::Rng;
+
+/// One worker's replica: flat parameters (the communication view), the
+/// network (the compute view), optimizer state, and its data shard.
+///
+/// The flat vector [`WorkerState::params`] is the source of truth; it is
+/// loaded into the network before each forward pass. This mirrors how
+/// collective libraries see a model (one contiguous buffer) and makes
+/// model averaging a pure vector operation.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// Worker rank.
+    pub rank: usize,
+    /// Flat model parameters (source of truth).
+    pub params: Tensor,
+    /// The network used for forward/backward.
+    pub net: Network,
+    /// Local optimizer state (momentum buffer).
+    pub opt: SgdOptimizer,
+    /// Minibatch sampler over this worker's shard.
+    pub sampler: BatchSampler,
+    /// Local iteration counter `k_i` (dynamic partial reduce reports it).
+    pub iteration: u64,
+    /// Running count of local updates performed.
+    pub updates_applied: u64,
+    /// Most recent training loss.
+    pub last_loss: f64,
+}
+
+impl WorkerState {
+    /// Creates a worker from a pre-built (shared-initialization) network.
+    pub fn new(
+        rank: usize,
+        net: Network,
+        sgd: SgdConfig,
+        sampler: BatchSampler,
+    ) -> Self {
+        let params = net.param_vector();
+        let opt = SgdOptimizer::new(sgd, params.len());
+        WorkerState {
+            rank,
+            params,
+            net,
+            opt,
+            sampler,
+            iteration: 0,
+            updates_applied: 0,
+            last_loss: f64::NAN,
+        }
+    }
+
+    /// Computes a stochastic gradient at the current parameters using a
+    /// batch drawn with `rng`. Returns the flat gradient; parameters are
+    /// unchanged.
+    pub fn gradient<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tensor {
+        let batch = self.sampler.next_batch_with(rng);
+        self.net.set_param_vector(&self.params);
+        self.net.zero_grads();
+        let logits = self.net.forward(&batch.features);
+        let loss = softmax_cross_entropy(&logits, &batch.labels);
+        self.last_loss = loss.loss;
+        self.net.backward(&loss.grad);
+        self.net.grad_vector()
+    }
+
+    /// Applies one SGD step with the given gradient and learning-rate
+    /// scale (1.0 for plain SGD; staleness-aware baselines scale it).
+    pub fn apply(&mut self, grad: &Tensor, lr_scale: f32) {
+        self.opt.step_scaled(&mut self.params, grad, lr_scale);
+        self.updates_applied += 1;
+    }
+
+    /// One complete local update (Algorithm 2 lines 2–4): gradient at the
+    /// current parameters, then an SGD step. Increments the local
+    /// iteration counter.
+    pub fn local_update<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let grad = self.gradient(rng);
+        self.apply(&grad, 1.0);
+        self.iteration += 1;
+    }
+
+    /// Overwrites this worker's parameters (model average, PS pull…).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn set_params(&mut self, params: &Tensor) {
+        assert_eq!(
+            params.len(),
+            self.params.len(),
+            "parameter length mismatch"
+        );
+        self.params = params.clone();
+    }
+}
+
+/// The elementwise weighted average `Σ w_i · params_i` of several workers'
+/// models — the aggregation step of a partial reduce, executed in-memory by
+/// the simulator.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths differ, or weights don't match.
+pub fn weighted_model_average(models: &[&Tensor], weights: &[f32]) -> Tensor {
+    assert!(!models.is_empty(), "cannot average zero models");
+    assert_eq!(
+        models.len(),
+        weights.len(),
+        "one weight per model required"
+    );
+    let mut out = Tensor::zeros([models[0].len()]);
+    for (m, &w) in models.iter().zip(weights.iter()) {
+        out.axpy(w, m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preduce_data::{Dataset, GaussianMixture, SynthConfig};
+    use preduce_models::NetworkSpec;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> Dataset {
+        GaussianMixture::new(SynthConfig {
+            num_classes: 3,
+            feature_dim: 8,
+            num_samples: 120,
+            center_norm: 4.0,
+            noise_std: 0.5,
+            nonlinear_warp: false,
+            seed: 1,
+        })
+        .generate()
+    }
+
+    fn worker() -> WorkerState {
+        let net = NetworkSpec::mlp(8, &[16], 3).build(0);
+        let sampler = BatchSampler::new(toy_dataset(), 16, 7);
+        WorkerState::new(0, net, SgdConfig::default(), sampler)
+    }
+
+    #[test]
+    fn gradient_leaves_params_unchanged() {
+        let mut w = worker();
+        let before = w.params.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let g = w.gradient(&mut rng);
+        assert_eq!(w.params, before);
+        assert_eq!(g.len(), before.len());
+        assert!(g.norm2() > 0.0);
+        assert!(w.last_loss.is_finite());
+    }
+
+    #[test]
+    fn local_update_reduces_loss_over_time() {
+        let mut w = worker();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        w.local_update(&mut rng);
+        let early = w.last_loss;
+        for _ in 0..120 {
+            w.local_update(&mut rng);
+        }
+        assert!(
+            w.last_loss < early,
+            "loss did not improve: {early} -> {}",
+            w.last_loss
+        );
+        assert_eq!(w.iteration, 121);
+        assert_eq!(w.updates_applied, 121);
+    }
+
+    #[test]
+    fn weighted_average_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 6.0], [2]).unwrap();
+        let avg = weighted_model_average(&[&a, &b], &[0.5, 0.5]);
+        assert_eq!(avg.as_slice(), &[2.0, 4.0]);
+        let skew = weighted_model_average(&[&a, &b], &[0.75, 0.25]);
+        assert_eq!(skew.as_slice(), &[1.5, 3.0]);
+    }
+
+    #[test]
+    fn set_params_replaces_model() {
+        let mut w = worker();
+        let zeros = Tensor::zeros([w.params.len()]);
+        w.set_params(&zeros);
+        assert_eq!(w.params.norm2(), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Spectral-gap analysis as a library feature: predict how a cluster's
+//! heterogeneity affects partial-reduce convergence *before* training,
+//! by simulating only the group-formation process (milliseconds) and
+//! feeding the measured ρ̄ into the Theorem 1 bound.
+//!
+//! Run: `cargo run --release --example spectral_analysis`
+
+use preduce::partial_reduce::theory::{
+    convergence_bound, lr_condition_holds, theorem_lr, TheoremInputs,
+};
+use preduce::partial_reduce::{
+    expected_sync_matrix, spectral_gap, AggregationMode, Controller,
+    ControllerConfig,
+};
+use preduce::simnet::{
+    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Simulate the FIFO controller on a fleet and collect the formed groups.
+fn observe_groups(
+    mut fleet: Box<dyn HeterogeneityModel>,
+    p: usize,
+    rounds: usize,
+) -> Vec<Vec<usize>> {
+    let n = fleet.num_workers();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut controller = Controller::new(ControllerConfig {
+        num_workers: n,
+        group_size: p,
+        mode: AggregationMode::Constant,
+        history_window: None,
+        frozen_avoidance: true,
+    });
+    let mut queue = EventQueue::new();
+    for w in 0..n {
+        let ct = fleet.compute_time(w, 1e9, SimTime::ZERO, &mut rng);
+        queue.schedule(SimTime::new(ct), w);
+    }
+    let mut groups = Vec::new();
+    while groups.len() < rounds {
+        let (t, w) = queue.pop().expect("workers reschedule forever");
+        controller.push_ready(w, 0);
+        while let Some(d) = controller.try_form_group() {
+            for &m in &d.group {
+                let ct = fleet.compute_time(m, 1e9, t, &mut rng);
+                queue.schedule(t + ct, m);
+            }
+            groups.push(d.group);
+        }
+    }
+    groups
+}
+
+fn main() {
+    let n = 8;
+    let p = 3;
+    println!("Predicting P-Reduce behaviour on two 8-worker clusters (P = {p}):\n");
+
+    let scenarios: [(&str, Vec<f64>); 2] = [
+        ("homogeneous", vec![1.0; 8]),
+        (
+            "heterogeneous (two workers 3x slower)",
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0],
+        ),
+    ];
+
+    for (name, multipliers) in scenarios {
+        let fleet = Box::new(SpeedFleet::new(
+            multipliers,
+            1e9,
+            Jitter::LogNormal { sigma: 0.1 },
+        ));
+        let groups = observe_groups(fleet, p, 50_000);
+        let e_w = expected_sync_matrix(n, &groups);
+        let report = spectral_gap(&e_w).expect("symmetric");
+
+        let inputs = TheoremInputs {
+            num_workers: n,
+            group_size: p,
+            lipschitz: 1.0,
+            sigma_sq: 0.5,
+            initial_gap: 2.0,
+            rho_bar: report.rho_bar,
+        };
+        let k = 2_000_000u64;
+        let gamma = theorem_lr(n, p, 1.0, k);
+        let bound = convergence_bound(&inputs, gamma, k);
+
+        println!("{name}:");
+        println!("  measured rho       = {:.4}", report.rho);
+        println!("  rho_bar            = {:.3}", report.rho_bar);
+        println!(
+            "  lr condition holds = {}",
+            lr_condition_holds(&inputs, gamma)
+        );
+        println!(
+            "  Eq.8 bound @K={k} = {:.4} (SGD {:.4} + network {:.6})\n",
+            bound.total(),
+            bound.sgd_error,
+            bound.network_error
+        );
+    }
+
+    println!("The heterogeneous cluster's larger rho inflates only the");
+    println!("network-error term — the paper's Fig. 4 story, quantified.");
+}

@@ -1,0 +1,85 @@
+//! The prototype system live: real worker threads, a real controller
+//! thread, and the partial-reduce primitive over the in-process
+//! message-passing fabric — the same architecture as the paper's
+//! PyTorch + Gloo prototype (§4), rebuilt in Rust.
+//!
+//! Run: `cargo run --release --example threaded_training`
+
+use preduce::data::cifar10_like;
+use preduce::models::zoo;
+use preduce::partial_reduce::runtime::spawn_tcp;
+use preduce::partial_reduce::ControllerConfig;
+use preduce::trainer::threaded::{
+    train_threaded_allreduce, train_threaded_preduce,
+};
+use preduce::trainer::ExperimentConfig;
+
+fn main() {
+    let mut config =
+        ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    config.num_workers = 6;
+    config.sgd.lr = 0.05;
+    let iters = 150;
+
+    println!(
+        "6 worker threads x {iters} local updates each, resnet18 analog on cifar10-like\n"
+    );
+
+    let ar = train_threaded_allreduce(&config, iters);
+    println!(
+        "threaded All-Reduce : wall {:>6.2}s  accuracy {:.3}  iterations {:?}",
+        ar.wall_seconds, ar.accuracy, ar.iterations
+    );
+
+    for (label, ctl) in [
+        ("P-Reduce CON (P=3)", ControllerConfig::constant(6, 3)),
+        ("P-Reduce DYN (P=3)", ControllerConfig::dynamic(6, 3)),
+    ] {
+        let r = train_threaded_preduce(&config, ctl, iters);
+        let stats = r.controller.expect("controller stats");
+        println!(
+            "threaded {label}: wall {:>6.2}s  accuracy {:.3}  groups {}  repairs {}  drain singletons {}",
+            r.wall_seconds,
+            r.accuracy,
+            stats.groups_formed,
+            stats.repairs,
+            stats.singletons
+        );
+    }
+
+    // The paper prototype's control plane: the same primitive over a real
+    // TCP message queue on loopback (only the few-byte signals cross
+    // sockets; model data stays on the in-process collectives).
+    let (handle, reducers) = spawn_tcp(ControllerConfig::constant(6, 3));
+    let t0 = std::time::Instant::now();
+    let threads: Vec<_> = reducers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut r)| {
+            std::thread::spawn(move || {
+                let mut params = vec![rank as f32; 1024];
+                for k in 1..=100u64 {
+                    for v in &mut params {
+                        *v += 0.01;
+                    }
+                    r.reduce(&mut params, k).expect("reduce over TCP");
+                }
+                r.finish().expect("finish");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker");
+    }
+    let stats = handle.join();
+    println!(
+        "\nTCP control plane: 6 workers x 100 reduces in {:.2}s ({} groups, {} repairs)",
+        t0.elapsed().as_secs_f64(),
+        stats.groups_formed,
+        stats.repairs
+    );
+
+    println!("\nEvery run trains to comparable accuracy; the partial-reduce");
+    println!("runs never take a global barrier, so a slow thread (CPU");
+    println!("scheduling noise) delays only its own group.");
+}

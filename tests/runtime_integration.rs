@@ -1,0 +1,164 @@
+//! Cross-crate integration tests of the threaded prototype: the
+//! partial-reduce primitive over real threads, checked against
+//! hand-computed aggregation results and against the simulator's
+//! semantics.
+
+use preduce::comm::collectives::TAG_STRIDE;
+use preduce::data::cifar10_like;
+use preduce::models::zoo;
+use preduce::partial_reduce::runtime::spawn;
+use preduce::partial_reduce::{
+    dynamic_weights, AggregationMode, ControllerConfig, GapPolicy,
+};
+use preduce::trainer::threaded::{
+    train_threaded_allreduce, train_threaded_preduce,
+};
+use preduce::trainer::ExperimentConfig;
+use std::thread;
+
+fn small_config(n: usize) -> ExperimentConfig {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    c.num_workers = n;
+    c.sgd.lr = 0.05;
+    c
+}
+
+#[test]
+fn full_group_preduce_matches_hand_average() {
+    // P = N = 2 with constant weights: after one reduce, both workers hold
+    // exactly the mean of their pre-reduce vectors.
+    let (handle, mut reducers) = spawn(ControllerConfig::constant(2, 2));
+    let r1 = reducers.pop().unwrap();
+    let r0 = reducers.pop().unwrap();
+
+    let t0 = thread::spawn(move || {
+        let mut r = r0;
+        let mut params = vec![2.0f32, 4.0, 6.0];
+        r.reduce(&mut params, 1).unwrap();
+        r.finish().unwrap();
+        params
+    });
+    let t1 = thread::spawn(move || {
+        let mut r = r1;
+        let mut params = vec![4.0f32, 8.0, 10.0];
+        r.reduce(&mut params, 1).unwrap();
+        r.finish().unwrap();
+        params
+    });
+    let p0 = t0.join().unwrap();
+    let p1 = t1.join().unwrap();
+    handle.join();
+    assert_eq!(p0, vec![3.0, 6.0, 8.0]);
+    assert_eq!(p0, p1);
+}
+
+#[test]
+fn dynamic_weights_in_runtime_match_library_function() {
+    // Two workers at iterations 7 and 3: the runtime's aggregation must
+    // equal the weights `dynamic_weights` computes.
+    let alpha = 0.4;
+    let cfg = ControllerConfig {
+        num_workers: 2,
+        group_size: 2,
+        mode: AggregationMode::Dynamic {
+            alpha,
+            gap_policy: GapPolicy::Initial,
+        },
+        history_window: None,
+        frozen_avoidance: true,
+    };
+    let (handle, mut reducers) = spawn(cfg);
+    let r1 = reducers.pop().unwrap();
+    let r0 = reducers.pop().unwrap();
+
+    let t0 = thread::spawn(move || {
+        let mut r = r0;
+        let mut params = vec![10.0f32];
+        let out = r.reduce(&mut params, 7).unwrap();
+        r.finish().unwrap();
+        (params, out.new_iteration)
+    });
+    let t1 = thread::spawn(move || {
+        let mut r = r1;
+        let mut params = vec![30.0f32];
+        let out = r.reduce(&mut params, 3).unwrap();
+        r.finish().unwrap();
+        (params, out.new_iteration)
+    });
+    let (p0, k0) = t0.join().unwrap();
+    let (p1, k1) = t1.join().unwrap();
+    handle.join();
+
+    let w = dynamic_weights(&[7, 3], alpha, GapPolicy::Initial);
+    let expected = w[0] * 10.0 + w[1] * 30.0;
+    assert!((p0[0] - expected).abs() < 1e-4, "{} vs {expected}", p0[0]);
+    assert_eq!(p0, p1);
+    // Both fast-forward to the group max.
+    assert_eq!(k0, 7);
+    assert_eq!(k1, 7);
+}
+
+#[test]
+fn threaded_preduce_accuracy_tracks_allreduce() {
+    // Same workload, same local-update budget: the threaded P-Reduce run
+    // should land in the same accuracy neighbourhood as threaded AR.
+    let c = small_config(4);
+    let iters = 120;
+    let ar = train_threaded_allreduce(&c, iters);
+    let pr = train_threaded_preduce(&c, ControllerConfig::constant(4, 2), iters);
+    assert!(ar.accuracy > 0.45, "AR too weak: {}", ar.accuracy);
+    assert!(
+        pr.accuracy > ar.accuracy - 0.15,
+        "P-Reduce {} lags AR {} by too much",
+        pr.accuracy,
+        ar.accuracy
+    );
+}
+
+#[test]
+fn concurrent_disjoint_groups_form_in_threaded_runtime() {
+    // With P = 2 and 6 workers, multiple groups must be able to run
+    // concurrently; total groups over the run reflects that (each worker
+    // reduces `iters` times ⇒ iters*6/2 groups minus drain singletons).
+    let c = small_config(6);
+    let iters = 30u64;
+    let r = train_threaded_preduce(&c, ControllerConfig::constant(6, 2), iters);
+    let stats = r.controller.expect("stats");
+    let total = stats.groups_formed * 2 + stats.singletons;
+    assert_eq!(total, iters * 6, "every local update joins one reduce");
+}
+
+#[test]
+fn ring_allreduce_tags_do_not_collide_across_iterations() {
+    // Regression guard for the tag-stride discipline: many iterations of
+    // full-world collectives on the same endpoints must not cross-talk.
+    use preduce::comm::collectives::ring_allreduce;
+    use preduce::comm::CommWorld;
+    let n = 4;
+    let eps = CommWorld::new(n).into_endpoints();
+    let handles: Vec<_> = eps
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut ep)| {
+            thread::spawn(move || {
+                let group: Vec<usize> = (0..n).collect();
+                let mut results = Vec::new();
+                for k in 0..50u64 {
+                    let mut data = vec![(rank + 1) as f32 * (k + 1) as f32; 17];
+                    ring_allreduce(&mut ep, &group, k * TAG_STRIDE, &mut data)
+                        .unwrap();
+                    results.push(data[0]);
+                }
+                results
+            })
+        })
+        .collect();
+    let all: Vec<Vec<f32>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for k in 0..50usize {
+        let expected = 10.0 * (k + 1) as f32; // (1+2+3+4)·(k+1)
+        for r in &all {
+            assert_eq!(r[k], expected, "iteration {k}");
+        }
+    }
+}
