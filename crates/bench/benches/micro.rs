@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::thread;
 
 use partial_reduce::{
-    dynamic_weights, expected_sync_matrix_uniform, spectral_gap, Controller,
-    ControllerConfig, GapPolicy, SyncGraph,
+    dynamic_weights, expected_sync_matrix_uniform, spectral_gap, Controller, ControllerConfig,
+    GapPolicy, SyncGraph,
 };
 use preduce_comm::collectives::ring_allreduce;
 use preduce_comm::control::{ControlPlane, WorkerControlPlane};
@@ -44,8 +44,7 @@ fn bench_ring_allreduce(c: &mut Criterion) {
                             let group = all.clone();
                             thread::spawn(move || {
                                 let mut data = vec![1.0f32; dim];
-                                ring_allreduce(&mut ep, &group, 0, &mut data)
-                                    .expect("allreduce");
+                                ring_allreduce(&mut ep, &group, 0, &mut data).expect("allreduce");
                                 data[0]
                             })
                         })
@@ -63,8 +62,7 @@ fn bench_ring_allreduce(c: &mut Criterion) {
 fn bench_controller(c: &mut Criterion) {
     c.bench_function("controller/group_formation_n64_p4", |b| {
         b.iter(|| {
-            let mut ctl =
-                Controller::new(ControllerConfig::constant(64, 4));
+            let mut ctl = Controller::new(ControllerConfig::constant(64, 4));
             let mut formed = 0u64;
             // Respect the signal protocol: a worker re-signals only after
             // it was grouped (frozen-avoidance deferrals hold signals
@@ -90,16 +88,9 @@ fn bench_controller(c: &mut Criterion) {
 }
 
 fn bench_dynamic_weights(c: &mut Criterion) {
-    let iterations: Vec<u64> =
-        (0..16).map(|i| 1000 - (i * i) as u64 % 60).collect();
+    let iterations: Vec<u64> = (0..16).map(|i| 1000 - (i * i) as u64 % 60).collect();
     c.bench_function("weights/dynamic_p16", |b| {
-        b.iter(|| {
-            dynamic_weights(
-                std::hint::black_box(&iterations),
-                0.5,
-                GapPolicy::Initial,
-            )
-        })
+        b.iter(|| dynamic_weights(std::hint::black_box(&iterations), 0.5, GapPolicy::Initial))
     });
 }
 
@@ -129,16 +120,15 @@ fn bench_sim_iteration(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("preduce_100_updates_n8_p3", |b| {
         b.iter(|| {
-            let mut cfg = ExperimentConfig::table1(
-                zoo::resnet18(),
-                cifar10_like(),
-                2,
-            );
+            let mut cfg = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 2);
             cfg.max_updates = 100;
             cfg.eval_every = 100;
             cfg.threshold = 0.999;
             run_experiment(
-                Strategy::PReduce { p: 3, dynamic: true },
+                Strategy::PReduce {
+                    p: 3,
+                    dynamic: true,
+                },
                 std::hint::black_box(&cfg),
             )
         })
@@ -177,9 +167,7 @@ fn bench_tcp_control(c: &mut Criterion) {
                 }
                 other => panic!("unexpected {other:?}"),
             }
-            std::hint::black_box(
-                link.recv_assignment(Duration::from_secs(5)).expect("recv"),
-            )
+            std::hint::black_box(link.recv_assignment(Duration::from_secs(5)).expect("recv"))
         })
     });
 }

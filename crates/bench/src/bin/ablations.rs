@@ -11,8 +11,7 @@
 //! Run: `cargo run --release -p preduce-bench --bin ablations`
 
 use partial_reduce::{
-    expected_sync_matrix, spectral_gap, AggregationMode, ControllerConfig,
-    GapPolicy,
+    expected_sync_matrix, spectral_gap, AggregationMode, ControllerConfig, GapPolicy,
 };
 use preduce_bench::configs::table1_config;
 use preduce_bench::output::{print_run_row, TableWriter};
@@ -42,7 +41,10 @@ fn ablation_overlap() {
         config.overlap_fraction = overlap;
         let ar = run_experiment(Strategy::AllReduce, &config);
         let pr = run_experiment(
-            Strategy::PReduce { p: 3, dynamic: false },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: false,
+            },
             &config,
         );
         t.row(&[
@@ -59,7 +61,10 @@ fn ablation_model_vs_gradient() {
     println!("== Ablation 1: model averaging (P-Reduce) vs gradient aggregation (Eager-Reduce), HL = 3 ==\n");
     let config = table1_config(zoo::resnet34(), 3);
     for s in [
-        Strategy::PReduce { p: 3, dynamic: false },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
         Strategy::EagerReduce,
     ] {
         let r = run_experiment(s, &config);
@@ -77,11 +82,17 @@ fn ablation_dynamic_weights() {
     for hl in [1usize, 2, 3, 4] {
         let config = table1_config(zoo::resnet34(), hl);
         let con = run_experiment(
-            Strategy::PReduce { p: 3, dynamic: false },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: false,
+            },
             &config,
         );
         let dyn_ = run_experiment(
-            Strategy::PReduce { p: 3, dynamic: true },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: true,
+            },
             &config,
         );
         t.row(&[
@@ -128,10 +139,7 @@ fn ablation_frozen_avoidance() {
 
     // The spectral view of the same phenomenon.
     let frozen = expected_sync_matrix(4, &[vec![0, 1], vec![2, 3]]);
-    let repaired = expected_sync_matrix(
-        4,
-        &[vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3]],
-    );
+    let repaired = expected_sync_matrix(4, &[vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3]]);
     let rf = spectral_gap(&frozen).expect("symmetric");
     let rr = spectral_gap(&repaired).expect("symmetric");
     println!(

@@ -28,12 +28,14 @@ fn main() {
         // VGG-19 analog: the most communication-bound Table 1 model, where
         // link heterogeneity bites hardest.
         let mut config = table1_config(zoo::vgg19(), 1);
-        config.link_slowdown =
-            Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, slow, slow]);
+        config.link_slowdown = Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, slow, slow]);
         let ar = run_experiment(Strategy::AllReduce, &config);
         let ad = run_experiment(Strategy::AdPsgd, &config);
         let pr = run_experiment(
-            Strategy::PReduce { p: 3, dynamic: false },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: false,
+            },
             &config,
         );
         t.row(&[
@@ -46,13 +48,18 @@ fn main() {
 
     println!("\ndetails at 10x:");
     let mut config = table1_config(zoo::vgg19(), 1);
-    config.link_slowdown =
-        Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0]);
+    config.link_slowdown = Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0]);
     for s in [
         Strategy::AllReduce,
         Strategy::AdPsgd,
-        Strategy::PReduce { p: 3, dynamic: false },
-        Strategy::PReduce { p: 3, dynamic: true },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
     ] {
         let r = run_experiment(s, &config);
         print_run_row(&r);

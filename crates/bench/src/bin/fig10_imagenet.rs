@@ -33,12 +33,22 @@ fn main() {
         // Equal *gradient* budgets per strategy: one AR round consumes 32
         // local gradients, one P-Reduce (P=4) group consumes 4, so the
         // update caps differ by N/P to trace comparable spans of work.
-        let ar_rounds: u64 = if preduce_bench::quick_mode() { 400 } else { 2_500 };
+        let ar_rounds: u64 = if preduce_bench::quick_mode() {
+            400
+        } else {
+            2_500
+        };
         let mut results = Vec::new();
         for s in [
             Strategy::AllReduce,
-            Strategy::PReduce { p: 4, dynamic: false },
-            Strategy::PReduce { p: 4, dynamic: true },
+            Strategy::PReduce {
+                p: 4,
+                dynamic: false,
+            },
+            Strategy::PReduce {
+                p: 4,
+                dynamic: true,
+            },
         ] {
             let mut config = base_config.clone();
             config.threshold = 0.999; // run to the cap to trace the plateau

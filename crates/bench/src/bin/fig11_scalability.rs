@@ -20,9 +20,7 @@ fn useful_samples(s: Strategy, n: usize, updates: u64) -> f64 {
         // One AR/BSP round = N batches.
         Strategy::AllReduce | Strategy::PsBsp => (updates * n as u64) as f64,
         // BK drops the backups' work.
-        Strategy::PsBackup { backups } => {
-            (updates * (n - backups) as u64) as f64
-        }
+        Strategy::PsBackup { backups } => (updates * (n - backups) as u64) as f64,
         // One P-Reduce group = P members' local updates.
         Strategy::PReduce { p, .. } => (updates * p as u64) as f64,
         // One PS push / gossip exchange = one batch.
@@ -40,12 +38,16 @@ fn single_worker_rate(model: &ModelZooEntry, budget: u64) -> f64 {
     c.threshold = 0.999;
     c.max_updates = budget;
     c.eval_every = budget; // a single evaluation at the end
-    // A lone worker: All-Reduce degenerates to sequential SGD (no comm).
+                           // A lone worker: All-Reduce degenerates to sequential SGD (no comm).
     throughput(Strategy::AllReduce, &c)
 }
 
 fn main() {
-    let budget: u64 = if preduce_bench::quick_mode() { 300 } else { 1_500 };
+    let budget: u64 = if preduce_bench::quick_mode() {
+        300
+    } else {
+        1_500
+    };
     let worker_counts = [4usize, 8, 16, 32];
 
     for model in [zoo::resnet18(), zoo::vgg16()] {
@@ -64,11 +66,16 @@ fn main() {
             c.eval_every = budget;
             let ar = throughput(Strategy::AllReduce, &c) / base;
             let bk = throughput(
-                Strategy::PsBackup { backups: (n / 4).max(1) },
+                Strategy::PsBackup {
+                    backups: (n / 4).max(1),
+                },
                 &c,
             ) / base;
             let pr = throughput(
-                Strategy::PReduce { p: 4, dynamic: false },
+                Strategy::PReduce {
+                    p: 4,
+                    dynamic: false,
+                },
                 &c,
             ) / base;
             t.row(&[

@@ -12,12 +12,9 @@
 //! Run: `cargo run --release -p preduce-bench --bin fig4_spectral`
 
 use partial_reduce::{
-    expected_sync_matrix, expected_sync_matrix_uniform, spectral_gap,
-    Controller, ControllerConfig,
+    expected_sync_matrix, expected_sync_matrix_uniform, spectral_gap, Controller, ControllerConfig,
 };
-use preduce_simnet::{
-    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet,
-};
+use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Simulates the FIFO controller over a fleet and records the groups formed.
@@ -60,19 +57,13 @@ fn main() {
     println!("Figure 4: spectral gap rho under different environments\n");
 
     // (1) The paper's illustrated frequencies.
-    let homo = expected_sync_matrix(
-        3,
-        &[vec![0, 1], vec![0, 2], vec![1, 2]],
-    );
+    let homo = expected_sync_matrix(3, &[vec![0, 1], vec![0, 2], vec![1, 2]]);
     let r = spectral_gap(&homo).expect("symmetric");
     println!(
         "paper Fig.4(a)  homogeneous, uniform pairs:        rho = {:.4}  (paper: 0.5)",
         r.rho
     );
-    let hetero = expected_sync_matrix(
-        3,
-        &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]],
-    );
+    let hetero = expected_sync_matrix(3, &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]]);
     let r = spectral_gap(&hetero).expect("symmetric");
     println!(
         "paper Fig.4(b)  worker 3 twice as slow (1/2,1/4,1/4): rho = {:.4}  (paper: 0.625)\n",

@@ -28,13 +28,23 @@ fn main() {
     // Curves should extend past the threshold crossing: keep evaluating on
     // a generous cap and do not stop at the threshold.
     config.threshold = 0.999;
-    let ar_rounds: u64 = if preduce_bench::quick_mode() { 400 } else { 1_000 };
+    let ar_rounds: u64 = if preduce_bench::quick_mode() {
+        400
+    } else {
+        1_000
+    };
     let mut results = Vec::new();
     for s in [
         Strategy::AllReduce,
         Strategy::EagerReduce,
-        Strategy::PReduce { p: 3, dynamic: false },
-        Strategy::PReduce { p: 3, dynamic: true },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
     ] {
         let mut config = config.clone();
         // Equal gradient budgets: an AR/ER round consumes N gradients, a
@@ -50,14 +60,26 @@ fn main() {
     }
     maybe_dump_json("fig7a_vgg19_hl3", &results);
 
-    println!("== Fig 7(b): resnet34 analog, cifar100-like, 16 workers, production heterogeneity ==\n");
+    println!(
+        "== Fig 7(b): resnet34 analog, cifar100-like, 16 workers, production heterogeneity ==\n"
+    );
     let base = production_config(16);
-    let ar_rounds: u64 = if preduce_bench::quick_mode() { 400 } else { 1_500 };
+    let ar_rounds: u64 = if preduce_bench::quick_mode() {
+        400
+    } else {
+        1_500
+    };
     let mut results = Vec::new();
     for s in [
         Strategy::AllReduce,
-        Strategy::PReduce { p: 4, dynamic: false },
-        Strategy::PReduce { p: 4, dynamic: true },
+        Strategy::PReduce {
+            p: 4,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 4,
+            dynamic: true,
+        },
     ] {
         let mut config = base.clone();
         config.threshold = 0.999;

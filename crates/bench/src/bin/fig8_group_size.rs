@@ -21,14 +21,17 @@ fn main() {
     );
 
     let t = TableWriter::new(
-        &["P", "per-update (s)", "#updates", "run time (s)", "converged"],
+        &[
+            "P",
+            "per-update (s)",
+            "#updates",
+            "run time (s)",
+            "converged",
+        ],
         &[3, 15, 9, 13, 9],
     );
     for p in 2..=config.num_workers {
-        let r = run_experiment(
-            Strategy::PReduce { p, dynamic: false },
-            &config,
-        );
+        let r = run_experiment(Strategy::PReduce { p, dynamic: false }, &config);
         t.row(&[
             &p.to_string(),
             &format!("{:.3}", r.per_update_time()),

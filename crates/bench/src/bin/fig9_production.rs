@@ -21,8 +21,14 @@ fn main() {
 
     let strategies = [
         Strategy::AllReduce,
-        Strategy::PReduce { p: 4, dynamic: false },
-        Strategy::PReduce { p: 4, dynamic: true },
+        Strategy::PReduce {
+            p: 4,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 4,
+            dynamic: true,
+        },
     ];
     let mut results: Vec<RunResult> = Vec::new();
     for s in strategies {
@@ -32,10 +38,7 @@ fn main() {
     }
 
     println!("\nper-update time distribution (seconds):");
-    let t = TableWriter::new(
-        &["method", "p10", "p50", "p90", "p99"],
-        &[22, 9, 9, 9, 9],
-    );
+    let t = TableWriter::new(&["method", "p10", "p50", "p90", "p99"], &[22, 9, 9, 9, 9]);
     for r in &results {
         let q = |x: f64| {
             r.per_update_percentile(x)

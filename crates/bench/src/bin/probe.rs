@@ -56,8 +56,14 @@ fn main() {
         Strategy::AdPsgd,
         Strategy::PsAsp,
         Strategy::PsHete,
-        Strategy::PReduce { p: 3, dynamic: false },
-        Strategy::PReduce { p: 3, dynamic: true },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
     ] {
         let r = run_experiment(s, &config);
         print_run_row(&r);

@@ -20,8 +20,7 @@ use preduce_models::zoo;
 use preduce_trainer::{run_experiment, RunResult, Strategy};
 
 fn plateau(r: &RunResult) -> f64 {
-    let norms: Vec<f64> =
-        r.trace.iter().filter_map(|p| p.grad_norm_sq).collect();
+    let norms: Vec<f64> = r.trace.iter().filter_map(|p| p.grad_norm_sq).collect();
     assert!(!norms.is_empty(), "run did not track gradient norms");
     let tail = &norms[norms.len() - norms.len() / 4 - 1..];
     tail.iter().sum::<f64>() / tail.len() as f64

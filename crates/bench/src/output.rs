@@ -51,8 +51,7 @@ impl TableWriter {
 
     /// Prints a horizontal rule.
     pub fn rule(&self) {
-        let total: usize = self.widths.iter().sum::<usize>()
-            + self.widths.len().saturating_sub(1);
+        let total: usize = self.widths.iter().sum::<usize>() + self.widths.len().saturating_sub(1);
         println!("{}", "-".repeat(total));
     }
 }
@@ -93,8 +92,7 @@ pub fn maybe_dump_json(name: &str, results: &[RunResult]) {
     let dir = std::path::PathBuf::from(dir);
     std::fs::create_dir_all(&dir).expect("create PREDUCE_JSON directory");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(results)
-        .expect("RunResult serializes");
+    let json = serde_json::to_string_pretty(results).expect("RunResult serializes");
     std::fs::write(&path, json).expect("write experiment JSON");
     eprintln!("wrote {}", path.display());
 }

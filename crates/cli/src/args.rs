@@ -84,11 +84,7 @@ impl Args {
     }
 
     /// A typed flag value, or `default` when absent.
-    pub fn get_or<T: std::str::FromStr>(
-        &self,
-        flag: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.values.get(flag) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgError::BadValue {

@@ -2,17 +2,16 @@
 //! listing.
 
 use std::fmt;
+use std::sync::Arc;
 
 use partial_reduce::{
-    expected_sync_matrix, spectral_gap, AggregationMode, Controller,
-    ControllerConfig,
+    expected_sync_matrix, spectral_gap, AggregationMode, Controller, ControllerConfig,
+    InvariantChecker, JsonlSink, TraceSink,
 };
 use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
 use preduce_models::zoo;
-use preduce_simnet::{
-    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet,
-};
-use preduce_trainer::{run_experiment, ExperimentConfig, Strategy};
+use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
+use preduce_trainer::{run_experiment, run_experiment_traced, ExperimentConfig, Strategy};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::args::{ArgError, Args};
@@ -24,6 +23,8 @@ pub enum CliError {
     Args(ArgError),
     /// An unknown subcommand or catalog name.
     Unknown(String),
+    /// A replayed trace broke this many control-plane invariants.
+    Invariant(usize),
 }
 
 impl fmt::Display for CliError {
@@ -31,6 +32,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Unknown(what) => write!(f, "unknown {what}"),
+            CliError::Invariant(n) => {
+                write!(f, "trace violates {n} invariant(s)")
+            }
         }
     }
 }
@@ -50,6 +54,9 @@ pub enum Command {
     Run,
     /// `preduce spectral …` — simulate group formation, report ρ and ρ̄.
     Spectral,
+    /// `preduce trace --check trace.jsonl` — replay a recorded trace
+    /// through the invariant checker.
+    Trace,
     /// `preduce list` — strategies, models, presets.
     List,
     /// `preduce help`.
@@ -62,6 +69,7 @@ impl Command {
         match name {
             "run" => Ok(Command::Run),
             "spectral" => Ok(Command::Spectral),
+            "trace" => Ok(Command::Trace),
             "list" => Ok(Command::List),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Unknown(format!("command `{other}`"))),
@@ -77,14 +85,21 @@ USAGE:
   preduce run      [--strategy S] [--model M] [--preset D] [--workers N]
                    [--hl HL] [--p P] [--dynamic true] [--threshold T]
                    [--max-updates K] [--seed SEED] [--json true]
-                   [--config experiment.json]
+                   [--config experiment.json] [--trace-out trace.jsonl]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
+  preduce trace    --check trace.jsonl
   preduce list
   preduce help
 
 STRATEGIES (for --strategy):
   all-reduce | eager-reduce | ad-psgd | d-psgd | ps-bsp | ps-asp |
   ps-ssp | ps-hete | ps-bk | p-reduce (default)
+
+TRACING:
+  `run --trace-out FILE` records every P-Reduce control-plane decision as
+  one JSON object per line; `trace --check FILE` replays the file and
+  asserts the paper's invariants (group size, weight rows, fast-forward,
+  frozen-schedule repair, departures). Exit is nonzero on violations.
 ";
 
 fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
@@ -106,9 +121,7 @@ fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
             backups: args.get_or("backups", 3)?,
         },
         "p-reduce" => Strategy::PReduce { p, dynamic },
-        other => {
-            return Err(CliError::Unknown(format!("strategy `{other}`")))
-        }
+        other => return Err(CliError::Unknown(format!("strategy `{other}`"))),
     })
 }
 
@@ -126,13 +139,10 @@ fn parse_preset(name: &str) -> Result<DatasetPreset, CliError> {
 /// then override its fields where given.
 pub fn config_from_args(args: &Args) -> Result<ExperimentConfig, CliError> {
     if let Some(path) = args.get("config") {
-        let text = std::fs::read_to_string(path).map_err(|e| {
-            CliError::Unknown(format!("config file `{path}`: {e}"))
-        })?;
-        let mut c: ExperimentConfig =
-            serde_json::from_str(&text).map_err(|e| {
-                CliError::Unknown(format!("config file `{path}`: {e}"))
-            })?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Unknown(format!("config file `{path}`: {e}")))?;
+        let mut c: ExperimentConfig = serde_json::from_str(&text)
+            .map_err(|e| CliError::Unknown(format!("config file `{path}`: {e}")))?;
         c.num_workers = args.get_or("workers", c.num_workers)?;
         c.threshold = args.get_or("threshold", c.threshold)?;
         c.max_updates = args.get_or("max-updates", c.max_updates)?;
@@ -142,8 +152,7 @@ pub fn config_from_args(args: &Args) -> Result<ExperimentConfig, CliError> {
         return Ok(c);
     }
     let model = args.get("model").unwrap_or("resnet34");
-    let model = zoo::by_name(model)
-        .ok_or_else(|| CliError::Unknown(format!("model `{model}`")))?;
+    let model = zoo::by_name(model).ok_or_else(|| CliError::Unknown(format!("model `{model}`")))?;
     let preset = parse_preset(args.get("preset").unwrap_or("cifar10-like"))?;
     let hl: usize = args.get_or("hl", 1)?;
 
@@ -187,9 +196,7 @@ pub fn run_command(
                 );
             }
             let _ = writeln!(out, "presets:");
-            for p in
-                [cifar10_like(), cifar100_like(), imagenet_like()]
-            {
+            for p in [cifar10_like(), cifar100_like(), imagenet_like()] {
                 let _ = writeln!(
                     out,
                     "  {:<14} {} classes, {} samples",
@@ -200,13 +207,23 @@ pub fn run_command(
         Command::Run => {
             let strategy = parse_strategy(args)?;
             let config = config_from_args(args)?;
-            let result = run_experiment(strategy, &config);
+            let result = match args.get("trace-out") {
+                Some(path) => {
+                    let sink = Arc::new(
+                        JsonlSink::create(path)
+                            .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?,
+                    );
+                    let r = run_experiment_traced(strategy, &config, sink.clone());
+                    sink.flush();
+                    r
+                }
+                None => run_experiment(strategy, &config),
+            };
             if args.get_or("json", false)? {
                 let _ = writeln!(
                     out,
                     "{}",
-                    serde_json::to_string_pretty(&result)
-                        .expect("RunResult serializes")
+                    serde_json::to_string_pretty(&result).expect("RunResult serializes")
                 );
             } else {
                 let _ = writeln!(
@@ -221,40 +238,46 @@ pub fn run_command(
                 );
             }
         }
+        Command::Trace => {
+            let path = args.get("check").ok_or_else(|| {
+                CliError::Unknown(
+                    "trace invocation (usage: preduce trace --check FILE)".to_string(),
+                )
+            })?;
+            let report = InvariantChecker::check_jsonl(path)
+                .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?;
+            let _ = write!(out, "{report}");
+            if !report.is_clean() {
+                return Err(CliError::Invariant(report.violations.len()));
+            }
+        }
         Command::Spectral => {
             let n: usize = args.get_or("workers", 8)?;
             let p: usize = args.get_or("p", 3)?;
             let rounds: usize = args.get_or("rounds", 20_000)?;
-            let fleet: Box<dyn HeterogeneityModel> =
-                match args.get("slow") {
-                    None => Box::new(UniformFleet::new(
-                        n,
+            let fleet: Box<dyn HeterogeneityModel> = match args.get("slow") {
+                None => Box::new(UniformFleet::new(n, 1e9, Jitter::LogNormal { sigma: 0.2 })),
+                Some(spec) => {
+                    let multipliers: Vec<f64> = spec
+                        .split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .map_err(|_| CliError::Unknown(format!("multiplier `{t}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if multipliers.len() != n {
+                        return Err(CliError::Unknown(format!(
+                            "--slow needs {n} comma-separated values"
+                        )));
+                    }
+                    Box::new(SpeedFleet::new(
+                        multipliers,
                         1e9,
                         Jitter::LogNormal { sigma: 0.2 },
-                    )),
-                    Some(spec) => {
-                        let multipliers: Vec<f64> = spec
-                            .split(',')
-                            .map(|t| {
-                                t.trim().parse().map_err(|_| {
-                                    CliError::Unknown(format!(
-                                        "multiplier `{t}`"
-                                    ))
-                                })
-                            })
-                            .collect::<Result<_, _>>()?;
-                        if multipliers.len() != n {
-                            return Err(CliError::Unknown(format!(
-                                "--slow needs {n} comma-separated values"
-                            )));
-                        }
-                        Box::new(SpeedFleet::new(
-                            multipliers,
-                            1e9,
-                            Jitter::LogNormal { sigma: 0.2 },
-                        ))
-                    }
-                };
+                    ))
+                }
+            };
             let groups = observe_groups(fleet, p, rounds);
             let e_w = expected_sync_matrix(n, &groups);
             let report = spectral_gap(&e_w).expect("symmetric E[W]");
@@ -333,9 +356,7 @@ mod tests {
 
     #[test]
     fn spectral_reports_rho() {
-        let (r, out) = run(&[
-            "spectral", "--workers", "3", "--p", "2", "--rounds", "4000",
-        ]);
+        let (r, out) = run(&["spectral", "--workers", "3", "--p", "2", "--rounds", "4000"]);
         r.unwrap();
         assert!(out.contains("rho"), "{out}");
         // Homogeneous N=3 P=2 should land near 0.5.
@@ -399,19 +420,21 @@ mod tests {
     fn config_file_roundtrip_drives_a_run() {
         // Serialize a config, load it back through --config, run it.
         let args = Args::parse([
-            "--workers", "4", "--max-updates", "40", "--eval-every", "40",
-            "--threshold", "0.99",
+            "--workers",
+            "4",
+            "--max-updates",
+            "40",
+            "--eval-every",
+            "40",
+            "--threshold",
+            "0.99",
         ])
         .unwrap();
         let config = config_from_args(&args).unwrap();
         let dir = std::env::temp_dir().join("preduce-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("exp.json");
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(&config).unwrap(),
-        )
-        .unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&config).unwrap()).unwrap();
 
         let (r, out) = run(&[
             "run",
@@ -426,10 +449,75 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_then_check_roundtrips_clean() {
+        let dir = std::env::temp_dir().join("preduce-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let path_str = path.to_str().unwrap();
+
+        let (r, _) = run(&[
+            "run",
+            "--strategy",
+            "p-reduce",
+            "--p",
+            "2",
+            "--workers",
+            "4",
+            "--max-updates",
+            "60",
+            "--eval-every",
+            "30",
+            "--threshold",
+            "0.99",
+            "--trace-out",
+            path_str,
+        ]);
+        r.unwrap();
+
+        let (r, out) = run(&["trace", "--check", path_str]);
+        r.unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_check_flags_a_corrupted_trace() {
+        use partial_reduce::TraceEvent;
+
+        let dir = std::env::temp_dir().join("preduce-cli-trace-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        // A group without RunStarted, with a duplicate member and a weight
+        // row that does not sum to 1.
+        let ev = TraceEvent::GroupFormed {
+            sequence: 0,
+            members: vec![1, 1],
+            iterations: vec![2, 2],
+            weights: vec![0.9, 0.9],
+            new_iteration: 2,
+            repaired: false,
+        };
+        std::fs::write(&path, serde_json::to_string(&ev).unwrap() + "\n").unwrap();
+
+        let (r, out) = run(&["trace", "--check", path.to_str().unwrap()]);
+        assert!(matches!(r, Err(CliError::Invariant(_))), "{out}");
+        assert!(out.contains("duplicate members"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_without_check_flag_is_an_error() {
+        let command = Command::from_name("trace").unwrap();
+        let args = Args::parse([] as [&str; 0]).unwrap();
+        let mut out = Vec::new();
+        let r = run_command(command, &args, &mut out);
+        assert!(matches!(r, Err(CliError::Unknown(_))));
+    }
+
+    #[test]
     fn missing_config_file_is_a_clean_error() {
         let command = Command::from_name("run").unwrap();
-        let args =
-            Args::parse(["--config", "/nonexistent/exp.json"]).unwrap();
+        let args = Args::parse(["--config", "/nonexistent/exp.json"]).unwrap();
         let mut out = Vec::new();
         let r = run_command(command, &args, &mut out);
         assert!(matches!(r, Err(CliError::Unknown(_))));

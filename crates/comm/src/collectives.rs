@@ -34,15 +34,9 @@ fn position_in_group(ep: &Endpoint, group: &[usize]) -> Result<usize> {
     if sorted.windows(2).any(|w| w[0] == w[1]) {
         return Err(CommError::InvalidGroup("duplicate member".into()));
     }
-    group
-        .iter()
-        .position(|&r| r == ep.rank())
-        .ok_or_else(|| {
-            CommError::InvalidGroup(format!(
-                "caller rank {} not in group {group:?}",
-                ep.rank()
-            ))
-        })
+    group.iter().position(|&r| r == ep.rank()).ok_or_else(|| {
+        CommError::InvalidGroup(format!("caller rank {} not in group {group:?}", ep.rank()))
+    })
 }
 
 /// The byte range of chunk `idx` of `len` elements split into `p` chunks.
@@ -80,7 +74,11 @@ pub fn ring_allreduce(
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + p - s - 1) % p;
         let tag = base_tag + s as u64;
-        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        ep.send(
+            next,
+            tag,
+            data[chunk_range(data.len(), p, send_idx)].to_vec(),
+        )?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -100,7 +98,11 @@ pub fn ring_allreduce(
         let send_idx = (me + 1 + p - s) % p;
         let recv_idx = (me + p - s) % p;
         let tag = base_tag + (p - 1 + s) as u64;
-        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        ep.send(
+            next,
+            tag,
+            data[chunk_range(data.len(), p, send_idx)].to_vec(),
+        )?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -267,8 +269,7 @@ mod tests {
     #[test]
     fn allreduce_uneven_chunks() {
         let results = run_world(3, |rank, ep| {
-            let mut data: Vec<f32> =
-                (0..11).map(|i| (i * (rank + 1)) as f32).collect();
+            let mut data: Vec<f32> = (0..11).map(|i| (i * (rank + 1)) as f32).collect();
             ring_allreduce(ep, &[0, 1, 2], 0, &mut data).unwrap();
             data
         });
@@ -348,8 +349,7 @@ mod tests {
     fn concurrent_groups_do_not_interfere() {
         // Two disjoint pairs all-reduce concurrently with distinct tags.
         let results = run_world(4, |rank, ep| {
-            let group: Vec<usize> =
-                if rank < 2 { vec![0, 1] } else { vec![2, 3] };
+            let group: Vec<usize> = if rank < 2 { vec![0, 1] } else { vec![2, 3] };
             let tag = if rank < 2 { 0 } else { TAG_STRIDE };
             let mut data = vec![rank as f32; 4];
             ring_allreduce(ep, &group, tag, &mut data).unwrap();
@@ -434,7 +434,11 @@ pub fn reduce_scatter(
         let send_idx = (me + p - 1 - s) % p;
         let recv_idx = (me + 2 * p - 2 - s) % p;
         let tag = base_tag + s as u64;
-        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        ep.send(
+            next,
+            tag,
+            data[chunk_range(data.len(), p, send_idx)].to_vec(),
+        )?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -470,7 +474,11 @@ pub fn all_gather(
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + p - s - 1) % p;
         let tag = base_tag + s as u64;
-        ep.send(next, tag, data[chunk_range(data.len(), p, send_idx)].to_vec())?;
+        ep.send(
+            next,
+            tag,
+            data[chunk_range(data.len(), p, send_idx)].to_vec(),
+        )?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -536,9 +544,8 @@ pub fn scatter(
         )));
     }
     if me == root_pos {
-        let buffers = buffers.ok_or_else(|| {
-            CommError::InvalidGroup("scatter root needs buffers".into())
-        })?;
+        let buffers =
+            buffers.ok_or_else(|| CommError::InvalidGroup("scatter root needs buffers".into()))?;
         if buffers.len() != group.len() {
             return Err(CommError::InvalidGroup(format!(
                 "scatter root got {} buffers for a group of {}",
@@ -547,9 +554,7 @@ pub fn scatter(
             )));
         }
         let mut own = Vec::new();
-        for (pos, (buf, &r)) in
-            buffers.into_iter().zip(group.iter()).enumerate()
-        {
+        for (pos, (buf, &r)) in buffers.into_iter().zip(group.iter()).enumerate() {
             if pos == root_pos {
                 own = buf;
             } else {
@@ -588,10 +593,8 @@ mod scatter_gather_tests {
     #[test]
     fn reduce_scatter_owns_summed_chunk() {
         let results = run_world(3, |rank, ep| {
-            let mut data: Vec<f32> =
-                (0..9).map(|i| (i + rank) as f32).collect();
-            let range =
-                reduce_scatter(ep, &[0, 1, 2], 0, &mut data).unwrap();
+            let mut data: Vec<f32> = (0..9).map(|i| (i + rank) as f32).collect();
+            let range = reduce_scatter(ep, &[0, 1, 2], 0, &mut data).unwrap();
             (range.clone(), data[range].to_vec())
         });
         // Sum over ranks of (i + rank) = 3i + 3.
@@ -607,8 +610,7 @@ mod scatter_gather_tests {
     #[test]
     fn reduce_scatter_then_all_gather_equals_allreduce() {
         let results = run_world(4, |rank, ep| {
-            let mut a: Vec<f32> =
-                (0..10).map(|i| (i * (rank + 1)) as f32).collect();
+            let mut a: Vec<f32> = (0..10).map(|i| (i * (rank + 1)) as f32).collect();
             let mut b = a.clone();
             ring_allreduce(ep, &[0, 1, 2, 3], 0, &mut a).unwrap();
             reduce_scatter(ep, &[0, 1, 2, 3], TAG_STRIDE, &mut b).unwrap();
@@ -638,9 +640,7 @@ mod scatter_gather_tests {
     #[test]
     fn scatter_distributes_per_member_buffers() {
         let results = run_world(3, |rank, ep| {
-            let buffers = (rank == 1).then(|| {
-                vec![vec![10.0], vec![20.0], vec![30.0]]
-            });
+            let buffers = (rank == 1).then(|| vec![vec![10.0], vec![20.0], vec![30.0]]);
             scatter(ep, &[0, 1, 2], 0, 1, buffers).unwrap()
         });
         assert_eq!(results[0], vec![10.0]);

@@ -55,11 +55,7 @@ pub trait ControlPlane: Send {
     /// Blocks for the next worker signal, up to `timeout`.
     fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal>;
     /// Sends a group assignment to one worker.
-    fn send_assignment(
-        &mut self,
-        worker: usize,
-        assignment: GroupAssignment,
-    ) -> Result<()>;
+    fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()>;
     /// Broadcasts an assignment to all its group members.
     fn announce(&mut self, assignment: &GroupAssignment) -> Result<()> {
         for &w in &assignment.group {
@@ -81,6 +77,56 @@ pub trait WorkerControlPlane: Send {
     fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment>;
 }
 
+/// Observer hook for control-plane traffic, transport-independent: wrap
+/// any [`ControlPlane`] in an [`ObservedControlPlane`] and every signal
+/// received and assignment sent is reported here — the same hook covers
+/// the in-process channels and the TCP message queue. Tracing layers
+/// (e.g. `partial_reduce::trace::SinkObserver`) implement this.
+pub trait ControlObserver: Send + Sync {
+    /// Called after a worker signal is received.
+    fn on_signal(&self, _signal: &WorkerSignal) {}
+    /// Called before an assignment is sent to `worker`.
+    fn on_assignment(&self, _worker: usize, _assignment: &GroupAssignment) {}
+}
+
+/// The no-op observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ControlObserver for NullObserver {}
+
+/// Wraps a [`ControlPlane`], reporting its traffic to a
+/// [`ControlObserver`].
+pub struct ObservedControlPlane<C> {
+    inner: C,
+    observer: std::sync::Arc<dyn ControlObserver>,
+}
+
+impl<C: ControlPlane> ObservedControlPlane<C> {
+    /// Wraps `inner`, forwarding traffic notifications to `observer`.
+    pub fn new(inner: C, observer: std::sync::Arc<dyn ControlObserver>) -> Self {
+        ObservedControlPlane { inner, observer }
+    }
+
+    /// Unwraps the underlying control plane.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ControlPlane> ControlPlane for ObservedControlPlane<C> {
+    fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal> {
+        let signal = self.inner.recv_signal(timeout)?;
+        self.observer.on_signal(&signal);
+        Ok(signal)
+    }
+
+    fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
+        self.observer.on_assignment(worker, &assignment);
+        self.inner.send_assignment(worker, assignment)
+    }
+}
+
 /// The controller's side of the signaling fabric.
 #[derive(Debug)]
 pub struct ControllerLink {
@@ -97,9 +143,7 @@ impl ControllerLink {
                 peer: usize::MAX,
                 tag: 0,
             },
-            RecvTimeoutError::Disconnected => {
-                CommError::Disconnected { peer: usize::MAX }
-            }
+            RecvTimeoutError::Disconnected => CommError::Disconnected { peer: usize::MAX },
         })
     }
 
@@ -109,18 +153,11 @@ impl ControllerLink {
     }
 
     /// Sends a group assignment to one member.
-    pub fn send_assignment(
-        &self,
-        worker: usize,
-        assignment: GroupAssignment,
-    ) -> Result<()> {
-        let tx = self
-            .assignments
-            .get(worker)
-            .ok_or(CommError::InvalidRank {
-                rank: worker,
-                world: self.assignments.len(),
-            })?;
+    pub fn send_assignment(&self, worker: usize, assignment: GroupAssignment) -> Result<()> {
+        let tx = self.assignments.get(worker).ok_or(CommError::InvalidRank {
+            rank: worker,
+            world: self.assignments.len(),
+        })?;
         tx.send(assignment)
             .map_err(|_| CommError::Disconnected { peer: worker })
     }
@@ -168,15 +205,15 @@ impl WorkerLink {
     /// Blocks for the controller's group assignment
     /// (Algorithm 2, worker line 6).
     pub fn recv_assignment(&self, timeout: Duration) -> Result<GroupAssignment> {
-        self.assignment_rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => CommError::Timeout {
-                peer: usize::MAX,
-                tag: 1,
-            },
-            RecvTimeoutError::Disconnected => {
-                CommError::Disconnected { peer: usize::MAX }
-            }
-        })
+        self.assignment_rx
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => CommError::Timeout {
+                    peer: usize::MAX,
+                    tag: 1,
+                },
+                RecvTimeoutError::Disconnected => CommError::Disconnected { peer: usize::MAX },
+            })
     }
 }
 
@@ -185,11 +222,7 @@ impl ControlPlane for ControllerLink {
         ControllerLink::recv_signal(self, timeout)
     }
 
-    fn send_assignment(
-        &mut self,
-        worker: usize,
-        assignment: GroupAssignment,
-    ) -> Result<()> {
+    fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
         ControllerLink::send_assignment(self, worker, assignment)
     }
 }
@@ -271,7 +304,9 @@ mod tests {
         assert_eq!(workers[0].recv_assignment(T).unwrap(), a);
         assert_eq!(workers[2].recv_assignment(T).unwrap(), a);
         // Worker 1 got nothing.
-        assert!(workers[1].recv_assignment(Duration::from_millis(10)).is_err());
+        assert!(workers[1]
+            .recv_assignment(Duration::from_millis(10))
+            .is_err());
     }
 
     #[test]
@@ -297,6 +332,50 @@ mod tests {
             ctl.recv_signal(T).unwrap(),
             WorkerSignal::Leaving { worker: 0 }
         );
+    }
+
+    #[test]
+    fn observed_plane_reports_traffic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Counter {
+            signals: AtomicUsize,
+            assignments: AtomicUsize,
+        }
+        impl ControlObserver for Counter {
+            fn on_signal(&self, _signal: &WorkerSignal) {
+                self.signals.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_assignment(&self, _worker: usize, _assignment: &GroupAssignment) {
+                self.assignments.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let (ctl, workers) = control_links(3);
+        let counter = Arc::new(Counter::default());
+        let mut observed = ObservedControlPlane::new(ctl, counter.clone());
+        workers[0].send_ready(1).unwrap();
+        let got = ControlPlane::recv_signal(&mut observed, T).unwrap();
+        assert_eq!(
+            got,
+            WorkerSignal::Ready {
+                worker: 0,
+                iteration: 1
+            }
+        );
+        let a = GroupAssignment {
+            group: vec![0, 2],
+            weights: vec![0.5, 0.5],
+            base_tag: 0,
+            new_iteration: 1,
+        };
+        observed.announce(&a).unwrap();
+        assert_eq!(counter.signals.load(Ordering::Relaxed), 1);
+        // announce fans out through send_assignment: one per member.
+        assert_eq!(counter.assignments.load(Ordering::Relaxed), 2);
+        assert_eq!(workers[0].recv_assignment(T).unwrap(), a);
     }
 
     #[test]

@@ -100,10 +100,10 @@ impl Endpoint {
     /// Sends `payload` to rank `to` with matching `tag`.
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f32>) -> Result<()> {
         let world = self.senders.len();
-        let sender = self.senders.get(to).ok_or(CommError::InvalidRank {
-            rank: to,
-            world,
-        })?;
+        let sender = self
+            .senders
+            .get(to)
+            .ok_or(CommError::InvalidRank { rank: to, world })?;
         sender
             .send(Message {
                 from: self.rank,
@@ -128,18 +128,12 @@ impl Endpoint {
             .iter()
             .position(|m| m.from == from && m.tag == tag)
         {
-            return Ok(self
-                .stash
-                .remove(pos)
-                .expect("position just found")
-                .payload);
+            return Ok(self.stash.remove(pos).expect("position just found").payload);
         }
         // Pull from the channel until a match arrives.
         loop {
             match self.receiver.recv_timeout(self.timeout) {
-                Ok(m) if m.from == from && m.tag == tag => {
-                    return Ok(m.payload)
-                }
+                Ok(m) if m.from == from && m.tag == tag => return Ok(m.payload),
                 Ok(m) => self.stash.push_back(m),
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::Timeout { peer: from, tag })

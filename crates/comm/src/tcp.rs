@@ -39,9 +39,8 @@ struct Hello {
 }
 
 fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<()> {
-    let payload = serde_json::to_vec(msg).map_err(|_| {
-        CommError::InvalidGroup("unserializable control message".into())
-    })?;
+    let payload = serde_json::to_vec(msg)
+        .map_err(|_| CommError::InvalidGroup("unserializable control message".into()))?;
     let len = payload.len() as u32;
     debug_assert!(len < MAX_FRAME);
     stream
@@ -65,9 +64,8 @@ fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream) -> Result<T> {
     stream
         .read_exact(&mut payload)
         .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
-    serde_json::from_slice(&payload).map_err(|_| {
-        CommError::InvalidGroup("malformed control frame".into())
-    })
+    serde_json::from_slice(&payload)
+        .map_err(|_| CommError::InvalidGroup("malformed control frame".into()))
 }
 
 /// Controller side of the TCP message queue.
@@ -96,14 +94,10 @@ pub fn bind_controller(addr: &str) -> (TcpListener, SocketAddr) {
 /// # Errors
 /// Fails if a connection breaks during the handshake or a rank is
 /// duplicated/out of range.
-pub fn accept_workers(
-    listener: &TcpListener,
-    n: usize,
-) -> Result<TcpControllerLink> {
+pub fn accept_workers(listener: &TcpListener, n: usize) -> Result<TcpControllerLink> {
     assert!(n > 0, "need at least one worker");
     let (tx, rx) = unbounded::<WorkerSignal>();
-    let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> =
-        (0..n).map(|_| None).collect();
+    let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
 
     for _ in 0..n {
         let (mut stream, _) = listener
@@ -134,8 +128,7 @@ pub fn accept_workers(
             .name(format!("preduce-tcp-reader-{}", hello.rank))
             .spawn(move || {
                 let mut reader = reader;
-                while let Ok(signal) = read_frame::<WorkerSignal>(&mut reader)
-                {
+                while let Ok(signal) = read_frame::<WorkerSignal>(&mut reader) {
                     if tx.send(signal).is_err() {
                         break;
                     }
@@ -160,24 +153,15 @@ impl ControlPlane for TcpControllerLink {
                 peer: usize::MAX,
                 tag: 0,
             },
-            RecvTimeoutError::Disconnected => {
-                CommError::Disconnected { peer: usize::MAX }
-            }
+            RecvTimeoutError::Disconnected => CommError::Disconnected { peer: usize::MAX },
         })
     }
 
-    fn send_assignment(
-        &mut self,
-        worker: usize,
-        assignment: GroupAssignment,
-    ) -> Result<()> {
-        let writer =
-            self.writers
-                .get(worker)
-                .ok_or(CommError::InvalidRank {
-                    rank: worker,
-                    world: self.writers.len(),
-                })?;
+    fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
+        let writer = self.writers.get(worker).ok_or(CommError::InvalidRank {
+            rank: worker,
+            world: self.writers.len(),
+        })?;
         write_frame(&mut writer.lock(), &assignment)
             .map_err(|_| CommError::Disconnected { peer: worker })
     }
@@ -196,8 +180,8 @@ impl TcpWorkerLink {
     /// # Errors
     /// Fails if the connection or handshake fails.
     pub fn connect(addr: SocketAddr, rank: usize) -> Result<Self> {
-        let mut stream = TcpStream::connect(addr)
-            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+        let mut stream =
+            TcpStream::connect(addr).map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
         stream.set_nodelay(true).ok();
         write_frame(&mut stream, &Hello { rank })?;
         Ok(TcpWorkerLink { rank, stream })

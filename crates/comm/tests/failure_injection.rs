@@ -84,7 +84,10 @@ fn worker_death_is_visible_to_controller() {
             },
         )
         .unwrap_err();
-    assert!(matches!(err, CommError::Disconnected { peer: 0 }), "{err:?}");
+    assert!(
+        matches!(err, CommError::Disconnected { peer: 0 }),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -13,10 +13,12 @@
 //! simulator in the trainer crate alike — one implementation, two harnesses.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{min_history_window, GroupHistory};
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::weights::{constant_weights, dynamic_weights, GapPolicy};
 
 /// How group models are aggregated.
@@ -53,7 +55,7 @@ impl AggregationMode {
 }
 
 /// Controller configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
     /// Cluster size `N`.
     pub num_workers: usize,
@@ -127,9 +129,8 @@ impl ControllerConfig {
 
     /// The effective sync-graph window.
     pub fn effective_window(&self) -> usize {
-        self.history_window.unwrap_or_else(|| {
-            min_history_window(self.num_workers, self.group_size).max(1)
-        })
+        self.history_window
+            .unwrap_or_else(|| min_history_window(self.num_workers, self.group_size).max(1))
     }
 }
 
@@ -157,7 +158,6 @@ pub struct GroupDecision {
 }
 
 /// The controller state machine.
-#[derive(Debug)]
 pub struct Controller {
     config: ControllerConfig,
     queue: VecDeque<ReadySignal>,
@@ -168,18 +168,50 @@ pub struct Controller {
     /// Workers still participating (starts at `N`; shrinks as workers
     /// leave). Bounds how long a frozen-avoidance deferral can wait.
     active: usize,
+    /// Per-worker departure flags: signals from departed workers are
+    /// rejected, never scheduled.
+    departed: Vec<bool>,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("config", &self.config)
+            .field("pending", &self.queue.len())
+            .field("groups_formed", &self.groups_formed)
+            .field("repairs", &self.repairs)
+            .field("deferrals", &self.deferrals)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Controller {
-    /// Creates a controller.
+    /// Creates a controller with tracing off ([`NullSink`]).
     ///
     /// # Panics
     /// Panics if the config is invalid.
     pub fn new(config: ControllerConfig) -> Self {
+        Self::with_sink(config, Arc::new(NullSink))
+    }
+
+    /// Creates a controller narrating its decisions to `sink`. Emits
+    /// [`TraceEvent::RunStarted`] immediately.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn with_sink(config: ControllerConfig, sink: Arc<dyn TraceSink>) -> Self {
         config.validate();
         let window = config.effective_window();
         let active = config.num_workers;
+        if sink.enabled() {
+            sink.record(TraceEvent::RunStarted {
+                config: config.clone(),
+            });
+        }
         Controller {
+            departed: vec![false; config.num_workers],
             config,
             queue: VecDeque::new(),
             history: GroupHistory::new(window),
@@ -187,7 +219,13 @@ impl Controller {
             repairs: 0,
             deferrals: 0,
             active,
+            sink,
         }
+    }
+
+    /// The trace sink this controller reports to.
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
     }
 
     /// The configuration.
@@ -221,15 +259,49 @@ impl Controller {
         self.active
     }
 
-    /// Records that `worker` left the computation. Deferred groups that
-    /// were waiting on the departed component re-evaluate on the next
-    /// [`Controller::try_form_group`] call.
+    /// Whether `worker` has left the computation.
     ///
     /// # Panics
-    /// Panics if more workers leave than exist.
-    pub fn mark_left(&mut self, _worker: usize) {
+    /// Panics if the worker rank is out of range.
+    pub fn has_left(&self, worker: usize) -> bool {
+        assert!(
+            worker < self.config.num_workers,
+            "worker {worker} out of range (N = {})",
+            self.config.num_workers
+        );
+        self.departed[worker]
+    }
+
+    /// Records that `worker` left the computation: any ready signal it
+    /// still has queued is purged (a crashed worker must never be
+    /// scheduled into a group), and subsequent signals from it are
+    /// rejected. Deferred groups that were waiting on the departed
+    /// component re-evaluate on the next [`Controller::try_form_group`]
+    /// call.
+    ///
+    /// # Panics
+    /// Panics if the worker rank is out of range or the worker already
+    /// left.
+    pub fn mark_left(&mut self, worker: usize) {
+        assert!(
+            worker < self.config.num_workers,
+            "worker {worker} out of range (N = {})",
+            self.config.num_workers
+        );
+        assert!(!self.departed[worker], "worker {worker} left twice");
         assert!(self.active > 0, "more departures than workers");
+        self.departed[worker] = true;
         self.active -= 1;
+        let before = self.queue.len();
+        self.queue.retain(|s| s.worker != worker);
+        let purged_signal = self.queue.len() < before;
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::WorkerLeft {
+                worker,
+                active: self.active,
+                purged_signal,
+            });
+        }
     }
 
     /// The group history database.
@@ -241,29 +313,53 @@ impl Controller {
     /// pairs, FIFO. Used at shutdown, when the active fleet has shrunk
     /// below `P` and queued workers must be released individually.
     pub fn drain_pending(&mut self) -> Vec<(usize, u64)> {
-        self.queue
+        let signals: Vec<(usize, u64)> = self
+            .queue
             .drain(..)
             .map(|s| (s.worker, s.iteration))
-            .collect()
+            .collect();
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::PendingDrained {
+                signals: signals.clone(),
+            });
+        }
+        signals
     }
 
     /// Enqueues a worker's ready signal (controller lines 6–7 of
-    /// Algorithm 2).
+    /// Algorithm 2). Returns `false` when the signal was rejected because
+    /// the worker already left — a late signal racing a departure must be
+    /// dropped, not scheduled.
     ///
     /// # Panics
     /// Panics if the worker rank is out of range or the worker already has
     /// a pending signal (each worker is ready at most once at a time).
-    pub fn push_ready(&mut self, worker: usize, iteration: u64) {
+    pub fn push_ready(&mut self, worker: usize, iteration: u64) -> bool {
         assert!(
             worker < self.config.num_workers,
             "worker {worker} out of range (N = {})",
             self.config.num_workers
         );
+        if self.departed[worker] {
+            if self.sink.enabled() {
+                self.sink
+                    .record(TraceEvent::SignalRejected { worker, iteration });
+            }
+            return false;
+        }
         assert!(
             !self.queue.iter().any(|s| s.worker == worker),
             "worker {worker} signalled ready twice without reducing"
         );
         self.queue.push_back(ReadySignal { worker, iteration });
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::SignalEnqueued {
+                worker,
+                iteration,
+                queued: self.queue.len(),
+            });
+        }
+        true
     }
 
     /// Attempts to form a group (controller lines 3–5 of Algorithm 2):
@@ -288,11 +384,7 @@ impl Controller {
             if !graph.is_connected() {
                 let comps = graph.components();
                 let queued_comps: Vec<usize> = {
-                    let mut cs: Vec<usize> = self
-                        .queue
-                        .iter()
-                        .map(|s| comps[s.worker])
-                        .collect();
+                    let mut cs: Vec<usize> = self.queue.iter().map(|s| comps[s.worker]).collect();
                     cs.sort_unstable();
                     cs.dedup();
                     cs
@@ -306,6 +398,12 @@ impl Controller {
                     // can come: fall through to FIFO rather than stall.
                     if self.queue.len() < self.active {
                         self.deferrals += 1;
+                        if self.sink.enabled() {
+                            self.sink.record(TraceEvent::GroupDeferred {
+                                queued: self.queue.len(),
+                                active: self.active,
+                            });
+                        }
                         return None;
                     }
                 } else {
@@ -353,10 +451,8 @@ impl Controller {
         signals.reverse(); // restore FIFO order
 
         let group: Vec<usize> = signals.iter().map(|s| s.worker).collect();
-        let iterations: Vec<u64> =
-            signals.iter().map(|s| s.iteration).collect();
-        let new_iteration =
-            *iterations.iter().max().expect("group non-empty");
+        let iterations: Vec<u64> = signals.iter().map(|s| s.iteration).collect();
+        let new_iteration = *iterations.iter().max().expect("group non-empty");
 
         let weights = match self.config.mode {
             AggregationMode::Constant => constant_weights(p),
@@ -370,6 +466,16 @@ impl Controller {
         self.groups_formed += 1;
         if repaired {
             self.repairs += 1;
+        }
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::GroupFormed {
+                sequence,
+                members: group.clone(),
+                iterations,
+                weights: weights.clone(),
+                new_iteration,
+                repaired,
+            });
         }
 
         Some(GroupDecision {
@@ -456,8 +562,7 @@ mod tests {
                 }
             }
             while let Some(d) = c.try_form_group() {
-                let in_left =
-                    d.group.iter().filter(|&&w| w < 2).count();
+                let in_left = d.group.iter().filter(|&&w| w < 2).count();
                 if in_left == 1 {
                     saw_cross_group = true;
                 }
@@ -523,6 +628,79 @@ mod tests {
     #[should_panic(expected = "exceeds cluster size")]
     fn rejects_p_greater_than_n() {
         ControllerConfig::constant(2, 3);
+    }
+
+    #[test]
+    fn departed_worker_is_purged_from_queue_and_rejected() {
+        // Regression: a worker that crashes while queued must never be
+        // scheduled into a group, and late signals from it are dropped.
+        let mut c = Controller::new(ControllerConfig::constant(4, 2));
+        c.push_ready(0, 1);
+        c.push_ready(1, 1);
+        // Worker 0 dies while queued: its signal is purged, so the queue
+        // holds only worker 1 and no group can form.
+        c.mark_left(0);
+        assert!(c.has_left(0));
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.active(), 3);
+        assert!(c.try_form_group().is_none());
+        // A late signal from the departed worker is rejected.
+        assert!(!c.push_ready(0, 2));
+        assert_eq!(c.pending(), 1);
+        // Live workers still form groups — without the departed one.
+        assert!(c.push_ready(2, 1));
+        let d = c.try_form_group().unwrap();
+        assert_eq!(d.group, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "left twice")]
+    fn double_departure_panics() {
+        let mut c = Controller::new(ControllerConfig::constant(4, 2));
+        c.mark_left(2);
+        c.mark_left(2);
+    }
+
+    #[test]
+    fn traced_controller_narrates_decisions() {
+        use crate::trace::{RingSink, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingSink::new(64));
+        let mut c = Controller::with_sink(ControllerConfig::constant(4, 2), sink.clone());
+        c.push_ready(3, 1);
+        c.push_ready(1, 2);
+        let d = c.try_form_group().unwrap();
+        c.mark_left(0);
+        let events = sink.snapshot();
+        assert!(matches!(events[0], TraceEvent::RunStarted { .. }));
+        assert_eq!(
+            events[1],
+            TraceEvent::SignalEnqueued {
+                worker: 3,
+                iteration: 1,
+                queued: 1
+            }
+        );
+        assert_eq!(
+            events[3],
+            TraceEvent::GroupFormed {
+                sequence: 0,
+                members: d.group.clone(),
+                iterations: vec![1, 2],
+                weights: d.weights.clone(),
+                new_iteration: 2,
+                repaired: false,
+            }
+        );
+        assert_eq!(
+            events[4],
+            TraceEvent::WorkerLeft {
+                worker: 0,
+                active: 3,
+                purged_signal: false
+            }
+        );
     }
 
     #[test]

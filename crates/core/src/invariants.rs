@@ -1,0 +1,952 @@
+//! Trace-driven invariant checking for the P-Reduce control plane.
+//!
+//! [`InvariantChecker::check`] replays a [`TraceEvent`] stream and asserts
+//! the paper's contracts:
+//!
+//! * every formed group has exactly `P` distinct, in-range, still-active
+//!   members, each holding exactly one consumed ready signal;
+//! * weight vectors are non-negative and sum to 1 — uniform `1/P` in CON
+//!   mode, the Eq. 9 staleness-aware weights (recomputed independently) in
+//!   DYN mode;
+//! * `new_iteration` is the group max, per-worker reported iterations
+//!   never regress, and in DYN mode members fast-forward: a member's next
+//!   signal is strictly beyond the adopted group max (§3.3.3);
+//! * no worker sits in two in-flight groups (enforced when the trace
+//!   carries [`TraceEvent::ReduceCompleted`] completions);
+//! * a repair group only appears when the `T`-window sync graph is warm
+//!   and disconnected, and its members bridge at least two components
+//!   (§4 group-frozen avoidance);
+//! * departed workers never appear in later groups, and their queued
+//!   signals are purged on departure;
+//! * closing counters ([`TraceEvent::RunFinished`]) match the replayed
+//!   tallies.
+//!
+//! The checker is deliberately tolerant of *truncated* traces (a crash
+//! mid-run yields no `RunFinished`; that is not a violation) but strict
+//! about *inconsistent* ones.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::controller::{AggregationMode, ControllerConfig};
+use crate::graph::GroupHistory;
+use crate::trace::{read_jsonl, TraceEvent};
+use crate::weights::dynamic_weights;
+
+/// Weight-vector comparison tolerance. Weights travel as `f32` and
+/// serde_json round-trips floats exactly, so this only needs to absorb
+/// the checker recomputing DYN weights in a different summation order.
+const WEIGHT_EPS: f32 = 1e-4;
+
+/// One broken invariant, anchored to the offending event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending event in the replayed stream.
+    pub index: usize,
+    /// Human-readable description of the broken contract.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {}: {}", self.index, self.message)
+    }
+}
+
+/// The outcome of replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Groups formed in the trace.
+    pub groups: u64,
+    /// Frozen-schedule repairs observed.
+    pub repairs: u64,
+    /// Broken invariants, in event order.
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events, {} groups ({} repaired), {} violation(s)",
+            self.events,
+            self.groups,
+            self.repairs,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays traces and validates the control-plane contracts.
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// Replays `events` and reports every broken invariant.
+    pub fn check(events: &[TraceEvent]) -> InvariantReport {
+        Replay::new(events).run()
+    }
+
+    /// Reads a JSONL trace dump and checks it.
+    pub fn check_jsonl<P: AsRef<Path>>(path: P) -> io::Result<InvariantReport> {
+        Ok(Self::check(&read_jsonl(path)?))
+    }
+}
+
+/// Mutable replay state.
+struct Replay<'a> {
+    events: &'a [TraceEvent],
+    /// Enforce in-flight accounting only when the trace carries
+    /// completions at all (controller-only traces legitimately lack them).
+    strict_inflight: bool,
+    config: Option<ControllerConfig>,
+    /// Queued ready signals: worker → reported iteration.
+    pending: BTreeMap<usize, u64>,
+    /// Departed workers.
+    departed: BTreeMap<usize, ()>,
+    /// Strictly-increasing floor on each worker's next reported iteration.
+    min_next: BTreeMap<usize, u64>,
+    /// Workers inside an unfinished group: worker → group members.
+    in_flight: BTreeMap<usize, Vec<usize>>,
+    /// Replica of the controller's group history database.
+    history: Option<GroupHistory>,
+    expected_sequence: u64,
+    active: Option<usize>,
+    groups: u64,
+    repairs: u64,
+    deferrals: u64,
+    singletons: u64,
+    missing_start_reported: bool,
+    violations: Vec<Violation>,
+}
+
+impl<'a> Replay<'a> {
+    fn new(events: &'a [TraceEvent]) -> Self {
+        let strict_inflight = events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ReduceCompleted { .. }));
+        Replay {
+            events,
+            strict_inflight,
+            config: None,
+            pending: BTreeMap::new(),
+            departed: BTreeMap::new(),
+            min_next: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            history: None,
+            expected_sequence: 0,
+            active: None,
+            groups: 0,
+            repairs: 0,
+            deferrals: 0,
+            singletons: 0,
+            missing_start_reported: false,
+            violations: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, index: usize, message: String) {
+        self.violations.push(Violation { index, message });
+    }
+
+    fn require_started(&mut self, index: usize) {
+        if self.config.is_none() && !self.missing_start_reported {
+            self.missing_start_reported = true;
+            self.fail(index, "trace does not begin with RunStarted".to_string());
+        }
+    }
+
+    fn run(mut self) -> InvariantReport {
+        for (i, event) in self.events.iter().enumerate() {
+            match event {
+                TraceEvent::RunStarted { config } => self.on_started(i, config),
+                TraceEvent::SignalEnqueued {
+                    worker,
+                    iteration,
+                    queued,
+                } => self.on_enqueued(i, *worker, *iteration, *queued),
+                TraceEvent::SignalRejected { worker, .. } => {
+                    self.require_started(i);
+                    if !self.departed.contains_key(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "signal from worker {worker} rejected \
+                                 though it never departed"
+                            ),
+                        );
+                    }
+                }
+                TraceEvent::GroupDeferred { queued, .. } => {
+                    self.require_started(i);
+                    self.deferrals += 1;
+                    if *queued != self.pending.len() {
+                        self.fail(
+                            i,
+                            format!(
+                                "deferral reports {queued} queued signals, \
+                                 replay holds {}",
+                                self.pending.len()
+                            ),
+                        );
+                    }
+                }
+                TraceEvent::GroupFormed {
+                    sequence,
+                    members,
+                    iterations,
+                    weights,
+                    new_iteration,
+                    repaired,
+                } => self.on_group(
+                    i,
+                    *sequence,
+                    members,
+                    iterations,
+                    weights,
+                    *new_iteration,
+                    *repaired,
+                ),
+                TraceEvent::AssignmentSent {
+                    worker, members, ..
+                } => {
+                    if !members.contains(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "assignment for group {members:?} sent to \
+                                 non-member worker {worker}"
+                            ),
+                        );
+                    }
+                }
+                TraceEvent::ReduceCompleted {
+                    worker, members, ..
+                } => self.on_completed(i, *worker, members),
+                TraceEvent::WorkerLeft {
+                    worker,
+                    active,
+                    purged_signal,
+                } => self.on_left(i, *worker, *active, *purged_signal),
+                TraceEvent::PendingDrained { signals } => {
+                    self.require_started(i);
+                    for &(w, it) in signals {
+                        match self.pending.remove(&w) {
+                            None => self.fail(
+                                i,
+                                format!(
+                                    "drained a signal for worker {w} that \
+                                     was not queued"
+                                ),
+                            ),
+                            Some(q) if q != it => self.fail(
+                                i,
+                                format!(
+                                    "drained signal for worker {w} carries \
+                                     iteration {it}, queued was {q}"
+                                ),
+                            ),
+                            Some(_) => {}
+                        }
+                    }
+                }
+                TraceEvent::SingletonIssued { worker, iteration } => {
+                    self.require_started(i);
+                    self.singletons += 1;
+                    if self.departed.contains_key(worker) {
+                        self.fail(i, format!("singleton issued to departed worker {worker}"));
+                    }
+                    if self.pending.contains_key(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "singleton issued to worker {worker} while \
+                                 its signal is still queued"
+                            ),
+                        );
+                    }
+                    // A singleton releases the worker at its *own* reported
+                    // iteration — no aggregation, no fast-forward — so the
+                    // floor check is non-strict here.
+                    if let Some(&floor) = self.min_next.get(worker) {
+                        if *iteration < floor {
+                            self.fail(
+                                i,
+                                format!(
+                                    "singleton for worker {worker} \
+                                     regresses to iteration {iteration} \
+                                     (floor {floor})"
+                                ),
+                            );
+                        }
+                    }
+                }
+                TraceEvent::RunFinished {
+                    groups_formed,
+                    repairs,
+                    deferrals,
+                    singletons,
+                } => {
+                    self.require_started(i);
+                    for (label, reported, counted) in [
+                        ("groups_formed", *groups_formed, self.groups),
+                        ("repairs", *repairs, self.repairs),
+                        ("deferrals", *deferrals, self.deferrals),
+                        ("singletons", *singletons, self.singletons),
+                    ] {
+                        if reported != counted {
+                            self.fail(
+                                i,
+                                format!(
+                                    "RunFinished reports {label} = \
+                                     {reported}, replay counted {counted}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        InvariantReport {
+            events: self.events.len(),
+            groups: self.groups,
+            repairs: self.repairs,
+            violations: self.violations,
+        }
+    }
+
+    fn on_started(&mut self, index: usize, config: &ControllerConfig) {
+        if self.config.is_some() {
+            self.fail(index, "duplicate RunStarted".to_string());
+            return;
+        }
+        if config.group_size < 2 || config.group_size > config.num_workers {
+            self.fail(
+                index,
+                format!(
+                    "invalid configuration: N = {}, P = {}",
+                    config.num_workers, config.group_size
+                ),
+            );
+        } else {
+            self.history = Some(GroupHistory::new(config.effective_window()));
+        }
+        self.active = Some(config.num_workers);
+        self.config = Some(config.clone());
+    }
+
+    /// Enforces that `worker`'s reported iteration numbers strictly
+    /// increase (monotonicity + DYN fast-forward adoption).
+    fn bump_min_next(&mut self, index: usize, worker: usize, iteration: u64, what: &str) {
+        if let Some(&floor) = self.min_next.get(&worker) {
+            if iteration <= floor {
+                self.fail(
+                    index,
+                    format!(
+                        "worker {worker} {what} iteration {iteration} does \
+                         not advance past {floor}"
+                    ),
+                );
+            }
+        }
+        let entry = self.min_next.entry(worker).or_insert(iteration);
+        *entry = (*entry).max(iteration);
+    }
+
+    fn on_enqueued(&mut self, index: usize, worker: usize, iteration: u64, queued: usize) {
+        self.require_started(index);
+        if let Some(cfg) = &self.config {
+            if worker >= cfg.num_workers {
+                self.fail(
+                    index,
+                    format!(
+                        "signal from out-of-range worker {worker} \
+                         (N = {})",
+                        cfg.num_workers
+                    ),
+                );
+                return;
+            }
+        }
+        if self.departed.contains_key(&worker) {
+            self.fail(
+                index,
+                format!("signal from departed worker {worker} was enqueued"),
+            );
+        }
+        if self.strict_inflight && self.in_flight.contains_key(&worker) {
+            self.fail(
+                index,
+                format!(
+                    "worker {worker} signalled ready while still inside an \
+                     in-flight group"
+                ),
+            );
+        }
+        self.bump_min_next(index, worker, iteration, "signalled");
+        if self.pending.insert(worker, iteration).is_some() {
+            self.fail(
+                index,
+                format!("worker {worker} signalled ready twice without reducing"),
+            );
+        }
+        if queued != self.pending.len() {
+            self.fail(
+                index,
+                format!(
+                    "enqueue reports queue depth {queued}, replay holds {}",
+                    self.pending.len()
+                ),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_group(
+        &mut self,
+        index: usize,
+        sequence: u64,
+        members: &[usize],
+        iterations: &[u64],
+        weights: &[f32],
+        new_iteration: u64,
+        repaired: bool,
+    ) {
+        self.require_started(index);
+        self.groups += 1;
+        if repaired {
+            self.repairs += 1;
+        }
+        if sequence != self.expected_sequence {
+            self.fail(
+                index,
+                format!(
+                    "group sequence {sequence} out of order (expected {})",
+                    self.expected_sequence
+                ),
+            );
+        }
+        self.expected_sequence = sequence + 1;
+
+        // Exactly P distinct, in-range, still-active members.
+        if let Some(cfg) = &self.config {
+            if members.len() != cfg.group_size {
+                self.fail(
+                    index,
+                    format!(
+                        "group {sequence} has {} members, expected P = {}",
+                        members.len(),
+                        cfg.group_size
+                    ),
+                );
+            }
+            if let Some(&bad) = members.iter().find(|&&m| m >= cfg.num_workers) {
+                self.fail(
+                    index,
+                    format!("group {sequence} contains out-of-range worker {bad}"),
+                );
+            }
+        }
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != members.len() {
+            self.fail(
+                index,
+                format!("group {sequence} has duplicate members {members:?}"),
+            );
+        }
+        for &m in members {
+            if self.departed.contains_key(&m) {
+                self.fail(
+                    index,
+                    format!("departed worker {m} appears in group {sequence}"),
+                );
+            }
+            if self.strict_inflight {
+                if self.in_flight.contains_key(&m) {
+                    self.fail(
+                        index,
+                        format!(
+                            "worker {m} sits in two in-flight groups \
+                             (second is {sequence})"
+                        ),
+                    );
+                }
+                self.in_flight.insert(m, members.to_vec());
+            }
+        }
+
+        // Each member consumes its queued signal, iterations aligned.
+        if iterations.len() != members.len() {
+            self.fail(
+                index,
+                format!(
+                    "group {sequence}: {} iterations for {} members",
+                    iterations.len(),
+                    members.len()
+                ),
+            );
+        }
+        for (&m, &it) in members.iter().zip(iterations) {
+            match self.pending.remove(&m) {
+                None => self.fail(
+                    index,
+                    format!("group {sequence} member {m} had no queued signal"),
+                ),
+                Some(q) if q != it => self.fail(
+                    index,
+                    format!(
+                        "group {sequence} member {m} recorded iteration \
+                         {it}, its signal carried {q}"
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+
+        // Fast-forward target is the group max; iterations never regress.
+        if let Some(&max) = iterations.iter().max() {
+            if new_iteration != max {
+                self.fail(
+                    index,
+                    format!(
+                        "group {sequence} fast-forwards to {new_iteration}, \
+                         member max is {max}"
+                    ),
+                );
+            }
+        }
+        let dynamic = matches!(
+            self.config.as_ref().map(|c| c.mode),
+            Some(AggregationMode::Dynamic { .. })
+        );
+        if dynamic {
+            // §3.3.3: members adopt the group max, so their next report
+            // must move strictly beyond it.
+            for &m in members {
+                let entry = self.min_next.entry(m).or_insert(new_iteration);
+                *entry = (*entry).max(new_iteration);
+            }
+        }
+
+        self.check_weights(index, sequence, iterations, weights, members);
+        self.check_repair(index, sequence, members, repaired);
+    }
+
+    /// Weights must be a stochastic vector matching the configured mode.
+    fn check_weights(
+        &mut self,
+        index: usize,
+        sequence: u64,
+        iterations: &[u64],
+        weights: &[f32],
+        members: &[usize],
+    ) {
+        if weights.len() != members.len() {
+            self.fail(
+                index,
+                format!(
+                    "group {sequence}: {} weights for {} members",
+                    weights.len(),
+                    members.len()
+                ),
+            );
+            return;
+        }
+        if let Some(&w) = weights.iter().find(|&&w| w < -WEIGHT_EPS) {
+            self.fail(index, format!("group {sequence} has negative weight {w}"));
+        }
+        let sum: f32 = weights.iter().sum();
+        if (sum - 1.0).abs() > WEIGHT_EPS {
+            self.fail(
+                index,
+                format!("group {sequence} weights sum to {sum}, not 1"),
+            );
+        }
+        let expected: Option<Vec<f32>> = match self.config.as_ref().map(|c| c.mode) {
+            Some(AggregationMode::Constant) => {
+                Some(vec![1.0 / weights.len() as f32; weights.len()])
+            }
+            Some(AggregationMode::Dynamic { alpha, gap_policy })
+                if iterations.len() == weights.len() && !iterations.is_empty() =>
+            {
+                Some(dynamic_weights(iterations, alpha, gap_policy))
+            }
+            _ => None,
+        };
+        if let Some(expected) = expected {
+            for (i, (&got, &want)) in weights.iter().zip(&expected).enumerate() {
+                if (got - want).abs() > WEIGHT_EPS {
+                    self.fail(
+                        index,
+                        format!(
+                            "group {sequence} weight[{i}] = {got} deviates \
+                             from the mode-prescribed {want}"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A repair must happen on a warm, disconnected sync-graph and bridge
+    /// at least two of its components (§4).
+    fn check_repair(&mut self, index: usize, sequence: u64, members: &[usize], repaired: bool) {
+        let Some(cfg) = self.config.clone() else {
+            return;
+        };
+        let Some(history) = self.history.as_mut() else {
+            return;
+        };
+        if repaired {
+            if !cfg.frozen_avoidance {
+                self.fail(
+                    index,
+                    format!(
+                        "group {sequence} repaired with frozen avoidance \
+                         disabled"
+                    ),
+                );
+            }
+            if !history.is_warm() {
+                self.fail(
+                    index,
+                    format!(
+                        "group {sequence} repaired before the history \
+                         window warmed up"
+                    ),
+                );
+            } else {
+                let graph = history.sync_graph(cfg.num_workers);
+                if graph.is_connected() {
+                    self.fail(
+                        index,
+                        format!(
+                            "group {sequence} repaired an already-connected \
+                             sync-graph"
+                        ),
+                    );
+                } else {
+                    let comps = graph.components();
+                    let mut spanned: Vec<usize> = members
+                        .iter()
+                        .filter(|&&m| m < cfg.num_workers)
+                        .map(|&m| comps[m])
+                        .collect();
+                    spanned.sort_unstable();
+                    spanned.dedup();
+                    if spanned.len() < 2 {
+                        self.fail(
+                            index,
+                            format!(
+                                "repair group {sequence} does not bridge \
+                                 sync-graph components"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if members.iter().all(|&m| m < cfg.num_workers) {
+            history.record(members.to_vec());
+        }
+    }
+
+    fn on_left(&mut self, index: usize, worker: usize, active: usize, purged_signal: bool) {
+        self.require_started(index);
+        if self.departed.insert(worker, ()).is_some() {
+            self.fail(index, format!("worker {worker} left twice"));
+        }
+        // The controller purges the departing worker's queued signal — the
+        // event must agree with the replayed queue.
+        let had_signal = self.pending.remove(&worker).is_some();
+        if had_signal != purged_signal {
+            self.fail(
+                index,
+                format!(
+                    "departure of worker {worker} reports purged_signal = \
+                     {purged_signal}, replayed queue says {had_signal}"
+                ),
+            );
+        }
+        match self.active {
+            Some(prev) if prev == 0 => {
+                self.fail(index, "more departures than workers".to_string());
+            }
+            Some(prev) => {
+                let now = prev - 1;
+                self.active = Some(now);
+                if active != now {
+                    self.fail(
+                        index,
+                        format!(
+                            "departure reports {active} active workers, \
+                             replay counted {now}"
+                        ),
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_completed(&mut self, index: usize, worker: usize, members: &[usize]) {
+        if !members.contains(&worker) {
+            self.fail(
+                index,
+                format!(
+                    "worker {worker} completed a reduce for group \
+                     {members:?} it is not a member of"
+                ),
+            );
+            return;
+        }
+        if members.len() == 1 {
+            // Singleton drain completions never pass through GroupFormed.
+            return;
+        }
+        match self.in_flight.remove(&worker) {
+            None => self.fail(
+                index,
+                format!(
+                    "worker {worker} completed a reduce without an \
+                     in-flight group"
+                ),
+            ),
+            Some(assigned) if assigned != members => self.fail(
+                index,
+                format!(
+                    "worker {worker} completed group {members:?} but was \
+                     assigned {assigned:?}"
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Controller, ControllerConfig};
+    use crate::trace::RingSink;
+    use std::sync::Arc;
+
+    /// Drives a traced controller through a few rounds and returns the
+    /// events.
+    fn healthy_trace(dynamic: bool) -> Vec<TraceEvent> {
+        let cfg = if dynamic {
+            ControllerConfig::dynamic(6, 3)
+        } else {
+            ControllerConfig::constant(6, 3)
+        };
+        let sink = Arc::new(RingSink::new(4096));
+        let mut c = Controller::with_sink(cfg, sink.clone());
+        let mut iter = [0u64; 6];
+        let mut free = [true; 6];
+        for _ in 0..12 {
+            for w in 0..6 {
+                if free[w] {
+                    iter[w] += 1;
+                    c.push_ready(w, iter[w]);
+                    free[w] = false;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                for &m in &d.group {
+                    free[m] = true;
+                    if dynamic {
+                        iter[m] = d.new_iteration;
+                    }
+                }
+            }
+        }
+        sink.snapshot()
+    }
+
+    #[test]
+    fn healthy_constant_trace_is_clean() {
+        let events = healthy_trace(false);
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.groups > 0);
+    }
+
+    #[test]
+    fn healthy_dynamic_trace_is_clean() {
+        let events = healthy_trace(true);
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn duplicate_member_is_caught() {
+        let mut events = healthy_trace(false);
+        for e in &mut events {
+            if let TraceEvent::GroupFormed { members, .. } = e {
+                members[1] = members[0];
+                break;
+            }
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("duplicate members")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn corrupted_weight_row_is_caught() {
+        let mut events = healthy_trace(false);
+        for e in &mut events {
+            if let TraceEvent::GroupFormed { weights, .. } = e {
+                weights[0] += 0.25;
+                break;
+            }
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(!report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn iteration_regression_is_caught() {
+        let mut events = healthy_trace(false);
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        // Set a worker's *second* signal below its first.
+        let mut target = None;
+        for (i, e) in events.iter().enumerate() {
+            if let TraceEvent::SignalEnqueued { worker, .. } = e {
+                if seen.contains_key(worker) {
+                    target = Some(i);
+                    break;
+                }
+                seen.insert(*worker, i);
+            }
+        }
+        let i = target.expect("trace has repeat signals");
+        if let TraceEvent::SignalEnqueued { iteration, .. } = &mut events[i] {
+            *iteration = 0;
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("does not advance")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bad_fast_forward_is_caught() {
+        let mut events = healthy_trace(true);
+        for e in &mut events {
+            if let TraceEvent::GroupFormed { new_iteration, .. } = e {
+                *new_iteration += 5;
+                break;
+            }
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("fast-forwards")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_run_started_is_reported_once() {
+        let mut events = healthy_trace(false);
+        events.remove(0);
+        let report = InvariantChecker::check(&events);
+        assert_eq!(
+            report
+                .violations
+                .iter()
+                .filter(|v| v.message.contains("RunStarted"))
+                .count(),
+            1,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn departed_member_in_group_is_caught() {
+        let events = vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 0,
+                iteration: 1,
+                queued: 1,
+            },
+            TraceEvent::WorkerLeft {
+                worker: 1,
+                active: 3,
+                purged_signal: false,
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 1,
+                iteration: 1,
+                queued: 2,
+            },
+            TraceEvent::GroupFormed {
+                sequence: 0,
+                members: vec![0, 1],
+                iterations: vec![1, 1],
+                weights: vec![0.5, 0.5],
+                new_iteration: 1,
+                repaired: false,
+            },
+        ];
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("departed worker 1")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn counter_mismatch_at_run_finished_is_caught() {
+        let mut events = healthy_trace(false);
+        events.push(TraceEvent::RunFinished {
+            groups_formed: 10_000,
+            repairs: 0,
+            deferrals: 0,
+            singletons: 0,
+        });
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("groups_formed")),
+            "{report}"
+        );
+    }
+}

@@ -27,23 +27,29 @@
 //!   worker-side [`runtime::PartialReducer`] handle whose
 //!   [`runtime::PartialReducer::reduce`] call is the primitive itself;
 //! * [`theory`] — the convergence-bound calculator of Theorem 1 (learning
-//!   rate condition Eq. 7 and the SGD/network error decomposition Eq. 8).
+//!   rate condition Eq. 7 and the SGD/network error decomposition Eq. 8);
+//! * [`trace`] — structured control-plane event tracing: one
+//!   [`trace::TraceEvent`] vocabulary shared by the controller, the
+//!   threaded runtime, the simulator, and the TCP control plane;
+//! * [`invariants`] — the trace-driven [`invariants::InvariantChecker`]
+//!   asserting the paper's contracts over a recorded run.
 
 pub mod controller;
 pub mod graph;
+pub mod invariants;
 pub mod matrix;
 pub mod runtime;
 pub mod spectral;
 pub mod theory;
+pub mod trace;
 pub mod weights;
 
-pub use controller::{
-    AggregationMode, Controller, ControllerConfig, GroupDecision,
-};
+pub use controller::{AggregationMode, Controller, ControllerConfig, GroupDecision};
 pub use graph::{min_history_window, GroupHistory, SyncGraph};
+pub use invariants::{InvariantChecker, InvariantReport, Violation};
 pub use matrix::{sync_matrix, weighted_sync_matrix};
 pub use spectral::{
-    expected_sync_matrix, expected_sync_matrix_uniform, rho_bar, spectral_gap,
-    SpectralReport,
+    expected_sync_matrix, expected_sync_matrix_uniform, rho_bar, spectral_gap, SpectralReport,
 };
+pub use trace::{read_jsonl, JsonlSink, NullSink, RingSink, SinkObserver, TraceEvent, TraceSink};
 pub use weights::{constant_weights, dynamic_weights, GapPolicy};

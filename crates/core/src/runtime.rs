@@ -16,17 +16,19 @@
 //! controller answers every subsequent ready signal with a singleton group
 //! (a local no-op), so stragglers drain without deadlock.
 
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use preduce_comm::collectives::{weighted_average, TAG_STRIDE};
 use preduce_comm::control::{
-    control_links, ControlPlane, GroupAssignment, WorkerControlPlane,
+    control_links, ControlPlane, GroupAssignment, ObservedControlPlane, WorkerControlPlane,
     WorkerSignal,
 };
 use preduce_comm::{CommWorld, Endpoint};
 
 use crate::controller::{Controller, ControllerConfig};
+use crate::trace::{NullSink, SinkObserver, TraceEvent, TraceSink};
 
 /// Statistics returned by the controller thread at shutdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +75,7 @@ pub struct PartialReducer {
     endpoint: Endpoint,
     timeout: Duration,
     finished: bool,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl std::fmt::Debug for PartialReducer {
@@ -115,13 +118,14 @@ impl PartialReducer {
             new_iteration,
         } = self.link.recv_assignment(self.timeout)?;
         if group.len() > 1 {
-            weighted_average(
-                &mut self.endpoint,
-                &group,
-                base_tag,
-                params,
-                &weights,
-            )?;
+            weighted_average(&mut self.endpoint, &group, base_tag, params, &weights)?;
+        }
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::ReduceCompleted {
+                worker: self.link.rank(),
+                members: group.clone(),
+                new_iteration,
+            });
         }
         Ok(ReduceOutcome {
             group,
@@ -145,14 +149,29 @@ impl PartialReducer {
 /// # Panics
 /// Panics if the config is invalid.
 pub fn spawn(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>) {
+    spawn_with_sink(config, Arc::new(NullSink))
+}
+
+/// Like [`spawn`], but every control-plane decision — including each
+/// assignment delivery and each worker's reduce completion — is narrated
+/// to `sink`.
+///
+/// # Panics
+/// Panics if the config is invalid.
+pub fn spawn_with_sink(
+    config: ControllerConfig,
+    sink: Arc<dyn TraceSink>,
+) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
     let n = config.num_workers;
     let (ctl_link, worker_links) = control_links(n);
+    let ctl_link = ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
     let endpoints = CommWorld::new(n).into_endpoints();
 
+    let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller".into())
-        .spawn(move || controller_loop(config, ctl_link))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink))
         .expect("failed to spawn controller thread");
 
     let reducers = worker_links
@@ -163,6 +182,7 @@ pub fn spawn(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>
             endpoint,
             timeout: Duration::from_secs(30),
             finished: false,
+            sink: sink.clone(),
         })
         .collect();
 
@@ -177,6 +197,19 @@ pub fn spawn(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>
 /// # Panics
 /// Panics if the loopback listener cannot be bound or the handshake fails.
 pub fn spawn_tcp(config: ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>) {
+    spawn_tcp_with_sink(config, Arc::new(NullSink))
+}
+
+/// Like [`spawn_tcp`], but traced: the observer sits directly on the TCP
+/// message queue, so [`TraceEvent::AssignmentSent`] records what actually
+/// crossed the socket.
+///
+/// # Panics
+/// Panics if the loopback listener cannot be bound or the handshake fails.
+pub fn spawn_tcp_with_sink(
+    config: ControllerConfig,
+    sink: Arc<dyn TraceSink>,
+) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
     let n = config.num_workers;
     let (listener, addr) = preduce_comm::tcp::bind_controller("127.0.0.1:0");
@@ -185,17 +218,17 @@ pub fn spawn_tcp(config: ControllerConfig) -> (ControllerHandle, Vec<PartialRedu
     // accept; avoids needing a connector thread per worker.
     let worker_links: Vec<preduce_comm::tcp::TcpWorkerLink> = (0..n)
         .map(|rank| {
-            preduce_comm::tcp::TcpWorkerLink::connect(addr, rank)
-                .expect("loopback connect")
+            preduce_comm::tcp::TcpWorkerLink::connect(addr, rank).expect("loopback connect")
         })
         .collect();
-    let ctl_link = preduce_comm::tcp::accept_workers(&listener, n)
-        .expect("worker handshake");
+    let ctl_link = preduce_comm::tcp::accept_workers(&listener, n).expect("worker handshake");
+    let ctl_link = ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
 
     let endpoints = CommWorld::new(n).into_endpoints();
+    let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller-tcp".into())
-        .spawn(move || controller_loop(config, ctl_link))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink))
         .expect("failed to spawn controller thread");
 
     let reducers = worker_links
@@ -206,6 +239,7 @@ pub fn spawn_tcp(config: ControllerConfig) -> (ControllerHandle, Vec<PartialRedu
             endpoint,
             timeout: Duration::from_secs(30),
             finished: false,
+            sink: sink.clone(),
         })
         .collect();
 
@@ -215,10 +249,11 @@ pub fn spawn_tcp(config: ControllerConfig) -> (ControllerHandle, Vec<PartialRedu
 fn controller_loop<C: ControlPlane>(
     config: ControllerConfig,
     mut link: C,
+    sink: Arc<dyn TraceSink>,
 ) -> ControllerStats {
     let n = config.num_workers;
     let p = config.group_size;
-    let mut controller = Controller::new(config);
+    let mut controller = Controller::with_sink(config, sink);
     let mut active = n;
     let mut singletons = 0u64;
     // Worker iterations seen in pending singleton-drain signals.
@@ -236,11 +271,10 @@ fn controller_loop<C: ControlPlane>(
                     // Too few workers remain to ever fill a group: answer
                     // with a singleton so the caller proceeds alone.
                     pending_drain.push((worker, iteration));
-                } else {
-                    controller.push_ready(worker, iteration);
-                    if drain_groups(&mut controller, &mut link).is_err() {
-                        return stats(&controller, singletons);
-                    }
+                } else if controller.push_ready(worker, iteration)
+                    && drain_groups(&mut controller, &mut link).is_err()
+                {
+                    return stats(&controller, singletons);
                 }
             }
             WorkerSignal::Leaving { worker } => {
@@ -248,9 +282,7 @@ fn controller_loop<C: ControlPlane>(
                 controller.mark_left(worker);
                 // A departure can unblock a frozen-avoidance deferral
                 // (the queue may now cover every remaining worker).
-                if active >= p
-                    && drain_groups(&mut controller, &mut link).is_err()
-                {
+                if active >= p && drain_groups(&mut controller, &mut link).is_err() {
                     return stats(&controller, singletons);
                 }
             }
@@ -262,6 +294,11 @@ fn controller_loop<C: ControlPlane>(
             flush.append(&mut pending_drain);
             for (worker, iteration) in flush.drain(..) {
                 singletons += 1;
+                if controller.sink().enabled() {
+                    controller
+                        .sink()
+                        .record(TraceEvent::SingletonIssued { worker, iteration });
+                }
                 let assignment = GroupAssignment {
                     group: vec![worker],
                     weights: vec![1.0],
@@ -277,10 +314,7 @@ fn controller_loop<C: ControlPlane>(
     stats(&controller, singletons)
 }
 
-fn drain_groups<C: ControlPlane>(
-    controller: &mut Controller,
-    link: &mut C,
-) -> Result<(), ()> {
+fn drain_groups<C: ControlPlane>(controller: &mut Controller, link: &mut C) -> Result<(), ()> {
     while let Some(d) = controller.try_form_group() {
         let assignment = GroupAssignment {
             group: d.group,
@@ -296,6 +330,15 @@ fn drain_groups<C: ControlPlane>(
 }
 
 fn stats(controller: &Controller, singletons: u64) -> ControllerStats {
+    if controller.sink().enabled() {
+        controller.sink().record(TraceEvent::RunFinished {
+            groups_formed: controller.groups_formed(),
+            repairs: controller.repairs(),
+            deferrals: controller.deferrals(),
+            singletons,
+        });
+    }
+    controller.sink().flush();
     ControllerStats {
         groups_formed: controller.groups_formed(),
         repairs: controller.repairs(),
@@ -322,9 +365,7 @@ mod tests {
         config: ControllerConfig,
         iters: usize,
         dim: usize,
-        spawner: fn(
-            ControllerConfig,
-        ) -> (ControllerHandle, Vec<PartialReducer>),
+        spawner: fn(ControllerConfig) -> (ControllerHandle, Vec<PartialReducer>),
     ) -> (Vec<Vec<f32>>, ControllerStats) {
         let (handle, reducers) = spawner(config);
         let threads: Vec<_> = reducers
@@ -349,8 +390,7 @@ mod tests {
                 })
             })
             .collect();
-        let results: Vec<Vec<f32>> =
-            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let results: Vec<Vec<f32>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
         let stats = handle.join();
         (results, stats)
     }
@@ -505,6 +545,61 @@ mod tests {
     }
 
     #[test]
+    fn traced_fleet_satisfies_invariants() {
+        use crate::invariants::InvariantChecker;
+        use crate::trace::{RingSink, TraceEvent};
+
+        let sink = Arc::new(RingSink::new(65536));
+        let cfg = ControllerConfig::constant(6, 2);
+        let (handle, reducers) = spawn_with_sink(cfg, sink.clone());
+        let threads: Vec<_> = reducers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut r)| {
+                thread::spawn(move || {
+                    let mut params = vec![rank as f32; 4];
+                    let mut iteration = 0u64;
+                    for _ in 0..20 {
+                        // Stagger progress so groups mix stale and fresh.
+                        thread::sleep(Duration::from_micros(50 * rank as u64));
+                        for v in &mut params {
+                            *v += 1.0;
+                        }
+                        iteration += 1;
+                        let out = r.reduce(&mut params, iteration).unwrap();
+                        iteration = out.new_iteration;
+                    }
+                    r.finish().unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = handle.join();
+        assert_eq!(sink.dropped(), 0, "ring overflowed; raise capacity");
+
+        let events = sink.snapshot();
+        // The full vocabulary shows up: controller decisions, transport
+        // deliveries, worker completions, closing counters.
+        assert!(matches!(events[0], TraceEvent::RunStarted { .. }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AssignmentSent { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ReduceCompleted { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::RunFinished { .. })
+        ));
+
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.groups, stats.groups_formed);
+    }
+
+    #[test]
     fn reduce_after_finish_panics() {
         let cfg = ControllerConfig::constant(2, 2);
         let (handle, mut reducers) = spawn(cfg);
@@ -512,11 +607,9 @@ mod tests {
         let mut r0 = reducers.pop().unwrap();
         r0.finish().unwrap();
         r1.finish().unwrap();
-        let result = std::panic::catch_unwind(
-            std::panic::AssertUnwindSafe(|| {
-                let _ = r0.reduce(&mut [0.0], 1);
-            }),
-        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = r0.reduce(&mut [0.0], 1);
+        }));
         assert!(result.is_err());
         handle.join();
     }

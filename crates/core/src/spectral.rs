@@ -7,9 +7,7 @@
 //! faster update spreading; homogeneity ⇒ smaller `ρ` (Fig. 4), and
 //! `P = N` all-reduce ⇒ `ρ = 0`.
 
-use preduce_tensor::{
-    symmetric_eigenvalues, JacobiOptions, Tensor, TensorError,
-};
+use preduce_tensor::{symmetric_eigenvalues, JacobiOptions, Tensor, TensorError};
 
 use crate::matrix::sync_matrix;
 
@@ -98,7 +96,11 @@ pub fn spectral_gap(e_w: &Tensor) -> Result<SpectralReport, TensorError> {
     // disconnected schedule's repeated unit eigenvalue) to exactly 1.
     let rho = rho.max(0.0);
     let rho = if rho > 1.0 - 1e-6 { 1.0 } else { rho };
-    let bar = if rho < 1.0 { rho_bar(rho) } else { f64::INFINITY };
+    let bar = if rho < 1.0 {
+        rho_bar(rho)
+    } else {
+        f64::INFINITY
+    };
     Ok(SpectralReport {
         rho,
         rho_bar: bar,
@@ -123,12 +125,7 @@ mod tests {
     fn heterogeneous_n3_p2_matches_paper_fig4b() {
         // Fig. 4(b): worker 3 is 2× slower; pair frequencies
         // {1,2}: 1/2, {1,3}: 1/4, {2,3}: 1/4 ⇒ ρ = 0.625.
-        let groups = vec![
-            vec![0, 1],
-            vec![0, 1],
-            vec![0, 2],
-            vec![1, 2],
-        ];
+        let groups = vec![vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]];
         let w = expected_sync_matrix(3, &groups);
         let r = spectral_gap(&w).unwrap();
         assert!((r.rho - 0.625).abs() < 1e-5, "rho = {}", r.rho);
@@ -137,10 +134,7 @@ mod tests {
     #[test]
     fn heterogeneity_increases_rho() {
         // More skew toward one pair ⇒ larger ρ (slower spreading).
-        let balanced = expected_sync_matrix(
-            3,
-            &[vec![0, 1], vec![0, 2], vec![1, 2]],
-        );
+        let balanced = expected_sync_matrix(3, &[vec![0, 1], vec![0, 2], vec![1, 2]]);
         let skewed = expected_sync_matrix(
             3,
             &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]],

@@ -61,9 +61,7 @@ pub fn lr_condition_holds(inputs: &TheoremInputs, gamma: f64) -> bool {
     let eta = effective_lr(gamma, inputs.num_workers, inputs.group_size);
     let n = inputs.num_workers as f64;
     let p = inputs.group_size as f64;
-    eta * inputs.lipschitz
-        + 2.0 * n.powi(3) * eta * eta * inputs.rho_bar / (p * p)
-        <= 1.0
+    eta * inputs.lipschitz + 2.0 * n.powi(3) * eta * eta * inputs.rho_bar / (p * p) <= 1.0
 }
 
 /// Evaluates the Eq. 8 bound after `k_iterations` partial reduces with
@@ -86,8 +84,7 @@ pub fn convergence_bound(
     let k = k_iterations as f64;
 
     let sgd_error = 2.0 * inputs.initial_gap / (eta * k) + eta * l * s2 / p;
-    let network_error =
-        2.0 * eta * eta * l * l * s2 * n.powi(3) * inputs.rho_bar / (p * p);
+    let network_error = 2.0 * eta * eta * l * l * s2 * n.powi(3) * inputs.rho_bar / (p * p);
     ConvergenceBound {
         sgd_error,
         network_error,
@@ -99,16 +96,10 @@ pub fn convergence_bound(
 ///
 /// # Panics
 /// Panics if any input is zero.
-pub fn theorem_lr(
-    num_workers: usize,
-    group_size: usize,
-    lipschitz: f64,
-    k_iterations: u64,
-) -> f64 {
+pub fn theorem_lr(num_workers: usize, group_size: usize, lipschitz: f64, k_iterations: u64) -> f64 {
     assert!(num_workers > 0 && group_size > 0 && k_iterations > 0);
     assert!(lipschitz > 0.0, "Lipschitz constant must be positive");
-    num_workers as f64
-        / (lipschitz * ((group_size as u64 * k_iterations) as f64).sqrt())
+    num_workers as f64 / (lipschitz * ((group_size as u64 * k_iterations) as f64).sqrt())
 }
 
 #[cfg(test)]
@@ -133,10 +124,8 @@ mod tests {
         let i = inputs(8, 4, 1.0);
         let k1 = 10_000_000u64;
         let k2 = 4 * k1;
-        let b1 =
-            convergence_bound(&i, theorem_lr(8, 4, 1.0, k1), k1).total();
-        let b2 =
-            convergence_bound(&i, theorem_lr(8, 4, 1.0, k2), k2).total();
+        let b1 = convergence_bound(&i, theorem_lr(8, 4, 1.0, k1), k1).total();
+        let b2 = convergence_bound(&i, theorem_lr(8, 4, 1.0, k2), k2).total();
         let ratio = b1 / b2;
         assert!((ratio - 2.0).abs() < 0.2, "ratio = {ratio}");
     }

@@ -54,11 +54,7 @@ pub fn constant_weights(p: usize) -> Vec<f32> {
 ///
 /// # Panics
 /// Panics if `iterations` is empty or `alpha` is outside `(0, 1)`.
-pub fn dynamic_weights(
-    iterations: &[u64],
-    alpha: f64,
-    gap_policy: GapPolicy,
-) -> Vec<f32> {
+pub fn dynamic_weights(iterations: &[u64], alpha: f64, gap_policy: GapPolicy) -> Vec<f32> {
     assert!(!iterations.is_empty(), "group must be non-empty");
     assert!(
         alpha > 0.0 && alpha < 1.0,
@@ -79,15 +75,12 @@ pub fn dynamic_weights(
 
     // β(r) per Eq. 9 with k replaced by k̂_max.
     let denom = 1.0 - alpha.powi(rel_max as i32);
-    let beta = |r: u64| -> f64 {
-        (1.0 - alpha) * alpha.powi((r - 1) as i32) / denom
-    };
+    let beta = |r: u64| -> f64 { (1.0 - alpha) * alpha.powi((r - 1) as i32) / denom };
 
     // Owners per relative iteration number.
     let mut weights = vec![0.0f64; p];
     for r in 1..=rel_max {
-        let owners: Vec<usize> =
-            (0..p).filter(|&i| rel[i] == r).collect();
+        let owners: Vec<usize> = (0..p).filter(|&i| rel[i] == r).collect();
         let mass = beta(r);
         if !owners.is_empty() {
             let share = mass / owners.len() as f64;
@@ -99,9 +92,7 @@ pub fn dynamic_weights(
         // Gap: route per policy. The stalest relative number always has an
         // owner (the min-iteration member), so recipients are never empty.
         let recipients: Vec<usize> = match gap_policy {
-            GapPolicy::Initial => {
-                (0..p).filter(|&i| rel[i] == rel_max).collect()
-            }
+            GapPolicy::Initial => (0..p).filter(|&i| rel[i] == rel_max).collect(),
             GapPolicy::Nearest => {
                 let nearest = rel
                     .iter()

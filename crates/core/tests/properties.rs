@@ -1,17 +1,18 @@
 //! Property-based tests for the partial-reduce core: weight generation,
 //! synchronization matrices, controller behaviour, sync-graph invariants.
 
+use std::sync::Arc;
+
 use partial_reduce::{
-    constant_weights, dynamic_weights, min_history_window, spectral_gap,
-    sync_matrix, weighted_sync_matrix, AggregationMode, Controller,
-    ControllerConfig, GapPolicy, GroupHistory, SyncGraph,
+    constant_weights, dynamic_weights, min_history_window, spectral_gap, sync_matrix,
+    weighted_sync_matrix, AggregationMode, Controller, ControllerConfig, GapPolicy, GroupHistory,
+    InvariantChecker, RingSink, SyncGraph,
 };
 use proptest::prelude::*;
 
 fn group_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
     // A random subset of 2..=n workers out of n.
-    prop::collection::btree_set(0..n, 2..=n)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(0..n, 2..=n).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {
@@ -35,6 +36,55 @@ proptest! {
         let s: f32 = w.iter().sum();
         prop_assert!((s - 1.0).abs() < 1e-4, "sum = {s}");
         prop_assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn all_tied_iterations_degenerate_to_uniform(
+        p in 1usize..16,
+        iteration in 1u64..100_000,
+        alpha in 0.05f64..0.95,
+        nearest in any::<bool>(),
+    ) {
+        // Every member at the same iteration: no staleness to penalize, so
+        // both gap policies must return exactly constant 1/P weights.
+        let policy = if nearest { GapPolicy::Nearest } else { GapPolicy::Initial };
+        let w = dynamic_weights(&vec![iteration; p], alpha, policy);
+        for &x in &w {
+            prop_assert!(
+                (x - 1.0 / p as f32).abs() < 1e-6,
+                "tied weights not uniform: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_member_gets_full_weight(
+        iteration in 1u64..100_000,
+        alpha in 0.05f64..0.95,
+        nearest in any::<bool>(),
+    ) {
+        let policy = if nearest { GapPolicy::Nearest } else { GapPolicy::Initial };
+        let w = dynamic_weights(&[iteration], alpha, policy);
+        prop_assert_eq!(w, vec![1.0f32]);
+    }
+
+    #[test]
+    fn both_gap_policies_normalize_identical_inputs(
+        iterations in prop::collection::vec(1u64..10_000, 1..12),
+        alpha in 0.05f64..0.95,
+    ) {
+        // The gap policy redistributes mass between members but never
+        // creates or destroys it: both variants stay stochastic vectors
+        // over the same input.
+        for policy in [GapPolicy::Initial, GapPolicy::Nearest] {
+            let w = dynamic_weights(&iterations, alpha, policy);
+            let s: f32 = w.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "{policy:?}: sum = {s}");
+            prop_assert!(
+                w.iter().all(|&x| x >= 0.0),
+                "{policy:?}: negative weight in {w:?}"
+            );
+        }
     }
 
     #[test]
@@ -185,6 +235,68 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_random_traffic_satisfies_invariants(
+        seed in any::<u64>(),
+        p in 2usize..5,
+        rounds in 1usize..30,
+        dynamic in any::<bool>(),
+    ) {
+        // Whatever the controller does under random traffic — including
+        // random worker departures — the emitted trace must replay clean
+        // through the invariant checker.
+        use rand::{Rng, SeedableRng};
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sink = Arc::new(RingSink::new(8192));
+        let mut c = Controller::with_sink(
+            ControllerConfig {
+                num_workers: n,
+                group_size: p,
+                mode: if dynamic {
+                    AggregationMode::dynamic_default()
+                } else {
+                    AggregationMode::Constant
+                },
+                history_window: None,
+                frozen_avoidance: true,
+            },
+            sink.clone(),
+        );
+        let mut queued = vec![false; n];
+        let mut iter = vec![0u64; n];
+        for _ in 0..rounds {
+            for w in 0..n {
+                if c.has_left(w) {
+                    continue;
+                }
+                // Rare departure, possibly with a signal still queued.
+                if rng.gen_bool(0.02) {
+                    c.mark_left(w);
+                    queued[w] = false;
+                    continue;
+                }
+                if !queued[w] && rng.gen_bool(0.6) {
+                    iter[w] += rng.gen_range(1..4);
+                    prop_assert!(c.push_ready(w, iter[w]));
+                    queued[w] = true;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                for &m in &d.group {
+                    queued[m] = false;
+                    if dynamic {
+                        // §3.3.3 adoption, as the threaded trainer does.
+                        iter[m] = d.new_iteration;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(sink.dropped(), 0);
+        let report = InvariantChecker::check(&sink.snapshot());
+        prop_assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -49,17 +49,14 @@ impl BatchSampler {
 
     /// Draws the next random minibatch.
     pub fn next_batch(&mut self) -> Batch {
-        let idx =
-            index_sample(&mut self.rng, self.dataset.len(), self.batch_size)
-                .into_vec();
+        let idx = index_sample(&mut self.rng, self.dataset.len(), self.batch_size).into_vec();
         self.dataset.gather(&idx)
     }
 
     /// Draws a batch using an external RNG (used by the simulator, which
     /// owns all randomness for reproducibility).
     pub fn next_batch_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Batch {
-        let idx =
-            index_sample(rng, self.dataset.len(), self.batch_size).into_vec();
+        let idx = index_sample(rng, self.dataset.len(), self.batch_size).into_vec();
         self.dataset.gather(&idx)
     }
 }
@@ -70,9 +67,7 @@ mod tests {
     use preduce_tensor::Tensor;
 
     fn toy(n: usize) -> Dataset {
-        let features =
-            Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1])
-                .unwrap();
+        let features = Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1]).unwrap();
         Dataset::new(features, vec![0; n], 1)
     }
 
@@ -94,8 +89,7 @@ mod tests {
     fn within_batch_sampling_is_without_replacement() {
         let mut s = BatchSampler::new(toy(32), 32, 1);
         let b = s.next_batch();
-        let mut vals: Vec<i64> =
-            (0..32).map(|i| b.features.row(i)[0] as i64).collect();
+        let mut vals: Vec<i64> = (0..32).map(|i| b.features.row(i)[0] as i64).collect();
         vals.sort_unstable();
         vals.dedup();
         assert_eq!(vals.len(), 32, "batch repeated an example");
@@ -117,10 +111,8 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = BatchSampler::new(toy(50), 8, 1);
         let mut b = BatchSampler::new(toy(50), 8, 2);
-        let same = (0..5).all(|_| {
-            a.next_batch().features.as_slice()
-                == b.next_batch().features.as_slice()
-        });
+        let same = (0..5)
+            .all(|_| a.next_batch().features.as_slice() == b.next_batch().features.as_slice());
         assert!(!same);
     }
 

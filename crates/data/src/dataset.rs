@@ -128,10 +128,7 @@ impl Dataset {
         let n_train = self.len() - n_test;
         let d = self.feature_dim();
         let data = self.features.into_vec();
-        let (train_data, test_data) = (
-            data[..n_train * d].to_vec(),
-            data[n_train * d..].to_vec(),
-        );
+        let (train_data, test_data) = (data[..n_train * d].to_vec(), data[n_train * d..].to_vec());
         let (train_labels, test_labels) = (
             self.labels[..n_train].to_vec(),
             self.labels[n_train..].to_vec(),
@@ -191,11 +188,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let features = Tensor::from_vec(
-            vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
-            [4, 2],
-        )
-        .unwrap();
+        let features =
+            Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0], [4, 2]).unwrap();
         Dataset::new(features, vec![0, 1, 0, 1], 2)
     }
 

@@ -37,11 +37,7 @@ pub enum ShardStrategy {
 ///
 /// # Panics
 /// Panics if `n_shards == 0` or `n_shards > dataset.len()`.
-pub fn shard_dataset(
-    dataset: &Dataset,
-    n_shards: usize,
-    strategy: ShardStrategy,
-) -> Vec<Dataset> {
+pub fn shard_dataset(dataset: &Dataset, n_shards: usize, strategy: ShardStrategy) -> Vec<Dataset> {
     assert!(n_shards > 0, "need at least one shard");
     assert!(
         n_shards <= dataset.len(),
@@ -89,11 +85,7 @@ mod tests {
     use preduce_tensor::Tensor;
 
     fn toy(n: usize) -> Dataset {
-        let features = Tensor::from_vec(
-            (0..n).map(|i| i as f32).collect(),
-            [n, 1],
-        )
-        .unwrap();
+        let features = Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1]).unwrap();
         let labels = (0..n).map(|i| i % 2).collect();
         Dataset::new(features, labels, 2)
     }
@@ -112,16 +104,14 @@ mod tests {
     #[test]
     fn round_robin_interleaves() {
         let shards = shard_dataset(&toy(6), 2, ShardStrategy::RoundRobin);
-        let vals: Vec<f32> =
-            (0..3).map(|i| shards[0].features().row(i)[0]).collect();
+        let vals: Vec<f32> = (0..3).map(|i| shards[0].features().row(i)[0]).collect();
         assert_eq!(vals, vec![0.0, 2.0, 4.0]);
     }
 
     #[test]
     fn shuffled_partitions_everything_exactly_once() {
         let ds = toy(11);
-        let shards =
-            shard_dataset(&ds, 4, ShardStrategy::Shuffled { seed: 9 });
+        let shards = shard_dataset(&ds, 4, ShardStrategy::Shuffled { seed: 9 });
         let mut seen: Vec<f32> = shards
             .iter()
             .flat_map(|s| (0..s.len()).map(|i| s.features().row(i)[0]))
@@ -143,8 +133,7 @@ mod tests {
 
     #[test]
     fn sizes_differ_by_at_most_one() {
-        let shards =
-            shard_dataset(&toy(17), 5, ShardStrategy::Shuffled { seed: 0 });
+        let shards = shard_dataset(&toy(17), 5, ShardStrategy::Shuffled { seed: 0 });
         let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();

@@ -73,21 +73,16 @@ impl GaussianMixture {
         let mut centers = Vec::with_capacity(config.num_classes * d);
         for _ in 0..config.num_classes {
             // Direction uniform on the sphere: normalize a standard normal.
-            let v: Vec<f32> =
-                (0..d).map(|_| StandardNormal.sample(&mut rng)).collect();
-            let norm =
-                v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
-            centers
-                .extend(v.into_iter().map(|x| x / norm * config.center_norm));
+            let v: Vec<f32> = (0..d).map(|_| StandardNormal.sample(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            centers.extend(v.into_iter().map(|x| x / norm * config.center_norm));
         }
-        let centers = Tensor::from_vec(centers, [config.num_classes, d])
-            .expect("center volume matches");
+        let centers =
+            Tensor::from_vec(centers, [config.num_classes, d]).expect("center volume matches");
 
         let warp = config.nonlinear_warp.then(|| {
             let scale = (1.0 / d as f32).sqrt();
-            let data = (0..d * d)
-                .map(|_| rng.gen_range(-scale..scale))
-                .collect();
+            let data = (0..d * d).map(|_| rng.gen_range(-scale..scale)).collect();
             Tensor::from_vec(data, [d, d]).expect("warp volume matches")
         });
 
@@ -110,8 +105,7 @@ impl GaussianMixture {
 
     /// Realizes the configured dataset (balanced classes, shuffled order).
     pub fn generate(&self) -> Dataset {
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b9);
         self.sample(self.config.num_samples, &mut rng)
     }
 
@@ -123,8 +117,7 @@ impl GaussianMixture {
         assert!(n > 0, "cannot sample an empty dataset");
         let d = self.config.feature_dim;
         let c = self.config.num_classes;
-        let noise = Normal::new(0.0f32, self.config.noise_std.max(1e-12))
-            .expect("std positive");
+        let noise = Normal::new(0.0f32, self.config.noise_std.max(1e-12)).expect("std positive");
 
         // Balanced class assignment, then shuffled.
         let mut labels: Vec<usize> = (0..n).map(|i| i % c).collect();
@@ -137,8 +130,7 @@ impl GaussianMixture {
                 data.push(cx + noise.sample(rng));
             }
         }
-        let mut features =
-            Tensor::from_vec(data, [n, d]).expect("volume matches");
+        let mut features = Tensor::from_vec(data, [n, d]).expect("volume matches");
 
         if let Some(warp) = &self.warp {
             features = preduce_tensor::matmul(&features, warp);
@@ -233,8 +225,7 @@ mod tests {
             let mut best = (f32::INFINITY, 0);
             for cidx in 0..5 {
                 let c = gm.centers().row(cidx);
-                let dist: f32 =
-                    x.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum();
+                let dist: f32 = x.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum();
                 if dist < best.0 {
                     best = (dist, cidx);
                 }

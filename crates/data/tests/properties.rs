@@ -1,8 +1,7 @@
 //! Property-based tests for dataset generation, sharding, and sampling.
 
 use preduce_data::{
-    shard_dataset, BatchSampler, Dataset, GaussianMixture, ShardStrategy,
-    SynthConfig,
+    shard_dataset, BatchSampler, Dataset, GaussianMixture, ShardStrategy, SynthConfig,
 };
 use preduce_tensor::Tensor;
 use proptest::prelude::*;
@@ -11,8 +10,7 @@ use rand::SeedableRng;
 fn indexed_dataset(n: usize) -> Dataset {
     // Feature value encodes the example index — lets properties check
     // coverage exactly.
-    let features =
-        Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1]).unwrap();
+    let features = Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n, 1]).unwrap();
     Dataset::new(features, (0..n).map(|i| i % 3).collect(), 3)
 }
 

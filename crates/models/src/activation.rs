@@ -135,10 +135,7 @@ mod tests {
         for i in 0..3 {
             let xi = x.as_slice()[i] as f64;
             let numeric = ((xi + eps).tanh() - (xi - eps).tanh()) / (2.0 * eps);
-            assert!(
-                (dx.as_slice()[i] as f64 - numeric).abs() < 1e-4,
-                "i={i}"
-            );
+            assert!((dx.as_slice()[i] as f64 - numeric).abs() < 1e-4, "i={i}");
         }
     }
 

@@ -6,7 +6,7 @@
 //! layer itself. This keeps a single activation type throughout while still
 //! supporting genuine CNN analogs in the model zoo.
 
-use preduce_tensor::{matmul, matmul_a_bt, matmul_at_b, he_normal, Tensor};
+use preduce_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
 use rand::Rng;
 
 use crate::layer::Layer;
@@ -115,30 +115,26 @@ impl Conv2d {
                     let base = (b * positions + pos) * kk;
                     for c in 0..self.in_c {
                         for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize
-                                - self.padding as isize;
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                             if iy < 0 || iy >= self.in_h as isize {
                                 continue; // zero padding
                             }
                             for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize
-                                    - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= self.in_w as isize {
                                     continue;
                                 }
-                                col[base + c * k * k + ky * k + kx] = xrow[c
-                                    * self.in_h
-                                    * self.in_w
-                                    + iy as usize * self.in_w
-                                    + ix as usize];
+                                col[base + c * k * k + ky * k + kx] =
+                                    xrow[c * self.in_h * self.in_w
+                                        + iy as usize * self.in_w
+                                        + ix as usize];
                             }
                         }
                     }
                 }
             }
         }
-        Tensor::from_vec(col, [batch * positions, kk])
-            .expect("im2col volume matches")
+        Tensor::from_vec(col, [batch * positions, kk]).expect("im2col volume matches")
     }
 
     /// Scatter-adds a `[batch * positions, K]` gradient back to input layout.
@@ -159,21 +155,18 @@ impl Conv2d {
                     let base = (b * positions + pos) * kk;
                     for c in 0..self.in_c {
                         for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize
-                                - self.padding as isize;
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                             if iy < 0 || iy >= self.in_h as isize {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize
-                                    - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= self.in_w as isize {
                                     continue;
                                 }
                                 dxrow[c * self.in_h * self.in_w
                                     + iy as usize * self.in_w
-                                    + ix as usize] +=
-                                    ds[base + c * k * k + ky * k + kx];
+                                    + ix as usize] += ds[base + c * k * k + ky * k + kx];
                             }
                         }
                     }
@@ -230,8 +223,7 @@ impl Layer for Conv2d {
         }
         self.col = Some(col);
         self.batch = batch;
-        Tensor::from_vec(y, [batch, self.out_c * positions])
-            .expect("conv output volume matches")
+        Tensor::from_vec(y, [batch, self.out_c * positions]).expect("conv output volume matches")
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -258,17 +250,15 @@ impl Layer for Conv2d {
                 }
             }
         }
-        let gmat = Tensor::from_vec(gmat, [batch * positions, self.out_c])
-            .expect("gmat volume matches");
+        let gmat =
+            Tensor::from_vec(gmat, [batch * positions, self.out_c]).expect("gmat volume matches");
 
         // dW += gmatᵀ · col : [out_c, K]
         self.grad_weight.add_assign(&matmul_at_b(&gmat, &col));
         // db += column sums of gmat.
         for r in 0..batch * positions {
             let row = gmat.row(r);
-            for (g, &v) in
-                self.grad_bias.as_mut_slice().iter_mut().zip(row.iter())
-            {
+            for (g, &v) in self.grad_bias.as_mut_slice().iter_mut().zip(row.iter()) {
                 *g += v;
             }
         }
@@ -323,11 +313,7 @@ mod tests {
         // 1 channel, 1x1 kernel with weight 1: output == input.
         let mut c = Conv2d::new(&mut rng(), 1, 3, 3, 1, 1, 1, 0);
         c.params_mut()[0].as_mut_slice()[0] = 1.0;
-        let x = Tensor::from_vec(
-            (0..9).map(|i| i as f32).collect(),
-            [1, 9],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), [1, 9]).unwrap();
         let y = c.forward(&x);
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -340,11 +326,8 @@ mod tests {
         for w in c.params_mut()[0].as_mut_slice() {
             *w = 1.0;
         }
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-            [1, 9],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], [1, 9]).unwrap();
         let y = c.forward(&x);
         // Windows: [1,2,4,5]=12  [2,3,5,6]=16  [4,5,7,8]=24  [5,6,8,9]=28
         assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
@@ -356,7 +339,9 @@ mod tests {
         for w in c.params_mut()[0].as_mut_slice() {
             *w = 0.0;
         }
-        c.params_mut()[1].as_mut_slice().copy_from_slice(&[1.5, -2.5]);
+        c.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[1.5, -2.5]);
         let y = c.forward(&Tensor::zeros([1, 4]));
         assert_eq!(y.as_slice()[..4], [1.5; 4]);
         assert_eq!(y.as_slice()[4..], [-2.5; 4]);
@@ -368,7 +353,9 @@ mod tests {
         let mut xr = rng();
         use rand::Rng;
         let x = Tensor::from_vec(
-            (0..2 * 2 * 16).map(|_| xr.gen_range(-1.0f32..1.0)).collect(),
+            (0..2 * 2 * 16)
+                .map(|_| xr.gen_range(-1.0f32..1.0))
+                .collect(),
             [2, 32],
         )
         .unwrap();
@@ -399,9 +386,7 @@ mod tests {
     #[test]
     fn input_gradient_matches_finite_difference() {
         let mut c = Conv2d::new(&mut rng(), 1, 3, 3, 2, 2, 1, 0);
-        let mut x =
-            Tensor::from_vec((0..9).map(|i| 0.1 * i as f32).collect(), [1, 9])
-                .unwrap();
+        let mut x = Tensor::from_vec((0..9).map(|i| 0.1 * i as f32).collect(), [1, 9]).unwrap();
         let y = c.forward(&x);
         let dx = c.backward(&Tensor::ones(y.shape().clone()));
 

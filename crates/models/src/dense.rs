@@ -21,12 +21,11 @@ impl Dense {
     ///
     /// # Panics
     /// Panics if either dimension is zero.
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        in_features: usize,
-        out_features: usize,
-    ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "zero-sized dense layer");
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        assert!(
+            in_features > 0 && out_features > 0,
+            "zero-sized dense layer"
+        );
         Dense {
             weight: he_normal(rng, [in_features, out_features], in_features),
             bias: Tensor::zeros([out_features]),
@@ -85,9 +84,7 @@ impl Layer for Dense {
         let batch = grad.shape().dim(0);
         for r in 0..batch {
             let row = grad.row(r);
-            for (g, &v) in
-                self.grad_bias.as_mut_slice().iter_mut().zip(row.iter())
-            {
+            for (g, &v) in self.grad_bias.as_mut_slice().iter_mut().zip(row.iter()) {
                 *g += v;
             }
         }
@@ -133,7 +130,9 @@ mod tests {
         l.params_mut()[0]
             .as_mut_slice()
             .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        l.params_mut()[1].as_mut_slice().copy_from_slice(&[0.1, 0.2, 0.3]);
+        l.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[0.1, 0.2, 0.3]);
         let x = Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap();
         let y = l.forward(&x);
         // y = [1+4, 2+5, 3+6] + b = [5.1, 7.2, 9.3]
@@ -184,8 +183,7 @@ mod tests {
     fn finite_difference_gradient_check() {
         // Loss = sum(forward(x)); check dL/dW numerically.
         let mut l = Dense::new(&mut rng(), 3, 2);
-        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5], [2, 3])
-            .unwrap();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5], [2, 3]).unwrap();
 
         let y = l.forward(&x);
         let ones = Tensor::ones(y.shape().clone());

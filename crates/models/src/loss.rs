@@ -83,9 +83,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_rows_sum_to_zero() {
-        let logits =
-            Tensor::from_vec(vec![2.0, -1.0, 0.5, 0.0, 0.0, 3.0], [2, 3])
-                .unwrap();
+        let logits = Tensor::from_vec(vec![2.0, -1.0, 0.5, 0.0, 0.0, 3.0], [2, 3]).unwrap();
         let out = softmax_cross_entropy(&logits, &[0, 2]);
         for r in 0..2 {
             let s: f32 = out.grad.row(r).iter().sum();
@@ -95,8 +93,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_matches_finite_difference() {
-        let logits =
-            Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.0], [1, 4]).unwrap();
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.0], [1, 4]).unwrap();
         let labels = [2usize];
         let out = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3f32;
@@ -115,8 +112,7 @@ mod tests {
 
     #[test]
     fn confident_correct_prediction_has_small_loss() {
-        let logits =
-            Tensor::from_vec(vec![10.0, -10.0, -10.0], [1, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], [1, 3]).unwrap();
         let out = softmax_cross_entropy(&logits, &[0]);
         assert!(out.loss < 1e-6);
     }

@@ -32,11 +32,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
 ///
 /// # Panics
 /// Panics if `eval_batch == 0`.
-pub fn evaluate_accuracy(
-    net: &mut Network,
-    dataset: &Dataset,
-    eval_batch: usize,
-) -> f64 {
+pub fn evaluate_accuracy(net: &mut Network, dataset: &Dataset, eval_batch: usize) -> f64 {
     assert!(eval_batch > 0, "evaluation batch size must be positive");
     if dataset.is_empty() {
         return 0.0;
@@ -159,11 +155,8 @@ mod tests {
     fn evaluate_accuracy_batches_consistently() {
         // Accuracy must not depend on the evaluation batch size.
         let mut net = NetworkSpec::mlp(4, &[8], 3).build(5);
-        let features = Tensor::from_vec(
-            (0..40).map(|i| (i % 7) as f32 - 3.0).collect(),
-            [10, 4],
-        )
-        .unwrap();
+        let features =
+            Tensor::from_vec((0..40).map(|i| (i % 7) as f32 - 3.0).collect(), [10, 4]).unwrap();
         let labels = (0..10).map(|i| i % 3).collect::<Vec<_>>();
         let ds = Dataset::new(features, labels, 3);
         let a1 = evaluate_accuracy(&mut net, &ds, 3);

@@ -122,8 +122,7 @@ impl Network {
                 flat.extend_from_slice(p.as_slice());
             }
         }
-        Tensor::from_vec(flat, [self.param_count.max(1)])
-            .expect("param volume matches")
+        Tensor::from_vec(flat, [self.param_count.max(1)]).expect("param volume matches")
     }
 
     /// All accumulated gradients concatenated into one flat `[d]` tensor,
@@ -135,8 +134,7 @@ impl Network {
                 flat.extend_from_slice(g.as_slice());
             }
         }
-        Tensor::from_vec(flat, [self.param_count.max(1)])
-            .expect("grad volume matches")
+        Tensor::from_vec(flat, [self.param_count.max(1)]).expect("grad volume matches")
     }
 
     /// Overwrites all parameters from a flat `[d]` tensor.
@@ -209,11 +207,7 @@ mod tests {
         // Sum-of-logits loss; verify d(sum)/d(theta) numerically for a
         // sample of parameters across layers.
         let mut net = NetworkSpec::mlp(3, &[5], 2).build(7);
-        let x = Tensor::from_vec(
-            vec![0.2, -0.4, 1.0, 0.9, 0.1, -0.7],
-            [2, 3],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.9, 0.1, -0.7], [2, 3]).unwrap();
 
         let y = net.forward(&x);
         net.zero_grads();

@@ -60,8 +60,7 @@ impl Layer for LayerNorm {
         for r in 0..batch {
             let row = normalized.row_mut(r);
             let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
             for v in row.iter_mut() {
                 *v = (*v - mean) * istd;
@@ -245,17 +244,12 @@ mod tests {
     #[test]
     fn layernorm_rows_have_zero_mean_unit_var() {
         let mut ln = LayerNorm::new(8);
-        let x = Tensor::from_vec(
-            (0..16).map(|i| (i * i) as f32).collect(),
-            [2, 8],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..16).map(|i| (i * i) as f32).collect(), [2, 8]).unwrap();
         let y = ln.forward(&x);
         for r in 0..2 {
             let row = y.row(r);
             let mean: f32 = row.iter().sum::<f32>() / 8.0;
-            let var: f32 =
-                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
@@ -347,9 +341,7 @@ mod tests {
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
         // Dropped fraction near p.
-        let zeros =
-            y.as_slice().iter().filter(|&&v| v == 0.0).count() as f64
-                / 20_000.0;
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / 20_000.0;
         assert!((zeros - 0.3).abs() < 0.02, "dropped {zeros}");
     }
 

@@ -80,10 +80,7 @@ impl SgdOptimizer {
                 every_updates,
                 factor,
             } => {
-                let decays = self
-                    .steps
-                    .checked_div(every_updates)
-                    .unwrap_or(0) as i32;
+                let decays = self.steps.checked_div(every_updates).unwrap_or(0) as i32;
                 self.config.lr * factor.powi(decays)
             }
         }

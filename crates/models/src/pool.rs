@@ -82,18 +82,13 @@ impl Layer for MaxPool2d {
             for c in 0..self.channels {
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let out_idx = b * out_row
-                            + c * oh * ow
-                            + oy * ow
-                            + ox;
+                        let out_idx = b * out_row + c * oh * ow + oy * ow + ox;
                         for ky in 0..w {
                             for kx in 0..w {
                                 let iy = oy * w + ky;
                                 let ix = ox * w + kx;
-                                let in_idx = b * in_row
-                                    + c * self.in_h * self.in_w
-                                    + iy * self.in_w
-                                    + ix;
+                                let in_idx =
+                                    b * in_row + c * self.in_h * self.in_w + iy * self.in_w + ix;
                                 if xs[in_idx] > y[out_idx] {
                                     y[out_idx] = xs[in_idx];
                                     argmax[out_idx] = in_idx;
@@ -236,11 +231,7 @@ mod tests {
     #[test]
     fn maxpool_picks_window_maxima() {
         let mut p = MaxPool2d::new(1, 4, 4, 2);
-        let x = Tensor::from_vec(
-            (0..16).map(|i| i as f32).collect(),
-            [1, 16],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), [1, 16]).unwrap();
         let y = p.forward(&x);
         // Windows: max of {0,1,4,5}=5 {2,3,6,7}=7 {8,9,12,13}=13 {10,11,14,15}=15
         assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
@@ -258,22 +249,14 @@ mod tests {
     #[test]
     fn maxpool_multi_channel_independent() {
         let mut p = MaxPool2d::new(2, 2, 2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
-            [1, 8],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0], [1, 8]).unwrap();
         assert_eq!(p.forward(&x).as_slice(), &[4.0, 40.0]);
     }
 
     #[test]
     fn global_avg_pool_means() {
         let mut p = GlobalAvgPool::new(2, 2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
-            [1, 8],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], [1, 8]).unwrap();
         assert_eq!(p.forward(&x).as_slice(), &[2.5, 10.0]);
     }
 
@@ -288,11 +271,7 @@ mod tests {
     #[test]
     fn pool_gradient_conserves_mass() {
         let mut p = MaxPool2d::new(1, 4, 4, 2);
-        let x = Tensor::from_vec(
-            (0..16).map(|i| (i * 7 % 13) as f32).collect(),
-            [1, 16],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..16).map(|i| (i * 7 % 13) as f32).collect(), [1, 16]).unwrap();
         let y = p.forward(&x);
         let g = Tensor::ones(y.shape().clone());
         let dx = p.backward(&g);

@@ -103,8 +103,8 @@ impl Layer for Residual {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dense::Dense;
     use crate::activation::Relu;
+    use crate::dense::Dense;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {
@@ -141,9 +141,7 @@ mod tests {
     #[test]
     fn gradient_check_through_skip() {
         let mut b = block(3);
-        let mut x =
-            Tensor::from_vec(vec![0.4, -0.9, 1.2, 0.1, 0.8, -0.3], [2, 3])
-                .unwrap();
+        let mut x = Tensor::from_vec(vec![0.4, -0.9, 1.2, 0.1, 0.8, -0.3], [2, 3]).unwrap();
         let y = b.forward(&x);
         b.zero_grads();
         let dx = b.backward(&Tensor::ones(y.shape().clone()));

@@ -105,12 +105,7 @@ impl NetworkSpec {
     ///
     /// # Panics
     /// Panics if any dimension is zero.
-    pub fn residual_mlp(
-        input_dim: usize,
-        width: usize,
-        blocks: usize,
-        num_classes: usize,
-    ) -> Self {
+    pub fn residual_mlp(input_dim: usize, width: usize, blocks: usize, num_classes: usize) -> Self {
         assert!(
             input_dim > 0 && width > 0 && num_classes > 0,
             "zero-sized residual MLP"
@@ -178,7 +173,6 @@ impl NetworkSpec {
         validate_layers(self.input_dim, &self.layers)
     }
 
-
     /// Builds the network, initializing all parameters from `seed`.
     ///
     /// Two calls with the same spec and seed produce bit-identical networks —
@@ -244,7 +238,11 @@ fn validate_layers(mut dim: usize, layers: &[LayerSpec]) -> usize {
                 );
                 channels * (in_h / window) * (in_w / window)
             }
-            LayerSpec::GlobalAvgPool { channels, in_h, in_w } => {
+            LayerSpec::GlobalAvgPool {
+                channels,
+                in_h,
+                in_w,
+            } => {
                 assert_eq!(
                     dim,
                     channels * in_h * in_w,
@@ -282,10 +280,7 @@ fn validate_layers(mut dim: usize, layers: &[LayerSpec]) -> usize {
 
 /// Constructs layer objects from specs, drawing all randomness (weights,
 /// dropout seeds) from `rng` in spec order so the result is deterministic.
-fn build_layers(
-    specs: &[LayerSpec],
-    rng: &mut rand::rngs::StdRng,
-) -> Vec<Box<dyn Layer>> {
+fn build_layers(specs: &[LayerSpec], rng: &mut rand::rngs::StdRng) -> Vec<Box<dyn Layer>> {
     use rand::Rng;
     specs
         .iter()
@@ -306,8 +301,7 @@ fn build_layers(
                     stride,
                     padding,
                 } => Box::new(Conv2d::new(
-                    rng, *in_c, *in_h, *in_w, *out_c, *kernel, *stride,
-                    *padding,
+                    rng, *in_c, *in_h, *in_w, *out_c, *kernel, *stride, *padding,
                 )),
                 LayerSpec::MaxPool2d {
                     channels,
@@ -315,16 +309,15 @@ fn build_layers(
                     in_w,
                     window,
                 } => Box::new(MaxPool2d::new(*channels, *in_h, *in_w, *window)),
-                LayerSpec::GlobalAvgPool { channels, in_h, in_w } => {
-                    Box::new(GlobalAvgPool::new(*channels, *in_h, *in_w))
+                LayerSpec::GlobalAvgPool {
+                    channels,
+                    in_h,
+                    in_w,
+                } => Box::new(GlobalAvgPool::new(*channels, *in_h, *in_w)),
+                LayerSpec::LayerNorm { features } => Box::new(LayerNorm::new(*features)),
+                LayerSpec::Dropout { p_mille } => {
+                    Box::new(Dropout::new(*p_mille as f32 / 1000.0, rng.gen()))
                 }
-                LayerSpec::LayerNorm { features } => {
-                    Box::new(LayerNorm::new(*features))
-                }
-                LayerSpec::Dropout { p_mille } => Box::new(Dropout::new(
-                    *p_mille as f32 / 1000.0,
-                    rng.gen(),
-                )),
                 LayerSpec::Residual { layers } => {
                     Box::new(Residual::new(build_layers(layers, rng)))
                 }
@@ -332,7 +325,6 @@ fn build_layers(
         })
         .collect()
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -411,9 +403,7 @@ mod tests {
         assert_eq!(s.validate(), 5);
         let net = s.build(3);
         // Stem (16·32+32) + 3 blocks (LN 2·32 + two dense 32·32+32) + head.
-        let expect = (16 * 32 + 32)
-            + 3 * (2 * 32 + 2 * (32 * 32 + 32))
-            + (32 * 5 + 5);
+        let expect = (16 * 32 + 32) + 3 * (2 * 32 + 2 * (32 * 32 + 32)) + (32 * 5 + 5);
         assert_eq!(net.param_count(), expect);
         // Deterministic across builds.
         assert_eq!(net.param_vector(), s.build(3).param_vector());

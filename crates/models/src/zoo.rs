@@ -177,9 +177,7 @@ mod tests {
         assert!(v.profile.intensity(256) < d.profile.intensity(256));
         // ResNet-18 has higher arithmetic intensity than VGG-16 at the same
         // batch size: that's what makes it scale better in Fig. 11.
-        assert!(
-            resnet18().profile.intensity(256) > vgg16().profile.intensity(256)
-        );
+        assert!(resnet18().profile.intensity(256) > vgg16().profile.intensity(256));
     }
 
     #[test]

@@ -1,18 +1,16 @@
 //! Property-based tests for the mini-DL framework: parameter plumbing,
 //! gradient correctness on random architectures, and loss identities.
 
-use preduce_models::{
-    softmax_cross_entropy, LayerSpec, NetworkSpec, SgdConfig, SgdOptimizer,
-};
+use preduce_models::{softmax_cross_entropy, LayerSpec, NetworkSpec, SgdConfig, SgdOptimizer};
 use preduce_tensor::Tensor;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 fn mlp_strategy() -> impl Strategy<Value = NetworkSpec> {
     (
-        1usize..8,                                  // input dim
-        prop::collection::vec(1usize..12, 0..3),    // hidden widths
-        2usize..6,                                  // classes
+        1usize..8,                               // input dim
+        prop::collection::vec(1usize..12, 0..3), // hidden widths
+        2usize..6,                               // classes
     )
         .prop_map(|(d, hidden, c)| NetworkSpec::mlp(d, &hidden, c))
 }

@@ -96,8 +96,7 @@ mod tests {
         q.schedule(SimTime::new(3.0), "c");
         q.schedule(SimTime::new(1.0), "a");
         q.schedule(SimTime::new(2.0), "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e))
-            .collect();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
 
@@ -108,8 +107,7 @@ mod tests {
         for i in 0..10 {
             q.schedule(t, i);
         }
-        let order: Vec<i32> =
-            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

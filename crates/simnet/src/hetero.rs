@@ -31,11 +31,9 @@ impl Jitter {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             Jitter::None => 1.0,
-            Jitter::LogNormal { sigma } => {
-                LogNormal::new(0.0, sigma.max(1e-12))
-                    .expect("sigma validated")
-                    .sample(rng)
-            }
+            Jitter::LogNormal { sigma } => LogNormal::new(0.0, sigma.max(1e-12))
+                .expect("sigma validated")
+                .sample(rng),
         }
     }
 }
@@ -162,11 +160,7 @@ impl GpuSharingFleet {
     ///
     /// # Panics
     /// Panics if the assignment is empty or `device_flops <= 0`.
-    pub fn from_assignment(
-        assignment: Vec<usize>,
-        device_flops: f64,
-        jitter: Jitter,
-    ) -> Self {
+    pub fn from_assignment(assignment: Vec<usize>, device_flops: f64, jitter: Jitter) -> Self {
         assert!(!assignment.is_empty(), "empty device assignment");
         assert!(device_flops > 0.0, "device throughput must be positive");
         let n_devices = assignment.iter().max().expect("non-empty") + 1;
@@ -255,9 +249,7 @@ impl HeterogeneityModel for SpeedFleet {
         rng: &mut (dyn rand::RngCore + 'a),
     ) -> f64 {
         check_worker(worker, self.multipliers.len());
-        flops / self.device_flops
-            * self.multipliers[worker]
-            * self.jitter.sample(rng)
+        flops / self.device_flops * self.multipliers[worker] * self.jitter.sample(rng)
     }
 
     fn clone_box(&self) -> Box<dyn HeterogeneityModel> {
@@ -418,8 +410,7 @@ mod tests {
 
     #[test]
     fn markov_fleet_mixes_fast_and_slow() {
-        let mut f =
-            MarkovFleet::new(1, 1e9, 0.2, 0.5, 4.0, Jitter::None);
+        let mut f = MarkovFleet::new(1, 1e9, 0.2, 0.5, 4.0, Jitter::None);
         let mut r = rng();
         let times: Vec<f64> = (0..500)
             .map(|_| f.compute_time(0, 1e9, SimTime::ZERO, &mut r))

@@ -35,8 +35,7 @@ mod time;
 
 pub use events::EventQueue;
 pub use hetero::{
-    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet,
-    UniformFleet,
+    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet, UniformFleet,
 };
 pub use network::NetworkModel;
 pub use resource::FifoResource;

@@ -89,8 +89,7 @@ impl NetworkModel {
         }
         let remote_fraction = (n - 1) as f64 / n as f64;
         2.0 * (self.latency
-            + remote_fraction * bytes as f64 / self.bandwidth
-                * self.ps_incast_factor)
+            + remote_fraction * bytes as f64 / self.bandwidth * self.ps_incast_factor)
     }
 
     /// Pairwise model exchange-and-average (AD-PSGD gossip): both models

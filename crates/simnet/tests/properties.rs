@@ -1,8 +1,8 @@
 //! Property-based tests for the discrete-event simulator.
 
 use preduce_simnet::{
-    EventQueue, FifoResource, GpuSharingFleet, HeterogeneityModel, Jitter,
-    MarkovFleet, NetworkModel, SimTime, SpeedFleet, UniformFleet,
+    EventQueue, FifoResource, GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet,
+    NetworkModel, SimTime, SpeedFleet, UniformFleet,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -34,10 +34,7 @@ impl Default for JacobiOptions {
 /// computation is performed in `f64`. Asymmetry up to `1e-4` per entry is
 /// tolerated and symmetrized away, since callers build `E[W]` from
 /// single-precision averages.
-pub fn symmetric_eigenvalues(
-    m: &Tensor,
-    opts: JacobiOptions,
-) -> Result<Vec<f64>, TensorError> {
+pub fn symmetric_eigenvalues(m: &Tensor, opts: JacobiOptions) -> Result<Vec<f64>, TensorError> {
     if m.shape().rank() != 2 {
         return Err(TensorError::NotSquare {
             rows: m.shape().dim(0),

@@ -15,12 +15,7 @@ use crate::tensor::Tensor;
 ///
 /// # Panics
 /// Panics if `lo >= hi`.
-pub fn uniform<R: Rng + ?Sized>(
-    rng: &mut R,
-    shape: impl Into<Shape>,
-    lo: f32,
-    hi: f32,
-) -> Tensor {
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
     assert!(lo < hi, "uniform range is empty: [{lo}, {hi})");
     let shape = shape.into();
     let data = (0..shape.volume()).map(|_| rng.gen_range(lo..hi)).collect();
@@ -48,11 +43,7 @@ pub fn xavier_uniform<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// Panics if `fan_in == 0`.
-pub fn he_normal<R: Rng + ?Sized>(
-    rng: &mut R,
-    shape: impl Into<Shape>,
-    fan_in: usize,
-) -> Tensor {
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
     assert!(fan_in > 0, "he_normal requires nonzero fan_in");
     let shape = shape.into();
     let std = (2.0 / fan_in as f32).sqrt();
@@ -100,18 +91,8 @@ mod tests {
 
     #[test]
     fn seeded_init_is_deterministic() {
-        let a = uniform(
-            &mut rand::rngs::StdRng::seed_from_u64(42),
-            [16],
-            -1.0,
-            1.0,
-        );
-        let b = uniform(
-            &mut rand::rngs::StdRng::seed_from_u64(42),
-            [16],
-            -1.0,
-            1.0,
-        );
+        let a = uniform(&mut rand::rngs::StdRng::seed_from_u64(42), [16], -1.0, 1.0);
+        let b = uniform(&mut rand::rngs::StdRng::seed_from_u64(42), [16], -1.0, 1.0);
         assert_eq!(a, b);
     }
 }

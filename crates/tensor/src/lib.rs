@@ -32,10 +32,8 @@ mod tensor;
 pub use eig::{symmetric_eigenvalues, JacobiOptions};
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
-pub use ops::{
-    argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows,
-};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use ops::{argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

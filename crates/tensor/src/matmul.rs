@@ -33,7 +33,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = matrix_dims(a, "matmul");
     let (k2, n) = matrix_dims(b, "matmul");
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul inner-dimension mismatch: {} vs {}",
         a.shape(),
         b.shape()
@@ -60,7 +61,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = matrix_dims(a, "matmul_a_bt");
     let (n, k2) = matrix_dims(b, "matmul_a_bt");
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul_a_bt shared-dimension mismatch: {} vs {}",
         a.shape(),
         b.shape()
@@ -91,7 +93,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = matrix_dims(a, "matmul_at_b");
     let (k2, n) = matrix_dims(b, "matmul_at_b");
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul_at_b shared-dimension mismatch: {} vs {}",
         a.shape(),
         b.shape()

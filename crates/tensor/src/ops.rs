@@ -126,9 +126,7 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let x =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3])
-                .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
         let s = softmax_rows(&x);
         for r in 0..2 {
             let sum: f32 = s.row(r).iter().sum();
@@ -159,11 +157,7 @@ mod tests {
 
     #[test]
     fn argmax_rows_picks_max_and_breaks_ties_low() {
-        let x = Tensor::from_vec(
-            vec![1.0, 3.0, 2.0, 5.0, 5.0, 0.0],
-            [2, 3],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0, 5.0, 0.0], [2, 3]).unwrap();
         assert_eq!(argmax_rows(&x), vec![1, 0]);
     }
 }

@@ -16,10 +16,7 @@ pub struct Tensor {
 
 impl Tensor {
     /// Creates a tensor from a data buffer and shape.
-    pub fn from_vec(
-        data: Vec<f32>,
-        shape: impl Into<Shape>,
-    ) -> Result<Self, TensorError> {
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if data.len() != shape.volume() {
             return Err(TensorError::LengthMismatch {
@@ -296,8 +293,7 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3])
-            .unwrap();
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
         assert_eq!(t.len(), 6);
         assert_eq!(t.at(&[0, 0]), 1.0);
         assert_eq!(t.at(&[1, 2]), 6.0);

@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor kernel.
 
 use preduce_tensor::{
-    matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, symmetric_eigenvalues,
-    JacobiOptions, Shape, Tensor,
+    matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, symmetric_eigenvalues, JacobiOptions,
+    Shape, Tensor,
 };
 use proptest::prelude::*;
 
@@ -12,8 +12,7 @@ fn finite_f32() -> impl Strategy<Value = f32> {
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_len).prop_flat_map(|n| {
-        prop::collection::vec(finite_f32(), n)
-            .prop_map(move |v| Tensor::from_vec(v, [n]).unwrap())
+        prop::collection::vec(finite_f32(), n).prop_map(move |v| Tensor::from_vec(v, [n]).unwrap())
     })
 }
 

@@ -1,13 +1,13 @@
 //! Experiment configuration.
 
 use preduce_data::{DatasetPreset, ShardStrategy};
-use serde::{Deserialize, Serialize};
 use preduce_models::zoo::ModelZooEntry;
 use preduce_models::SgdConfig;
 use preduce_simnet::{
-    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, NetworkModel,
-    SpeedFleet, UniformFleet,
+    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, NetworkModel, SpeedFleet,
+    UniformFleet,
 };
+use serde::{Deserialize, Serialize};
 
 /// Which heterogeneity regime the simulated cluster runs under.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,23 +54,13 @@ impl HeteroSpec {
         jitter: Jitter,
     ) -> Box<dyn HeterogeneityModel> {
         match self {
-            HeteroSpec::Uniform => {
-                Box::new(UniformFleet::new(n, device_flops, jitter))
-            }
+            HeteroSpec::Uniform => Box::new(UniformFleet::new(n, device_flops, jitter)),
             HeteroSpec::GpuSharing { hl } => {
                 Box::new(GpuSharingFleet::new(n, *hl, device_flops, jitter))
             }
             HeteroSpec::Speed { multipliers } => {
-                assert_eq!(
-                    multipliers.len(),
-                    n,
-                    "need one multiplier per worker"
-                );
-                Box::new(SpeedFleet::new(
-                    multipliers.clone(),
-                    device_flops,
-                    jitter,
-                ))
+                assert_eq!(multipliers.len(), n, "need one multiplier per worker");
+                Box::new(SpeedFleet::new(multipliers.clone(), device_flops, jitter))
             }
             HeteroSpec::Production {
                 p_degrade,
@@ -162,11 +152,7 @@ pub struct ExperimentConfig {
 
 impl ExperimentConfig {
     /// The Table 1 base configuration for a model/preset pair.
-    pub fn table1(
-        model: ModelZooEntry,
-        preset: DatasetPreset,
-        hl: usize,
-    ) -> Self {
+    pub fn table1(model: ModelZooEntry, preset: DatasetPreset, hl: usize) -> Self {
         ExperimentConfig {
             model,
             preset,
@@ -215,7 +201,10 @@ impl ExperimentConfig {
             self.sim_batch_size > 0 && self.math_batch_size > 0,
             "batch sizes must be positive"
         );
-        assert!(self.device_flops > 0.0, "device throughput must be positive");
+        assert!(
+            self.device_flops > 0.0,
+            "device throughput must be positive"
+        );
         assert!(
             self.threshold > 0.0 && self.threshold <= 1.0,
             "threshold must lie in (0, 1]"

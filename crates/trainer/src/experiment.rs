@@ -1,10 +1,14 @@
 //! The experiment driver: strategy × configuration → [`RunResult`].
 
+use std::sync::Arc;
+
+use partial_reduce::{NullSink, TraceSink};
+
 use crate::config::ExperimentConfig;
 use crate::metrics::RunResult;
 use crate::sim::{
-    run_ad_psgd, run_allreduce, run_d_psgd, run_eager_reduce, run_preduce,
-    run_ps_asp, run_ps_bk, run_ps_bsp, run_ps_hete, run_ps_ssp, SimHarness,
+    run_ad_psgd, run_allreduce, run_d_psgd, run_eager_reduce, run_preduce_traced, run_ps_asp,
+    run_ps_bk, run_ps_bsp, run_ps_hete, run_ps_ssp, SimHarness,
 };
 use crate::strategy::Strategy;
 
@@ -17,6 +21,21 @@ use crate::strategy::Strategy;
 /// Panics on invalid configurations (e.g. P-Reduce group larger than the
 /// fleet, backups ≥ N).
 pub fn run_experiment(strategy: Strategy, config: &ExperimentConfig) -> RunResult {
+    run_experiment_traced(strategy, config, Arc::new(NullSink))
+}
+
+/// Like [`run_experiment`], but P-Reduce runs narrate their control plane
+/// to `sink`. Strategies without a partial-reduce controller have nothing
+/// to trace; they run as in [`run_experiment`] and leave `sink` untouched.
+///
+/// # Panics
+/// Panics on invalid configurations (e.g. P-Reduce group larger than the
+/// fleet, backups ≥ N).
+pub fn run_experiment_traced(
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    sink: Arc<dyn TraceSink>,
+) -> RunResult {
     let harness = SimHarness::new(config);
     match strategy {
         Strategy::AllReduce => run_allreduce(harness),
@@ -29,8 +48,10 @@ pub fn run_experiment(strategy: Strategy, config: &ExperimentConfig) -> RunResul
         Strategy::PsHete => run_ps_hete(harness),
         Strategy::PsBackup { backups } => run_ps_bk(harness, backups),
         Strategy::PReduce { .. } => {
-            let cfg = strategy.controller_config(config.num_workers);
-            run_preduce(harness, cfg)
+            let cfg = strategy
+                .controller_config(config.num_workers)
+                .expect("PReduce always carries a controller config");
+            run_preduce_traced(harness, cfg, sink)
         }
     }
 }
@@ -65,8 +86,14 @@ mod tests {
             Strategy::PsSsp { bound: 4 },
             Strategy::PsHete,
             Strategy::PsBackup { backups: 1 },
-            Strategy::PReduce { p: 2, dynamic: false },
-            Strategy::PReduce { p: 2, dynamic: true },
+            Strategy::PReduce {
+                p: 2,
+                dynamic: false,
+            },
+            Strategy::PReduce {
+                p: 2,
+                dynamic: true,
+            },
         ];
         for s in strategies {
             let r = run_experiment(s, &c);
@@ -87,8 +114,20 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let c = tiny(2);
-        let a = run_experiment(Strategy::PReduce { p: 2, dynamic: true }, &c);
-        let b = run_experiment(Strategy::PReduce { p: 2, dynamic: true }, &c);
+        let a = run_experiment(
+            Strategy::PReduce {
+                p: 2,
+                dynamic: true,
+            },
+            &c,
+        );
+        let b = run_experiment(
+            Strategy::PReduce {
+                p: 2,
+                dynamic: true,
+            },
+            &c,
+        );
         assert_eq!(a.run_time, b.run_time);
         assert_eq!(a.updates, b.updates);
         assert_eq!(a.final_accuracy, b.final_accuracy);
@@ -101,10 +140,20 @@ mod tests {
         // degrades much less.
         let ar_1 = run_experiment(Strategy::AllReduce, &tiny(1));
         let ar_3 = run_experiment(Strategy::AllReduce, &tiny(3));
-        let pr_1 =
-            run_experiment(Strategy::PReduce { p: 2, dynamic: false }, &tiny(1));
-        let pr_3 =
-            run_experiment(Strategy::PReduce { p: 2, dynamic: false }, &tiny(3));
+        let pr_1 = run_experiment(
+            Strategy::PReduce {
+                p: 2,
+                dynamic: false,
+            },
+            &tiny(1),
+        );
+        let pr_3 = run_experiment(
+            Strategy::PReduce {
+                p: 2,
+                dynamic: false,
+            },
+            &tiny(3),
+        );
         let ar_slowdown = ar_3.per_update_time() / ar_1.per_update_time();
         let pr_slowdown = pr_3.per_update_time() / pr_1.per_update_time();
         assert!(
@@ -117,8 +166,13 @@ mod tests {
     fn preduce_per_update_is_faster_than_allreduce() {
         let c = tiny(1);
         let ar = run_experiment(Strategy::AllReduce, &c);
-        let pr =
-            run_experiment(Strategy::PReduce { p: 2, dynamic: false }, &c);
+        let pr = run_experiment(
+            Strategy::PReduce {
+                p: 2,
+                dynamic: false,
+            },
+            &c,
+        );
         assert!(
             pr.per_update_time() < ar.per_update_time(),
             "P-Reduce {} !< AR {}",

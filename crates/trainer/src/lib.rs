@@ -35,7 +35,10 @@ pub mod threaded;
 pub mod worker;
 
 pub use config::{ExperimentConfig, HeteroSpec};
-pub use experiment::run_experiment;
+pub use experiment::{run_experiment, run_experiment_traced};
 pub use metrics::{RunResult, TracePoint};
-pub use strategy::Strategy;
+pub use strategy::{NoControllerConfig, Strategy};
+pub use threaded::{
+    train_threaded_allreduce, train_threaded_preduce, train_threaded_preduce_traced, ThreadedReport,
+};
 pub use worker::WorkerState;

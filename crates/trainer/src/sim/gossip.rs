@@ -93,23 +93,17 @@ pub fn run_d_psgd(mut h: SimHarness) -> RunResult {
     assert!(n >= 3, "ring gossip needs at least three workers");
     // Each worker exchanges full models with two neighbors, concurrently:
     // cost ≈ two pairwise transfers; the ring is gated by its slowest link.
-    let comm = 2.0
-        * h.network.gossip_pair_time(h.bytes)
-        * h.link_factor(0..h.num_workers());
+    let comm = 2.0 * h.network.gossip_pair_time(h.bytes) * h.link_factor(0..h.num_workers());
     let mut now = SimTime::ZERO;
     loop {
-        let compute: Vec<f64> =
-            (0..n).map(|w| h.compute_time(w, now)).collect();
+        let compute: Vec<f64> = (0..n).map(|w| h.compute_time(w, now)).collect();
         let round_compute = compute.iter().cloned().fold(0.0f64, f64::max);
 
         // Gradients at current local models.
-        let grads: Vec<Tensor> = (0..n)
-            .map(|w| h.workers[w].gradient(&mut h.rng))
-            .collect();
+        let grads: Vec<Tensor> = (0..n).map(|w| h.workers[w].gradient(&mut h.rng)).collect();
 
         // Ring mixing: x_i ← (x_{i−1} + x_i + x_{i+1}) / 3.
-        let olds: Vec<Tensor> =
-            h.workers.iter().map(|w| w.params.clone()).collect();
+        let olds: Vec<Tensor> = h.workers.iter().map(|w| w.params.clone()).collect();
         for i in 0..n {
             let mut mixed = olds[i].clone();
             mixed.add_assign(&olds[(i + 1) % n]);

@@ -14,7 +14,7 @@ mod ps_async;
 mod sync;
 
 pub use gossip::{run_ad_psgd, run_d_psgd};
-pub use preduce::run_preduce;
+pub use preduce::{run_preduce, run_preduce_traced};
 pub use ps_async::{run_ps_asp, run_ps_hete, run_ps_ssp};
 pub use sync::{run_allreduce, run_eager_reduce, run_ps_bk, run_ps_bsp};
 
@@ -85,9 +85,7 @@ impl SimHarness {
                 .unwrap_or(ShardStrategy::Shuffled { seed: config.seed }),
         );
 
-        let spec = config
-            .model
-            .spec(train.feature_dim(), train.num_classes());
+        let spec = config.model.spec(train.feature_dim(), train.num_classes());
         let reference = spec.build(config.seed);
 
         let workers: Vec<WorkerState> = shards
@@ -105,10 +103,7 @@ impl SimHarness {
             })
             .collect();
 
-        let hetero =
-            config
-                .hetero
-                .build(n, config.device_flops, config.jitter);
+        let hetero = config.hetero.build(n, config.device_flops, config.jitter);
 
         SimHarness {
             workers,
@@ -119,10 +114,7 @@ impl SimHarness {
             rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e3779b9)),
             ps_server_momentum: config.ps_server_momentum,
             overlap_fraction: config.overlap_fraction,
-            link_slowdown: config
-                .link_slowdown
-                .clone()
-                .unwrap_or_else(|| vec![1.0; n]),
+            link_slowdown: config.link_slowdown.clone().unwrap_or_else(|| vec![1.0; n]),
             tracker: ConvergenceTracker::new(config, reference, test),
         }
     }
@@ -222,21 +214,14 @@ impl ConvergenceTracker {
         }
     }
 
-    fn record(
-        &mut self,
-        now: SimTime,
-        duration: f64,
-        workers: &mut [WorkerState],
-    ) -> bool {
+    fn record(&mut self, now: SimTime, duration: f64, workers: &mut [WorkerState]) -> bool {
         self.updates += 1;
         if self.samples.len() < MAX_UPDATE_SAMPLES {
             self.samples.push(duration);
         }
         if self.updates.is_multiple_of(self.eval_every) {
             let acc = self.evaluate(workers);
-            let grad_norm_sq = self
-                .track_grad_norm
-                .then(|| self.grad_norm_sq(workers));
+            let grad_norm_sq = self.track_grad_norm.then(|| self.grad_norm_sq(workers));
             self.trace.push(TracePoint {
                 time: now.seconds(),
                 updates: self.updates,
@@ -317,12 +302,8 @@ mod tests {
     fn shards_are_disjoint_sizes() {
         let c = small_config();
         let h = SimHarness::new(&c);
-        let total: usize =
-            h.workers.iter().map(|w| w.sampler.dataset().len()).sum();
-        assert_eq!(
-            total,
-            c.preset.config.num_samples - c.preset.test_size
-        );
+        let total: usize = h.workers.iter().map(|w| w.sampler.dataset().len()).sum();
+        assert_eq!(total, c.preset.config.num_samples - c.preset.test_size);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! The partial-reduce simulation driver: Algorithm 2 under virtual time,
 //! reusing the transport-independent [`partial_reduce::Controller`].
 
-use partial_reduce::{AggregationMode, Controller, ControllerConfig};
+use std::sync::Arc;
+
+use partial_reduce::{
+    AggregationMode, Controller, ControllerConfig, NullSink, TraceEvent, TraceSink,
+};
 use preduce_simnet::{EventQueue, SimTime};
 
 use super::SimHarness;
@@ -27,7 +31,23 @@ enum Event {
 ///
 /// # Panics
 /// Panics if the controller config disagrees with the harness size.
-pub fn run_preduce(mut h: SimHarness, cfg: ControllerConfig) -> RunResult {
+pub fn run_preduce(h: SimHarness, cfg: ControllerConfig) -> RunResult {
+    run_preduce_traced(h, cfg, Arc::new(NullSink))
+}
+
+/// Like [`run_preduce`], but narrates the run to `sink` in the same event
+/// vocabulary as the threaded runtime — the simulator emits one
+/// [`TraceEvent::ReduceCompleted`] per member when a group's virtual
+/// collective lands, so the invariant checker replays either harness
+/// identically.
+///
+/// # Panics
+/// Panics if the controller config disagrees with the harness size.
+pub fn run_preduce_traced(
+    mut h: SimHarness,
+    cfg: ControllerConfig,
+    sink: Arc<dyn TraceSink>,
+) -> RunResult {
     assert_eq!(
         cfg.num_workers,
         h.num_workers(),
@@ -39,7 +59,7 @@ pub fn run_preduce(mut h: SimHarness, cfg: ControllerConfig) -> RunResult {
         AggregationMode::Dynamic { .. } => format!("P-Reduce DYN (P={p})"),
     };
     let dynamic = matches!(cfg.mode, AggregationMode::Dynamic { .. });
-    let mut controller = Controller::new(cfg);
+    let mut controller = Controller::with_sink(cfg, sink);
 
     let signal = h.network.signal_time();
 
@@ -103,6 +123,13 @@ pub fn run_preduce(mut h: SimHarness, cfg: ControllerConfig) -> RunResult {
                         // §3.3.3: members adopt the group max iteration.
                         h.workers[m].iteration = new_iteration;
                     }
+                    if controller.sink().enabled() {
+                        controller.sink().record(TraceEvent::ReduceCompleted {
+                            worker: m,
+                            members: group.clone(),
+                            new_iteration,
+                        });
+                    }
                     dur_sum += t - last_free[m];
                 }
                 let dur = dur_sum / group.len() as f64;
@@ -118,6 +145,15 @@ pub fn run_preduce(mut h: SimHarness, cfg: ControllerConfig) -> RunResult {
             }
         }
     }
+    if controller.sink().enabled() {
+        controller.sink().record(TraceEvent::RunFinished {
+            groups_formed: controller.groups_formed(),
+            repairs: controller.repairs(),
+            deferrals: controller.deferrals(),
+            singletons: 0,
+        });
+    }
+    controller.sink().flush();
     let mut stats = std::collections::BTreeMap::new();
     stats.insert("groups".into(), total_groups as f64);
     stats.insert("nonuniform_groups".into(), nonuniform_groups as f64);

@@ -44,9 +44,7 @@ fn run_ps(mut h: SimHarness, policy: PsPolicy, label: String) -> RunResult {
     let n = h.num_workers();
     let base_comm = h.network.ps_push_pull_time(n, h.bytes);
     // Each worker's round trip runs over its own link.
-    let comm_of: Vec<f64> = (0..n)
-        .map(|w| base_comm * h.link_slowdown[w])
-        .collect();
+    let comm_of: Vec<f64> = (0..n).map(|w| base_comm * h.link_slowdown[w]).collect();
 
     // Server state: the global model plus one shared optimizer. By default
     // the server runs *momentum-free* SGD: with interleaved stale pushes a

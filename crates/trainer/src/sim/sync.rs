@@ -16,8 +16,7 @@ pub fn run_allreduce(mut h: SimHarness) -> RunResult {
     // A fixed communicator lets DDP-style implementations hide part of
     // the collective under the backward pass (`overlap_fraction`); the
     // paper grants the baselines this and P-Reduce not (§4).
-    let comm = h.group_ring_time(&(0..n).collect::<Vec<_>>())
-        * (1.0 - h.overlap_fraction);
+    let comm = h.group_ring_time(&(0..n).collect::<Vec<_>>()) * (1.0 - h.overlap_fraction);
     let end = run_barrier_rounds(&mut h, comm);
     h.finish("All-Reduce".into(), end)
 }
@@ -25,9 +24,8 @@ pub fn run_allreduce(mut h: SimHarness) -> RunResult {
 /// PS BSP: the same barrier pattern over a sharded parameter server.
 pub fn run_ps_bsp(mut h: SimHarness) -> RunResult {
     let n = h.num_workers();
-    let comm = h.network.ps_push_pull_time(n, h.bytes)
-        * h.link_factor(0..n)
-        * (1.0 - h.overlap_fraction);
+    let comm =
+        h.network.ps_push_pull_time(n, h.bytes) * h.link_factor(0..n) * (1.0 - h.overlap_fraction);
     let end = run_barrier_rounds(&mut h, comm);
     h.finish("PS BSP".into(), end)
 }
@@ -37,15 +35,12 @@ fn run_barrier_rounds(h: &mut SimHarness, comm_time: f64) -> SimTime {
     let mut now = SimTime::ZERO;
     loop {
         // Slowest worker gates the barrier.
-        let compute: Vec<f64> =
-            (0..n).map(|w| h.compute_time(w, now)).collect();
+        let compute: Vec<f64> = (0..n).map(|w| h.compute_time(w, now)).collect();
         let round_compute = compute.iter().cloned().fold(0.0f64, f64::max);
 
         // Average everyone's gradient; apply identically (replicas remain
         // bit-identical, as in real synchronous data parallelism).
-        let grads: Vec<Tensor> = (0..n)
-            .map(|w| h.workers[w].gradient(&mut h.rng))
-            .collect();
+        let grads: Vec<Tensor> = (0..n).map(|w| h.workers[w].gradient(&mut h.rng)).collect();
         let avg = mean_grad(&grads);
         for w in &mut h.workers {
             w.apply(&avg, 1.0);
@@ -74,13 +69,10 @@ pub fn run_ps_bk(mut h: SimHarness, backups: usize) -> RunResult {
     let comm = h.network.ps_push_pull_time(n, h.bytes);
     let mut now = SimTime::ZERO;
     loop {
-        let compute: Vec<f64> =
-            (0..n).map(|w| h.compute_time(w, now)).collect();
+        let compute: Vec<f64> = (0..n).map(|w| h.compute_time(w, now)).collect();
         // Round closes at the k-th fastest finisher.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            compute[a].partial_cmp(&compute[b]).expect("finite")
-        });
+        order.sort_by(|&a, &b| compute[a].partial_cmp(&compute[b]).expect("finite"));
         let contributors = &order[..k];
         let round_compute = compute[contributors[k - 1]];
 
@@ -117,8 +109,7 @@ pub fn run_eager_reduce(mut h: SimHarness) -> RunResult {
     let mut now = SimTime::ZERO;
 
     // In-flight gradient per worker: (absolute finish time, gradient).
-    let mut in_flight: Vec<Option<(f64, Tensor)>> =
-        (0..n).map(|_| None).collect();
+    let mut in_flight: Vec<Option<(f64, Tensor)>> = (0..n).map(|_| None).collect();
 
     loop {
         // Idle workers start a fresh gradient at the current parameters.

@@ -1,8 +1,26 @@
 //! The strategy catalog: every method of the paper's evaluation (§5.1)
 //! plus two extensions (SSP, D-PSGD).
 
+use std::fmt;
+
 use partial_reduce::{AggregationMode, ControllerConfig};
 use serde::{Deserialize, Serialize};
+
+/// Error: only [`Strategy::PReduce`] carries a partial-reduce controller
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoControllerConfig {
+    /// Label of the strategy that has no controller.
+    pub strategy: String,
+}
+
+impl fmt::Display for NoControllerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} has no controller config", self.strategy)
+    }
+}
+
+impl std::error::Error for NoControllerConfig {}
 
 /// A distributed-training strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,11 +86,16 @@ impl Strategy {
 
     /// Builds the controller config for a P-Reduce strategy.
     ///
-    /// # Panics
-    /// Panics if `self` is not [`Strategy::PReduce`].
-    pub fn controller_config(&self, num_workers: usize) -> ControllerConfig {
+    /// # Errors
+    /// Returns [`NoControllerConfig`] if `self` is not
+    /// [`Strategy::PReduce`] — every other strategy synchronizes without a
+    /// partial-reduce controller.
+    pub fn controller_config(
+        &self,
+        num_workers: usize,
+    ) -> Result<ControllerConfig, NoControllerConfig> {
         match self {
-            Strategy::PReduce { p, dynamic } => ControllerConfig {
+            Strategy::PReduce { p, dynamic } => Ok(ControllerConfig {
                 num_workers,
                 group_size: *p,
                 mode: if *dynamic {
@@ -82,8 +105,18 @@ impl Strategy {
                 },
                 history_window: None,
                 frozen_avoidance: true,
-            },
-            other => panic!("{other:?} has no controller config"),
+            }),
+            Strategy::AllReduce
+            | Strategy::EagerReduce
+            | Strategy::AdPsgd
+            | Strategy::DPsgd
+            | Strategy::PsBsp
+            | Strategy::PsAsp
+            | Strategy::PsSsp { .. }
+            | Strategy::PsHete
+            | Strategy::PsBackup { .. } => Err(NoControllerConfig {
+                strategy: self.label(),
+            }),
         }
     }
 
@@ -98,10 +131,22 @@ impl Strategy {
             Strategy::PsAsp,
             Strategy::PsHete,
             Strategy::PsBackup { backups },
-            Strategy::PReduce { p: 3, dynamic: false },
-            Strategy::PReduce { p: 3, dynamic: true },
-            Strategy::PReduce { p: 5, dynamic: false },
-            Strategy::PReduce { p: 5, dynamic: true },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: false,
+            },
+            Strategy::PReduce {
+                p: 3,
+                dynamic: true,
+            },
+            Strategy::PReduce {
+                p: 5,
+                dynamic: false,
+            },
+            Strategy::PReduce {
+                p: 5,
+                dynamic: true,
+            },
         ]
     }
 }
@@ -114,7 +159,11 @@ mod tests {
     fn labels_match_paper_names() {
         assert_eq!(Strategy::AllReduce.label(), "All-Reduce");
         assert_eq!(
-            Strategy::PReduce { p: 3, dynamic: true }.label(),
+            Strategy::PReduce {
+                p: 3,
+                dynamic: true
+            }
+            .label(),
             "P-Reduce DYN (P=3)"
         );
         assert_eq!(Strategy::PsBackup { backups: 3 }.label(), "PS BK (b=3)");
@@ -122,21 +171,36 @@ mod tests {
 
     #[test]
     fn controller_config_for_preduce() {
-        let s = Strategy::PReduce { p: 5, dynamic: false };
-        let c = s.controller_config(8);
+        let s = Strategy::PReduce {
+            p: 5,
+            dynamic: false,
+        };
+        let c = s.controller_config(8).unwrap();
         assert_eq!(c.group_size, 5);
         assert!(matches!(c.mode, AggregationMode::Constant));
-        let s = Strategy::PReduce { p: 3, dynamic: true };
+        let s = Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        };
         assert!(matches!(
-            s.controller_config(8).mode,
+            s.controller_config(8).unwrap().mode,
             AggregationMode::Dynamic { .. }
         ));
     }
 
     #[test]
-    #[should_panic(expected = "no controller config")]
     fn controller_config_rejects_other_strategies() {
-        Strategy::AllReduce.controller_config(8);
+        let err = Strategy::AllReduce.controller_config(8).unwrap_err();
+        assert_eq!(err.strategy, "All-Reduce");
+        assert_eq!(err.to_string(), "All-Reduce has no controller config");
+        // Every non-P-Reduce strategy errs; every P-Reduce succeeds.
+        for s in Strategy::table1_lineup(8) {
+            let got = s.controller_config(8);
+            match s {
+                Strategy::PReduce { .. } => assert!(got.is_ok(), "{s:?}"),
+                _ => assert!(got.is_err(), "{s:?}"),
+            }
+        }
     }
 
     #[test]
@@ -149,7 +213,10 @@ mod tests {
 
     #[test]
     fn strategy_serde_roundtrip() {
-        let s = Strategy::PReduce { p: 4, dynamic: true };
+        let s = Strategy::PReduce {
+            p: 4,
+            dynamic: true,
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: Strategy = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

@@ -7,11 +7,12 @@
 //! virtual-time simulator remains the measurement instrument for the
 //! paper's experiments.
 
+use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use partial_reduce::runtime::{spawn, ControllerStats};
-use partial_reduce::ControllerConfig;
+use partial_reduce::runtime::{spawn_with_sink, ControllerStats};
+use partial_reduce::{ControllerConfig, NullSink, TraceSink};
 use preduce_comm::collectives::{barrier, ring_allreduce, TAG_STRIDE};
 use preduce_comm::CommWorld;
 use preduce_data::{shard_dataset, BatchSampler, ShardStrategy};
@@ -72,9 +73,7 @@ fn evaluate_average(
     test: &preduce_data::Dataset,
     params: &[preduce_tensor::Tensor],
 ) -> f64 {
-    let spec = config
-        .model
-        .spec(test.feature_dim(), test.num_classes());
+    let spec = config.model.spec(test.feature_dim(), test.num_classes());
     let mut net = spec.build(config.seed);
     let mut avg = preduce_tensor::Tensor::zeros([params[0].len()]);
     for p in params {
@@ -94,8 +93,33 @@ pub fn train_threaded_preduce(
     controller: ControllerConfig,
     iters: u64,
 ) -> ThreadedReport {
+    train_threaded_preduce_traced(config, controller, iters, &[], Arc::new(NullSink))
+}
+
+/// Like [`train_threaded_preduce`], but with tracing and injected
+/// heterogeneity: `delays[rank]` is an artificial per-iteration sleep that
+/// turns worker `rank` into a controlled straggler (empty slice: no
+/// delays), and every control-plane decision lands in `sink` for
+/// post-mortem invariant checking.
+///
+/// # Panics
+/// Panics if a worker thread or the controller panics, or if `delays` is
+/// neither empty nor one entry per worker.
+pub fn train_threaded_preduce_traced(
+    config: &ExperimentConfig,
+    controller: ControllerConfig,
+    iters: u64,
+    delays: &[Duration],
+    sink: Arc<dyn TraceSink>,
+) -> ThreadedReport {
+    assert!(
+        delays.is_empty() || delays.len() == config.num_workers,
+        "need one delay per worker (or none), got {} for {} workers",
+        delays.len(),
+        config.num_workers
+    );
     let (workers, test) = build_workers(config);
-    let (handle, reducers) = spawn(controller);
+    let (handle, reducers) = spawn_with_sink(controller, sink);
 
     let start = Instant::now();
     let threads: Vec<_> = workers
@@ -103,20 +127,19 @@ pub fn train_threaded_preduce(
         .zip(reducers)
         .map(|(mut w, mut r)| {
             let seed = config.seed ^ (0xabcd << 8) ^ w.rank as u64;
+            let delay = delays.get(w.rank).copied().unwrap_or(Duration::ZERO);
             thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 for _ in 0..iters {
+                    if !delay.is_zero() {
+                        thread::sleep(delay);
+                    }
                     w.local_update(&mut rng);
                     let iteration = w.iteration;
                     let mut flat = w.params.clone().into_vec();
-                    let out = r
-                        .reduce(&mut flat, iteration)
-                        .expect("reduce failed");
-                    w.params = preduce_tensor::Tensor::from_vec(
-                        flat,
-                        [w.params.len()],
-                    )
-                    .expect("length preserved");
+                    let out = r.reduce(&mut flat, iteration).expect("reduce failed");
+                    w.params = preduce_tensor::Tensor::from_vec(flat, [w.params.len()])
+                        .expect("length preserved");
                     w.iteration = out.new_iteration;
                 }
                 r.finish().expect("finish failed");
@@ -149,10 +172,7 @@ pub fn train_threaded_preduce(
 ///
 /// # Panics
 /// Panics if a worker thread panics.
-pub fn train_threaded_allreduce(
-    config: &ExperimentConfig,
-    iters: u64,
-) -> ThreadedReport {
+pub fn train_threaded_allreduce(config: &ExperimentConfig, iters: u64) -> ThreadedReport {
     let (workers, test) = build_workers(config);
     let n = config.num_workers;
     let endpoints = CommWorld::new(n).into_endpoints();
@@ -170,26 +190,17 @@ pub fn train_threaded_allreduce(
                 for k in 0..iters {
                     let grad = w.gradient(&mut rng);
                     let mut flat = grad.into_vec();
-                    ring_allreduce(
-                        &mut ep,
-                        &group,
-                        (2 * k) * TAG_STRIDE,
-                        &mut flat,
-                    )
-                    .expect("allreduce failed");
+                    ring_allreduce(&mut ep, &group, (2 * k) * TAG_STRIDE, &mut flat)
+                        .expect("allreduce failed");
                     // Sum → mean.
                     for v in &mut flat {
                         *v /= group.len() as f32;
                     }
-                    let avg = preduce_tensor::Tensor::from_vec(
-                        flat,
-                        [w.params.len()],
-                    )
-                    .expect("length preserved");
+                    let avg = preduce_tensor::Tensor::from_vec(flat, [w.params.len()])
+                        .expect("length preserved");
                     w.apply(&avg, 1.0);
                     w.iteration += 1;
-                    barrier(&mut ep, &group, (2 * k + 1) * TAG_STRIDE)
-                        .expect("barrier failed");
+                    barrier(&mut ep, &group, (2 * k + 1) * TAG_STRIDE).expect("barrier failed");
                 }
                 (w.params, w.iteration)
             })

@@ -34,12 +34,7 @@ pub struct WorkerState {
 
 impl WorkerState {
     /// Creates a worker from a pre-built (shared-initialization) network.
-    pub fn new(
-        rank: usize,
-        net: Network,
-        sgd: SgdConfig,
-        sampler: BatchSampler,
-    ) -> Self {
+    pub fn new(rank: usize, net: Network, sgd: SgdConfig, sampler: BatchSampler) -> Self {
         let params = net.param_vector();
         let opt = SgdOptimizer::new(sgd, params.len());
         WorkerState {
@@ -89,11 +84,7 @@ impl WorkerState {
     /// # Panics
     /// Panics on a length mismatch.
     pub fn set_params(&mut self, params: &Tensor) {
-        assert_eq!(
-            params.len(),
-            self.params.len(),
-            "parameter length mismatch"
-        );
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
         self.params = params.clone();
     }
 }
@@ -106,11 +97,7 @@ impl WorkerState {
 /// Panics if inputs are empty, lengths differ, or weights don't match.
 pub fn weighted_model_average(models: &[&Tensor], weights: &[f32]) -> Tensor {
     assert!(!models.is_empty(), "cannot average zero models");
-    assert_eq!(
-        models.len(),
-        weights.len(),
-        "one weight per model required"
-    );
+    assert_eq!(models.len(), weights.len(), "one weight per model required");
     let mut out = Tensor::zeros([models[0].len()]);
     for (m, &w) in models.iter().zip(weights.iter()) {
         out.axpy(w, m);

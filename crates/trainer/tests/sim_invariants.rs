@@ -2,9 +2,7 @@
 
 use preduce_data::cifar10_like;
 use preduce_models::zoo;
-use preduce_trainer::{
-    run_experiment, ExperimentConfig, HeteroSpec, Strategy,
-};
+use preduce_trainer::{run_experiment, ExperimentConfig, HeteroSpec, Strategy};
 
 fn base(n: usize) -> ExperimentConfig {
     let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
@@ -67,7 +65,13 @@ fn run_time_monotone_in_heterogeneity_for_barrier_methods() {
 #[test]
 fn preduce_trace_times_are_monotone() {
     let c = base(6);
-    let r = run_experiment(Strategy::PReduce { p: 3, dynamic: true }, &c);
+    let r = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
+        &c,
+    );
     let mut prev = 0.0;
     for p in &r.trace {
         assert!(p.time >= prev, "trace time went backwards");
@@ -117,7 +121,13 @@ fn label_noise_lowers_plateau_but_not_below_chance() {
 #[test]
 fn preduce_stats_are_consistent() {
     let c = base(6);
-    let r = run_experiment(Strategy::PReduce { p: 2, dynamic: true }, &c);
+    let r = run_experiment(
+        Strategy::PReduce {
+            p: 2,
+            dynamic: true,
+        },
+        &c,
+    );
     let groups = r.stats["groups"];
     assert!(groups >= r.updates as f64, "stats under-count groups");
     assert!(r.stats["nonuniform_groups"] <= groups);
@@ -132,15 +142,24 @@ fn link_heterogeneity_hurts_allreduce_more_than_preduce() {
     let mut c = base(8);
     c.model = zoo::vgg19();
     let mut slow = c.clone();
-    slow.link_slowdown =
-        Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0]);
+    slow.link_slowdown = Some(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0]);
 
     let ar_fast = run_experiment(Strategy::AllReduce, &c);
     let ar_slow = run_experiment(Strategy::AllReduce, &slow);
-    let pr_fast =
-        run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &c);
-    let pr_slow =
-        run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &slow);
+    let pr_fast = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &c,
+    );
+    let pr_slow = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &slow,
+    );
 
     let ar_ratio = ar_slow.run_time / ar_fast.run_time;
     let pr_ratio = pr_slow.run_time / pr_fast.run_time;

@@ -14,7 +14,10 @@ fn main() {
         Strategy::PsBsp,
         Strategy::PsAsp,
         Strategy::PsBackup { backups: 3 },
-        Strategy::PReduce { p: 3, dynamic: false },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
     ];
 
     println!("per-update time (seconds) vs heterogeneity level, resnet34 analog, N = 8");
@@ -25,8 +28,7 @@ fn main() {
     println!();
 
     for hl in 1..=4usize {
-        let mut config =
-            ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), hl);
+        let mut config = ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), hl);
         // Hardware-efficiency sweep: fixed update budget, no threshold.
         config.threshold = 0.999;
         config.max_updates = 600;

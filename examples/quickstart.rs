@@ -9,8 +9,7 @@ use preduce::trainer::{run_experiment, ExperimentConfig, Strategy};
 
 fn main() {
     // 8 workers; 3 of them share one GPU (the paper's HL = 3 setting).
-    let mut config =
-        ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), 3);
+    let mut config = ExperimentConfig::table1(zoo::resnet34(), cifar10_like(), 3);
     config.threshold = 0.60; // a modest target so the demo finishes fast
     config.max_updates = 4_000;
     config.sgd.lr = 0.05;
@@ -20,8 +19,14 @@ fn main() {
 
     for strategy in [
         Strategy::AllReduce,
-        Strategy::PReduce { p: 3, dynamic: false },
-        Strategy::PReduce { p: 3, dynamic: true },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
     ] {
         let r = run_experiment(strategy, &config);
         println!(
@@ -31,7 +36,11 @@ fn main() {
             r.updates,
             r.per_update_time(),
             r.final_accuracy,
-            if r.converged { "" } else { "  (did not converge)" },
+            if r.converged {
+                ""
+            } else {
+                "  (did not converge)"
+            },
         );
     }
 

@@ -9,12 +9,9 @@ use preduce::partial_reduce::theory::{
     convergence_bound, lr_condition_holds, theorem_lr, TheoremInputs,
 };
 use preduce::partial_reduce::{
-    expected_sync_matrix, spectral_gap, AggregationMode, Controller,
-    ControllerConfig,
+    expected_sync_matrix, spectral_gap, AggregationMode, Controller, ControllerConfig,
 };
-use preduce::simnet::{
-    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet,
-};
+use preduce::simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Simulate the FIFO controller on a fleet and collect the formed groups.

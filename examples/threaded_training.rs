@@ -9,21 +9,16 @@ use preduce::data::cifar10_like;
 use preduce::models::zoo;
 use preduce::partial_reduce::runtime::spawn_tcp;
 use preduce::partial_reduce::ControllerConfig;
-use preduce::trainer::threaded::{
-    train_threaded_allreduce, train_threaded_preduce,
-};
+use preduce::trainer::threaded::{train_threaded_allreduce, train_threaded_preduce};
 use preduce::trainer::ExperimentConfig;
 
 fn main() {
-    let mut config =
-        ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    let mut config = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
     config.num_workers = 6;
     config.sgd.lr = 0.05;
     let iters = 150;
 
-    println!(
-        "6 worker threads x {iters} local updates each, resnet18 analog on cifar10-like\n"
-    );
+    println!("6 worker threads x {iters} local updates each, resnet18 analog on cifar10-like\n");
 
     let ar = train_threaded_allreduce(&config, iters);
     println!(

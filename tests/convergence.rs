@@ -26,13 +26,25 @@ fn allreduce_converges() {
 
 #[test]
 fn preduce_constant_converges() {
-    let r = run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &easy(2));
+    let r = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &easy(2),
+    );
     assert!(r.converged, "CON failed: final acc {}", r.final_accuracy);
 }
 
 #[test]
 fn preduce_dynamic_converges() {
-    let r = run_experiment(Strategy::PReduce { p: 3, dynamic: true }, &easy(2));
+    let r = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: true,
+        },
+        &easy(2),
+    );
     assert!(r.converged, "DYN failed: final acc {}", r.final_accuracy);
 }
 
@@ -72,7 +84,13 @@ fn preduce_beats_allreduce_on_heterogeneous_runtime() {
     // reaches the same accuracy threshold in less virtual time.
     let c = easy(3);
     let ar = run_experiment(Strategy::AllReduce, &c);
-    let pr = run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &c);
+    let pr = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &c,
+    );
     assert!(ar.converged && pr.converged);
     assert!(
         pr.run_time < ar.run_time,
@@ -99,10 +117,20 @@ fn production_heterogeneity_hurts_allreduce_most() {
 
     let ar_q = run_experiment(Strategy::AllReduce, &quiet);
     let ar_n = run_experiment(Strategy::AllReduce, &noisy);
-    let pr_q =
-        run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &quiet);
-    let pr_n =
-        run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &noisy);
+    let pr_q = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &quiet,
+    );
+    let pr_n = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &noisy,
+    );
 
     let ar_ratio = ar_n.per_update_time() / ar_q.per_update_time();
     let pr_ratio = pr_n.per_update_time() / pr_q.per_update_time();
@@ -123,7 +151,13 @@ fn update_counts_order_matches_paper() {
     // partial); fully-asynchronous PS needs the most.
     let c = easy(2);
     let ar = run_experiment(Strategy::AllReduce, &c);
-    let pr = run_experiment(Strategy::PReduce { p: 3, dynamic: false }, &c);
+    let pr = run_experiment(
+        Strategy::PReduce {
+            p: 3,
+            dynamic: false,
+        },
+        &c,
+    );
     let asp = run_experiment(Strategy::PsAsp, &c);
     assert!(ar.converged && pr.converged && asp.converged);
     assert!(

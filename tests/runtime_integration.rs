@@ -7,12 +7,8 @@ use preduce::comm::collectives::TAG_STRIDE;
 use preduce::data::cifar10_like;
 use preduce::models::zoo;
 use preduce::partial_reduce::runtime::spawn;
-use preduce::partial_reduce::{
-    dynamic_weights, AggregationMode, ControllerConfig, GapPolicy,
-};
-use preduce::trainer::threaded::{
-    train_threaded_allreduce, train_threaded_preduce,
-};
+use preduce::partial_reduce::{dynamic_weights, AggregationMode, ControllerConfig, GapPolicy};
+use preduce::trainer::threaded::{train_threaded_allreduce, train_threaded_preduce};
 use preduce::trainer::ExperimentConfig;
 use std::thread;
 
@@ -145,16 +141,14 @@ fn ring_allreduce_tags_do_not_collide_across_iterations() {
                 let mut results = Vec::new();
                 for k in 0..50u64 {
                     let mut data = vec![(rank + 1) as f32 * (k + 1) as f32; 17];
-                    ring_allreduce(&mut ep, &group, k * TAG_STRIDE, &mut data)
-                        .unwrap();
+                    ring_allreduce(&mut ep, &group, k * TAG_STRIDE, &mut data).unwrap();
                     results.push(data[0]);
                 }
                 results
             })
         })
         .collect();
-    let all: Vec<Vec<f32>> =
-        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let all: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     for k in 0..50usize {
         let expected = 10.0 * (k + 1) as f32; // (1+2+3+4)·(k+1)
         for r in &all {

@@ -3,12 +3,10 @@
 //! theory's qualitative predictions.
 
 use preduce::partial_reduce::{
-    expected_sync_matrix, min_history_window, spectral_gap, AggregationMode,
-    Controller, ControllerConfig, SyncGraph,
+    expected_sync_matrix, min_history_window, spectral_gap, AggregationMode, Controller,
+    ControllerConfig, SyncGraph,
 };
-use preduce::simnet::{
-    EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet,
-};
+use preduce::simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Drives the FIFO controller on a fleet, returning the observed groups.
@@ -52,11 +50,7 @@ fn observe(
 fn homogeneous_schedule_rho_matches_fig4a() {
     // N=3, P=2, jittered homogeneous fleet: the empirical E[W] should give
     // ρ ≈ 0.5 (the paper's closed-form homogeneous value).
-    let fleet = Box::new(UniformFleet::new(
-        3,
-        1e9,
-        Jitter::LogNormal { sigma: 0.25 },
-    ));
+    let fleet = Box::new(UniformFleet::new(3, 1e9, Jitter::LogNormal { sigma: 0.25 }));
     let (groups, _) = observe(fleet, 2, 30_000, true, 3);
     let e_w = expected_sync_matrix(3, &groups);
     let r = spectral_gap(&e_w).expect("symmetric");
@@ -74,8 +68,7 @@ fn slower_worker_raises_rho() {
         .expect("symmetric")
         .rho;
 
-    let hetero =
-        Box::new(SpeedFleet::new(vec![1.0, 1.0, 2.0], 1e9, jitter));
+    let hetero = Box::new(SpeedFleet::new(vec![1.0, 1.0, 2.0], 1e9, jitter));
     let (g2, _) = observe(hetero, 2, 30_000, true, 5);
     let rho_hetero = spectral_gap(&expected_sync_matrix(3, &g2))
         .expect("symmetric")
@@ -96,13 +89,7 @@ fn frozen_avoidance_keeps_cumulative_graph_connected() {
     // Deterministic two-speed-class fleet with no jitter: FIFO pairing
     // freezes into fixed pairs. With the filter on, repairs happen and the
     // recent-window sync-graph keeps reconnecting.
-    let fleet = || {
-        Box::new(SpeedFleet::new(
-            vec![1.0, 1.0, 1.7, 1.7],
-            1e9,
-            Jitter::None,
-        ))
-    };
+    let fleet = || Box::new(SpeedFleet::new(vec![1.0, 1.0, 1.7, 1.7], 1e9, Jitter::None));
     let (groups_off, repairs_off) = observe(fleet(), 2, 2_000, false, 0);
     let (groups_on, repairs_on) = observe(fleet(), 2, 2_000, true, 0);
 
@@ -114,9 +101,7 @@ fn frozen_avoidance_keeps_cumulative_graph_connected() {
     let cross = |groups: &[Vec<usize>]| {
         groups[1500..]
             .iter()
-            .filter(|g| {
-                g.iter().any(|&w| w < 2) && g.iter().any(|&w| w >= 2)
-            })
+            .filter(|g| g.iter().any(|&w| w < 2) && g.iter().any(|&w| w >= 2))
             .count()
     };
     let off = cross(&groups_off);

@@ -1,12 +1,9 @@
 //! Substrate-level integration: the mini-DL framework trains real tasks to
 //! high accuracy, and model/data plumbing composes across crates.
 
-use preduce::data::{
-    shard_dataset, BatchSampler, GaussianMixture, ShardStrategy, SynthConfig,
-};
+use preduce::data::{shard_dataset, BatchSampler, GaussianMixture, ShardStrategy, SynthConfig};
 use preduce::models::{
-    evaluate_accuracy, softmax_cross_entropy, LayerSpec, NetworkSpec,
-    SgdConfig, SgdOptimizer,
+    evaluate_accuracy, softmax_cross_entropy, LayerSpec, NetworkSpec, SgdConfig, SgdOptimizer,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
