@@ -6,12 +6,12 @@ use std::sync::Arc;
 
 use partial_reduce::{
     expected_sync_matrix, spectral_gap, AggregationMode, Controller, ControllerConfig,
-    InvariantChecker, JsonlSink, TraceSink,
+    InvariantChecker, JsonlSink, NullSink, TraceSink,
 };
 use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
 use preduce_models::zoo;
 use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
-use preduce_trainer::{run_experiment, run_experiment_traced, ExperimentConfig, Strategy};
+use preduce_trainer::{engine, Backend, ExperimentConfig, Strategy};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::args::{ArgError, Args};
@@ -85,6 +85,7 @@ USAGE:
   preduce run      [--strategy S] [--model M] [--preset D] [--workers N]
                    [--hl HL] [--p P] [--dynamic true] [--threshold T]
                    [--max-updates K] [--seed SEED] [--json true]
+                   [--backend sim|threaded] [--iters K]
                    [--config experiment.json] [--trace-out trace.jsonl]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
@@ -94,6 +95,13 @@ USAGE:
 STRATEGIES (for --strategy):
   all-reduce | eager-reduce | ad-psgd | d-psgd | ps-bsp | ps-asp |
   ps-ssp | ps-hete | ps-bk | p-reduce (default)
+
+BACKENDS (for --backend):
+  sim (default)  — deterministic virtual-time simulator; stops at the
+                   accuracy threshold or --max-updates.
+  threaded       — real OS threads over the message-passing runtime;
+                   each worker performs --iters local updates (wall
+                   clock replaces virtual time, no convergence trace).
 
 TRACING:
   `run --trace-out FILE` records every P-Reduce control-plane decision as
@@ -206,19 +214,29 @@ pub fn run_command(
         }
         Command::Run => {
             let strategy = parse_strategy(args)?;
-            let config = config_from_args(args)?;
+            let mut config = config_from_args(args)?;
+            let backend = match args.get("backend") {
+                None => Backend::Sim,
+                Some(name) => name.parse::<Backend>().map_err(|_| {
+                    CliError::Unknown(format!("backend `{name}` (expected `sim` or `threaded`)"))
+                })?,
+            };
+            if args.get("iters").is_some() {
+                config.threaded_iters = Some(args.get_or("iters", 0)?);
+            }
             let result = match args.get("trace-out") {
                 Some(path) => {
                     let sink = Arc::new(
                         JsonlSink::create(path)
                             .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?,
                     );
-                    let r = run_experiment_traced(strategy, &config, sink.clone());
+                    let r = engine::run(strategy, &config, backend, sink.clone());
                     sink.flush();
                     r
                 }
-                None => run_experiment(strategy, &config),
-            };
+                None => engine::run(strategy, &config, backend, Arc::new(NullSink)),
+            }
+            .result;
             if args.get_or("json", false)? {
                 let _ = writeln!(
                     out,
@@ -414,6 +432,61 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["strategy"], "All-Reduce");
         assert_eq!(v["updates"], 40);
+    }
+
+    #[test]
+    fn run_threaded_backend_executes() {
+        let (r, out) = run(&[
+            "run",
+            "--strategy",
+            "all-reduce",
+            "--backend",
+            "threaded",
+            "--workers",
+            "2",
+            "--iters",
+            "4",
+        ]);
+        r.unwrap();
+        assert!(out.contains("All-Reduce"), "{out}");
+        // 2 workers x 4 local updates each.
+        assert!(out.contains("8 updates"), "{out}");
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error() {
+        let (r, out) = run(&["run", "--backend", "mpi", "--workers", "4"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+    }
+
+    #[test]
+    fn threaded_trace_out_then_check_roundtrips_clean() {
+        let dir = std::env::temp_dir().join("preduce-cli-threaded-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let path_str = path.to_str().unwrap();
+
+        let (r, _) = run(&[
+            "run",
+            "--strategy",
+            "p-reduce",
+            "--p",
+            "2",
+            "--workers",
+            "4",
+            "--backend",
+            "threaded",
+            "--iters",
+            "6",
+            "--trace-out",
+            path_str,
+        ]);
+        r.unwrap();
+
+        let (r, out) = run(&["trace", "--check", path_str]);
+        r.unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

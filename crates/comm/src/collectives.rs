@@ -201,6 +201,47 @@ pub fn barrier(ep: &mut Endpoint, group: &[usize], base_tag: u64) -> Result<()> 
     Ok(())
 }
 
+/// Neighbor exchange on the ring over `group`: every member sends `data`
+/// to both ring neighbors and returns `(left, right)` — the payloads of
+/// its predecessor and successor. This is the communication step of
+/// decentralized ring strategies (D-PSGD mixes `x_{i−1}, x_i, x_{i+1}`).
+///
+/// Uses tags `base_tag` (toward the predecessor) and `base_tag + 1`
+/// (toward the successor) so the two directions stay distinct even in a
+/// two-member ring where both neighbors are the same rank. A singleton
+/// group receives its own payload on both sides.
+///
+/// # Errors
+/// Fails on an invalid group, a transport error, or a neighbor payload of
+/// a different length.
+pub fn ring_exchange(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &[f32],
+) -> Result<(Vec<f32>, Vec<f32>)> {
+    let me = position_in_group(ep, group)?;
+    let p = group.len();
+    if p == 1 {
+        return Ok((data.to_vec(), data.to_vec()));
+    }
+    let next = group[(me + 1) % p];
+    let prev = group[(me + p - 1) % p];
+    ep.send(prev, base_tag, data.to_vec())?;
+    ep.send(next, base_tag + 1, data.to_vec())?;
+    let right = ep.recv(next, base_tag)?;
+    let left = ep.recv(prev, base_tag + 1)?;
+    for neighbor in [&left, &right] {
+        if neighbor.len() != data.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: data.len(),
+                actual: neighbor.len(),
+            });
+        }
+    }
+    Ok((left, right))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +277,41 @@ mod tests {
         for r in results {
             assert_eq!(r, vec![10.0; 10]); // 1+2+3+4
         }
+    }
+
+    #[test]
+    fn ring_exchange_returns_neighbor_payloads() {
+        let results = run_world(4, |rank, ep| {
+            let data = vec![rank as f32; 3];
+            ring_exchange(ep, &[0, 1, 2, 3], 0, &data).unwrap()
+        });
+        for (rank, (left, right)) in results.iter().enumerate() {
+            let expected_left = ((rank + 3) % 4) as f32;
+            let expected_right = ((rank + 1) % 4) as f32;
+            assert_eq!(left, &vec![expected_left; 3], "rank {rank} left");
+            assert_eq!(right, &vec![expected_right; 3], "rank {rank} right");
+        }
+    }
+
+    #[test]
+    fn ring_exchange_two_member_ring_keeps_directions_apart() {
+        // With p = 2 both neighbors are the same rank; the distinct tags
+        // must still deliver the peer's payload on both sides.
+        let results = run_world(2, |rank, ep| {
+            let data = vec![10.0 * rank as f32; 2];
+            ring_exchange(ep, &[0, 1], 7, &data).unwrap()
+        });
+        assert_eq!(results[0], (vec![10.0; 2], vec![10.0; 2]));
+        assert_eq!(results[1], (vec![0.0; 2], vec![0.0; 2]));
+    }
+
+    #[test]
+    fn ring_exchange_singleton_reflects() {
+        let results = run_world(1, |_, ep| {
+            let data = vec![5.0; 4];
+            ring_exchange(ep, &[0], 0, &data).unwrap()
+        });
+        assert_eq!(results[0], (vec![5.0; 4], vec![5.0; 4]));
     }
 
     #[test]

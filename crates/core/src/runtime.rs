@@ -189,6 +189,22 @@ pub fn spawn_with_sink(
     (ControllerHandle { join }, reducers)
 }
 
+/// Spawns a controller configured as a *gossip coordinator*: pairwise
+/// groups (`P = 2`), constant 1/2 weights, first-come pairing. A pairwise
+/// model average **is** a partial reduce with group size two, so AD-PSGD
+/// style gossip runs on the same runtime — workers call `reduce` after
+/// each local step and get matched with whichever peer signals next.
+///
+/// # Panics
+/// Panics if `num_workers < 2`.
+pub fn spawn_gossip(
+    num_workers: usize,
+    sink: Arc<dyn TraceSink>,
+) -> (ControllerHandle, Vec<PartialReducer>) {
+    assert!(num_workers >= 2, "gossip needs at least two workers");
+    spawn_with_sink(ControllerConfig::constant(num_workers, 2), sink)
+}
+
 /// Like [`spawn`], but the control plane runs over a real TCP message
 /// queue on loopback — the paper prototype's architecture (§4). The model
 /// collectives remain in-process; only the few-bytes signaling crosses
@@ -434,6 +450,39 @@ mod tests {
         assert!(stats.groups_formed > 0);
         // The run ends with drain singletons for the last workers.
         assert!(stats.singletons <= 50 * 6);
+    }
+
+    #[test]
+    fn gossip_spawn_pairs_workers() {
+        // Pairwise groups only, and the pairwise average conserves the
+        // fleet mean: (0+1+2+3)/4 = 1.5, plus 5 increments each = 6.5.
+        let (handle, reducers) = spawn_gossip(4, Arc::new(NullSink));
+        let threads: Vec<_> = reducers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut r)| {
+                thread::spawn(move || {
+                    let mut params = vec![rank as f32; 3];
+                    let mut iteration = 0u64;
+                    for _ in 0..5 {
+                        for v in &mut params {
+                            *v += 1.0;
+                        }
+                        iteration += 1;
+                        let out = r.reduce(&mut params, iteration).unwrap();
+                        assert!(out.group.len() <= 2, "gossip group too large");
+                        iteration = out.new_iteration;
+                    }
+                    r.finish().unwrap();
+                    params
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let stats = handle.join();
+        let mean: f32 = results.iter().map(|r| r[0]).sum::<f32>() / 4.0;
+        assert!((mean - 6.5).abs() < 1e-4, "fleet mean drifted: {mean}");
+        assert!(stats.groups_formed > 0);
     }
 
     #[test]

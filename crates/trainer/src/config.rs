@@ -146,6 +146,11 @@ pub struct ExperimentConfig {
     /// averaged model over the held-out set into the trace — the quantity
     /// Theorem 1 bounds (used by the `theorem1_validation` bench).
     pub track_grad_norm: bool,
+    /// Local updates per worker for *threaded-backend* runs (`None`: the
+    /// engine default). The virtual-time simulator ignores this — sim
+    /// runs stop at `threshold` or `max_updates`.
+    #[serde(default)]
+    pub threaded_iters: Option<u64>,
     /// Master seed: controls init, shards, batches, and compute jitter.
     pub seed: u64,
 }
@@ -177,6 +182,7 @@ impl ExperimentConfig {
             overlap_fraction: 0.0,
             shard_strategy: None,
             track_grad_norm: false,
+            threaded_iters: None,
             seed: 42,
         }
     }

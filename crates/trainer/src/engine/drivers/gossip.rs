@@ -1,12 +1,24 @@
 //! Decentralized gossip strategies: AD-PSGD (asynchronous, the paper's
-//! closest decentralized baseline) and D-PSGD (synchronous ring, extension).
+//! closest decentralized baseline) and D-PSGD (synchronous ring,
+//! extension). Virtual-time projections are moved verbatim from
+//! `sim::gossip`; the threaded projections run AD-PSGD's random pairing
+//! through the partial-reduce controller (a pairwise reduce *is* a
+//! P-Reduce with P=2) and D-PSGD over a neighbor ring exchange.
 
+use std::thread;
+
+use partial_reduce::runtime::spawn_gossip;
+use preduce_comm::collectives::{barrier, ring_exchange, TAG_STRIDE};
+use preduce_comm::CommWorld;
 use preduce_simnet::{EventQueue, SimTime};
 use preduce_tensor::Tensor;
 use rand::Rng;
 
-use super::SimHarness;
+use crate::engine::setup::{build_fleet, evaluate_uniform_average};
+use crate::engine::substrate::{Substrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
+use crate::sim::SimHarness;
+use crate::threaded::ThreadedReport;
 
 /// AD-PSGD: each worker computes a gradient, then *atomically averages its
 /// model with one uniformly-random peer* (regardless of that peer's state),
@@ -121,4 +133,92 @@ pub fn run_d_psgd(mut h: SimHarness) -> RunResult {
         }
     }
     h.finish("D-PSGD".into(), now)
+}
+
+// ---------------------------------------------------------------------------
+// Threaded projections
+// ---------------------------------------------------------------------------
+
+/// Threaded AD-PSGD: each worker computes a gradient at its current model,
+/// atomically averages its model with one peer (the controller pairs the
+/// first two ready workers — a pairwise reduce is a partial reduce with
+/// P=2), then applies the gradient onto the *averaged* model. The
+/// pre-average gradient landing post-average reproduces AD-PSGD's
+/// inconsistency window on real threads.
+pub(crate) fn threaded_ad_psgd(sub: &ThreadedSubstrate) -> ThreadedReport {
+    let config = sub.config();
+    let n = config.num_workers;
+    assert!(n >= 2, "gossip needs at least two workers");
+    let fleet = build_fleet(config);
+    let (handle, reducers) = spawn_gossip(n, sub.sink());
+
+    let out = sub.run_spmd(fleet.workers, reducers, |mut ctx, mut w, mut r| {
+        for _ in 0..ctx.iters {
+            if !ctx.delay.is_zero() {
+                thread::sleep(ctx.delay);
+            }
+            let grad = w.gradient(&mut ctx.rng);
+            let mut flat = w.params.clone().into_vec();
+            // Gossip keeps the *local* iteration count: ignore the
+            // controller's fast-forwarded value.
+            let _ = r.reduce(&mut flat, w.iteration + 1).expect("reduce failed");
+            w.params = Tensor::from_vec(flat, [w.params.len()]).expect("length preserved");
+            w.apply(&grad, 1.0);
+            w.iteration += 1;
+        }
+        r.finish().expect("finish failed");
+        (w.params, w.iteration)
+    });
+    let stats = handle.join();
+
+    ThreadedReport {
+        wall_seconds: out.wall_seconds,
+        accuracy: evaluate_uniform_average(config, &fleet.test, &out.params),
+        iterations: out.iterations,
+        controller: Some(stats),
+    }
+}
+
+/// Threaded D-PSGD: every round, each worker swaps full models with its
+/// two ring neighbors via [`ring_exchange`], mixes with weights 1/3, and
+/// applies its own gradient — the same math as the virtual-time
+/// projection, synchronized by a barrier per round.
+pub(crate) fn threaded_d_psgd(sub: &ThreadedSubstrate) -> ThreadedReport {
+    let config = sub.config();
+    let n = config.num_workers;
+    assert!(n >= 3, "ring gossip needs at least three workers");
+    let fleet = build_fleet(config);
+    let endpoints = CommWorld::new(n).into_endpoints();
+    let all: Vec<usize> = (0..n).collect();
+
+    let out = sub.run_spmd(fleet.workers, endpoints, move |mut ctx, mut w, mut ep| {
+        for k in 0..ctx.iters {
+            if !ctx.delay.is_zero() {
+                thread::sleep(ctx.delay);
+            }
+            let grad = w.gradient(&mut ctx.rng);
+            let own = w.params.clone().into_vec();
+            let (left, right) =
+                ring_exchange(&mut ep, &all, (2 * k) * TAG_STRIDE, &own).expect("exchange failed");
+            let mixed: Vec<f32> = own
+                .iter()
+                .zip(&left)
+                .zip(&right)
+                .map(|((o, l), r)| (o + l + r) / 3.0)
+                .collect();
+            let mixed = Tensor::from_vec(mixed, [w.params.len()]).expect("length preserved");
+            w.set_params(&mixed);
+            w.apply(&grad, 1.0);
+            w.iteration += 1;
+            barrier(&mut ep, &all, (2 * k + 1) * TAG_STRIDE).expect("barrier failed");
+        }
+        (w.params, w.iteration)
+    });
+
+    ThreadedReport {
+        wall_seconds: out.wall_seconds,
+        accuracy: evaluate_uniform_average(config, &fleet.test, &out.params),
+        iterations: out.iterations,
+        controller: None,
+    }
 }

@@ -1,0 +1,173 @@
+//! One driver per strategy family, each written once and projected onto
+//! both substrates.
+//!
+//! A [`StrategyDriver`] owns a strategy's state machine — the math
+//! (gradient aggregation, model mixing, staleness scaling) and the
+//! membership policy (who participates in each exchange). Its two methods
+//! project that machine onto the two substrates: `drive_sim` consumes a
+//! [`SimSubstrate`] and replays the machine under deterministic virtual
+//! time (these bodies are verbatim moves of the pre-engine `sim::run_*`
+//! loops, so fixed-seed trajectories are bit-identical to the goldens);
+//! `drive_threaded` runs the same machine as an SPMD program on real OS
+//! threads via [`ThreadedSubstrate::run_spmd`].
+
+pub mod gossip;
+pub mod preduce;
+pub mod ps;
+pub mod sync;
+
+use crate::engine::substrate::{SimSubstrate, ThreadedSubstrate};
+use crate::metrics::RunResult;
+use crate::strategy::{Strategy, StrategyFamily};
+use crate::threaded::ThreadedReport;
+
+use ps::PsPolicy;
+
+/// A strategy written once, runnable on either substrate.
+pub trait StrategyDriver {
+    /// The strategy this driver executes.
+    fn strategy(&self) -> Strategy;
+
+    /// Runs the strategy to convergence (or the update cap) under
+    /// deterministic virtual time.
+    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult;
+
+    /// Runs the strategy for the substrate's iteration budget on real OS
+    /// threads.
+    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport;
+}
+
+/// The driver for `strategy`, dispatched by family.
+pub fn driver_for(strategy: Strategy) -> Box<dyn StrategyDriver> {
+    match strategy.family() {
+        StrategyFamily::Collective => Box::new(CollectiveDriver(strategy)),
+        StrategyFamily::Gossip => Box::new(GossipDriver(strategy)),
+        StrategyFamily::ParameterServer => Box::new(PsDriver(strategy)),
+        StrategyFamily::PartialReduce => Box::new(PReduceDriver(strategy)),
+    }
+}
+
+/// All-Reduce and Eager-Reduce: full-fleet collectives, no server.
+struct CollectiveDriver(Strategy);
+
+impl StrategyDriver for CollectiveDriver {
+    fn strategy(&self) -> Strategy {
+        self.0
+    }
+
+    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
+        let (h, _sink) = substrate.into_parts();
+        match self.0 {
+            Strategy::AllReduce => sync::run_allreduce(h),
+            Strategy::EagerReduce => sync::run_eager_reduce(h),
+            other => unreachable!("not a collective strategy: {other:?}"),
+        }
+    }
+
+    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
+        match self.0 {
+            Strategy::AllReduce => sync::threaded_allreduce(substrate),
+            Strategy::EagerReduce => sync::threaded_eager_reduce(substrate),
+            other => unreachable!("not a collective strategy: {other:?}"),
+        }
+    }
+}
+
+/// AD-PSGD and D-PSGD: decentralized peer-to-peer model mixing.
+struct GossipDriver(Strategy);
+
+impl StrategyDriver for GossipDriver {
+    fn strategy(&self) -> Strategy {
+        self.0
+    }
+
+    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
+        let (h, _sink) = substrate.into_parts();
+        match self.0 {
+            Strategy::AdPsgd => gossip::run_ad_psgd(h),
+            Strategy::DPsgd => gossip::run_d_psgd(h),
+            other => unreachable!("not a gossip strategy: {other:?}"),
+        }
+    }
+
+    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
+        match self.0 {
+            Strategy::AdPsgd => gossip::threaded_ad_psgd(substrate),
+            Strategy::DPsgd => gossip::threaded_d_psgd(substrate),
+            other => unreachable!("not a gossip strategy: {other:?}"),
+        }
+    }
+}
+
+/// The parameter-server zoo: BSP, BK, ASP, SSP, HETE.
+struct PsDriver(Strategy);
+
+impl StrategyDriver for PsDriver {
+    fn strategy(&self) -> Strategy {
+        self.0
+    }
+
+    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
+        let (h, _sink) = substrate.into_parts();
+        match self.0 {
+            Strategy::PsBsp => sync::run_ps_bsp(h),
+            Strategy::PsBackup { backups } => sync::run_ps_bk(h, backups),
+            Strategy::PsAsp => ps::run_ps_asp(h),
+            Strategy::PsSsp { bound } => ps::run_ps_ssp(h, bound),
+            Strategy::PsHete => ps::run_ps_hete(h),
+            other => unreachable!("not a parameter-server strategy: {other:?}"),
+        }
+    }
+
+    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
+        match self.0 {
+            Strategy::PsBsp => sync::threaded_ps_bsp(substrate),
+            Strategy::PsBackup { backups } => sync::threaded_ps_bk(substrate, backups),
+            Strategy::PsAsp => ps::threaded_ps_async(substrate, PsPolicy::Asp),
+            Strategy::PsSsp { bound } => ps::threaded_ps_async(substrate, PsPolicy::Ssp { bound }),
+            Strategy::PsHete => ps::threaded_ps_async(substrate, PsPolicy::Hete),
+            other => unreachable!("not a parameter-server strategy: {other:?}"),
+        }
+    }
+}
+
+/// P-Reduce (CON and DYN): the paper's partial-reduce primitive.
+struct PReduceDriver(Strategy);
+
+impl StrategyDriver for PReduceDriver {
+    fn strategy(&self) -> Strategy {
+        self.0
+    }
+
+    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
+        let (h, sink) = substrate.into_parts();
+        let cfg = self
+            .0
+            .controller_config(h.num_workers())
+            .expect("partial-reduce strategy has a controller config");
+        preduce::run_preduce_traced(h, cfg, sink)
+    }
+
+    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
+        let cfg = self
+            .0
+            .controller_config(substrate.config().num_workers)
+            .expect("partial-reduce strategy has a controller config");
+        preduce::threaded_preduce(substrate, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_for_round_trips_every_strategy() {
+        let mut all = Strategy::table1_lineup(8);
+        all.push(Strategy::DPsgd);
+        all.push(Strategy::PsSsp { bound: 4 });
+        for s in all {
+            assert_eq!(driver_for(s).strategy(), s);
+        }
+    }
+}

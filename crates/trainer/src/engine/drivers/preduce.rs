@@ -1,15 +1,22 @@
-//! The partial-reduce simulation driver: Algorithm 2 under virtual time,
-//! reusing the transport-independent [`partial_reduce::Controller`].
+//! The partial-reduce drivers: Algorithm 2 under virtual time (moved
+//! verbatim from `sim::preduce`, reusing the transport-independent
+//! [`partial_reduce::Controller`]) and on real threads (the controller
+//! thread from [`partial_reduce::runtime`]).
 
 use std::sync::Arc;
 
+use partial_reduce::runtime::spawn_with_sink;
 use partial_reduce::{
     AggregationMode, Controller, ControllerConfig, NullSink, TraceEvent, TraceSink,
 };
 use preduce_simnet::{EventQueue, SimTime};
+use preduce_tensor::Tensor;
 
-use super::SimHarness;
+use crate::engine::setup::{build_fleet, evaluate_uniform_average};
+use crate::engine::substrate::{Substrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
+use crate::sim::SimHarness;
+use crate::threaded::ThreadedReport;
 use crate::worker::weighted_model_average;
 
 /// Event payloads for the P-Reduce event loop.
@@ -112,7 +119,7 @@ pub fn run_preduce_traced(
             } => {
                 // Weighted model average among exactly the group (line 7).
                 let avg = {
-                    let models: Vec<&preduce_tensor::Tensor> =
+                    let models: Vec<&Tensor> =
                         group.iter().map(|&m| &h.workers[m].params).collect();
                     weighted_model_average(&models, &weights)
                 };
@@ -160,4 +167,53 @@ pub fn run_preduce_traced(
     stats.insert("repairs".into(), controller.repairs() as f64);
     stats.insert("deferrals".into(), controller.deferrals() as f64);
     h.finish_with_stats(label, now, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Threaded projection
+// ---------------------------------------------------------------------------
+
+/// Threaded partial reduce: every worker runs its iteration budget of
+/// local update + `reduce` calls against the real controller thread; the
+/// drain protocol issues singleton assignments at shutdown so no worker
+/// hangs.
+///
+/// # Panics
+/// Panics if the controller config disagrees with the fleet size, or if a
+/// worker thread or the controller panics.
+pub(crate) fn threaded_preduce(
+    sub: &ThreadedSubstrate,
+    controller: ControllerConfig,
+) -> ThreadedReport {
+    let config = sub.config();
+    assert_eq!(
+        controller.num_workers, config.num_workers,
+        "controller config sized for a different fleet"
+    );
+    let fleet = build_fleet(config);
+    let (handle, reducers) = spawn_with_sink(controller, sub.sink());
+
+    let out = sub.run_spmd(fleet.workers, reducers, |mut ctx, mut w, mut r| {
+        for _ in 0..ctx.iters {
+            if !ctx.delay.is_zero() {
+                std::thread::sleep(ctx.delay);
+            }
+            w.local_update(&mut ctx.rng);
+            let iteration = w.iteration;
+            let mut flat = w.params.clone().into_vec();
+            let outcome = r.reduce(&mut flat, iteration).expect("reduce failed");
+            w.params = Tensor::from_vec(flat, [w.params.len()]).expect("length preserved");
+            w.iteration = outcome.new_iteration;
+        }
+        r.finish().expect("finish failed");
+        (w.params, w.iteration)
+    });
+    let stats = handle.join();
+
+    ThreadedReport {
+        wall_seconds: out.wall_seconds,
+        accuracy: evaluate_uniform_average(config, &fleet.test, &out.params),
+        iterations: out.iterations,
+        controller: Some(stats),
+    }
 }

@@ -1,0 +1,258 @@
+//! Asynchronous parameter-server strategies: ASP, SSP, and the
+//! heterogeneity-aware HETE.
+//!
+//! A single logical server (sharded across the fleet for cost purposes)
+//! holds the global model. Each worker loops independently: pull → compute
+//! gradient → push. Staleness arises naturally: between a worker's pull and
+//! its push, other workers' pushes move the server model. The virtual-time
+//! projection is moved verbatim from `sim::ps_async`; the threaded
+//! projection shares the same [`PsPolicy`] staleness math over a real
+//! shared server (mutex-guarded model, condvar SSP gate).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use preduce_models::SgdOptimizer;
+use preduce_simnet::{EventQueue, SimTime};
+use preduce_tensor::Tensor;
+
+use crate::engine::setup::{build_fleet, evaluate_uniform_average};
+use crate::engine::substrate::ThreadedSubstrate;
+use crate::metrics::RunResult;
+use crate::sim::SimHarness;
+use crate::threaded::ThreadedReport;
+
+/// The staleness policy distinguishing the three PS variants — the
+/// substrate-independent part of the strategy, shared by both projections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PsPolicy {
+    /// Fully asynchronous (ASP): apply everything immediately, scale 1.
+    Asp,
+    /// Stale-synchronous (SSP): a worker may run at most `bound` iterations
+    /// ahead of the slowest; violators block until the laggard catches up.
+    Ssp { bound: u64 },
+    /// Heterogeneity-aware [20]: scale the learning rate by `1/staleness`
+    /// (DynSGD's staleness-adaptive rate).
+    Hete,
+}
+
+impl PsPolicy {
+    /// Learning-rate scale for a push with the given staleness.
+    fn lr_scale(self, staleness: u64) -> f32 {
+        match self {
+            PsPolicy::Asp | PsPolicy::Ssp { .. } => 1.0,
+            PsPolicy::Hete => 1.0 / staleness as f32,
+        }
+    }
+}
+
+/// Fully-asynchronous parameter server (ASP).
+pub fn run_ps_asp(h: SimHarness) -> RunResult {
+    run_ps(h, PsPolicy::Asp, "PS ASP".into())
+}
+
+/// Stale-synchronous parallel parameter server (SSP) with the given bound.
+pub fn run_ps_ssp(h: SimHarness, bound: u64) -> RunResult {
+    run_ps(h, PsPolicy::Ssp { bound }, format!("PS SSP (s={bound})"))
+}
+
+/// Heterogeneity-aware parameter server (HETE): staleness-scaled rates.
+pub fn run_ps_hete(h: SimHarness) -> RunResult {
+    run_ps(h, PsPolicy::Hete, "PS HETE".into())
+}
+
+fn run_ps(mut h: SimHarness, policy: PsPolicy, label: String) -> RunResult {
+    let n = h.num_workers();
+    let base_comm = h.network.ps_push_pull_time(n, h.bytes);
+    // Each worker's round trip runs over its own link.
+    let comm_of: Vec<f64> = (0..n).map(|w| base_comm * h.link_slowdown[w]).collect();
+
+    // Server state: the global model plus one shared optimizer. By default
+    // the server runs *momentum-free* SGD: with interleaved stale pushes a
+    // shared momentum buffer mixes directions from different model
+    // versions and destabilizes training — async PS systems (SSP, DynSGD)
+    // apply plain SGD server-side. `ExperimentConfig::ps_server_momentum`
+    // overrides this to study the instability.
+    let mut server = h.workers[0].params.clone();
+    let mut server_cfg = *h.workers[0].opt.config();
+    server_cfg.momentum = h.ps_server_momentum;
+    let mut server_opt = SgdOptimizer::new(server_cfg, server.len());
+
+    // Per-worker bookkeeping.
+    let mut push_count = 0u64; // global pushes (server version)
+    let mut version_at_pull = vec![0u64; n];
+    let mut iter_of = vec![0u64; n];
+    let mut blocked: Vec<Option<(f64, SimTime)>> = vec![None; n]; // SSP
+
+    // Workers start by pulling the initial model (free at t=0) and
+    // computing.
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let mut started = vec![SimTime::ZERO; n];
+    for w in 0..n {
+        let ct = h.compute_time(w, SimTime::ZERO);
+        queue.schedule(SimTime::new(ct), w);
+    }
+
+    let mut now = SimTime::ZERO;
+    'outer: while let Some((t, w)) = queue.pop() {
+        now = t;
+        // Gradient at the worker's pulled view.
+        let grad = h.workers[w].gradient(&mut h.rng);
+
+        // Push arrives after the round trip; the update applies then.
+        let done = now + comm_of[w];
+        let staleness = push_count - version_at_pull[w] + 1;
+        let scale = policy.lr_scale(staleness);
+        server_opt.step_scaled(&mut server, &grad, scale);
+        push_count += 1;
+        iter_of[w] += 1;
+
+        // Pull the fresh model.
+        h.workers[w].set_params(&server);
+        h.workers[w].iteration = iter_of[w];
+        version_at_pull[w] = push_count;
+
+        let dur = done - started[w];
+        if h.record_update(done, dur) {
+            now = done;
+            break 'outer;
+        }
+
+        // SSP gate: block if this worker ran too far ahead.
+        let min_iter = *iter_of.iter().min().expect("non-empty");
+        if let PsPolicy::Ssp { bound } = policy {
+            if iter_of[w] > min_iter + bound {
+                blocked[w] = Some((h.compute_time(w, done), done));
+            } else {
+                started[w] = done;
+                let ct = h.compute_time(w, done);
+                queue.schedule(done + ct, w);
+            }
+            // Release any blocked workers the new minimum unblocks.
+            let min_iter = *iter_of.iter().min().expect("non-empty");
+            for b in 0..n {
+                if let Some((ct, since)) = blocked[b] {
+                    if iter_of[b] <= min_iter + bound {
+                        blocked[b] = None;
+                        let resume = done.max(since);
+                        started[b] = resume;
+                        queue.schedule(resume + ct, b);
+                    }
+                }
+            }
+        } else {
+            started[w] = done;
+            let ct = h.compute_time(w, done);
+            queue.schedule(done + ct, w);
+        }
+    }
+    h.finish(label, now)
+}
+
+// ---------------------------------------------------------------------------
+// Threaded projection
+// ---------------------------------------------------------------------------
+
+/// The shared server of the threaded projection.
+struct PsServer {
+    state: Mutex<PsState>,
+    /// SSP gate: pushers notify after every version bump; blocked workers
+    /// wait here until the fleet minimum catches up.
+    gate: Condvar,
+}
+
+struct PsState {
+    params: Tensor,
+    opt: SgdOptimizer,
+    push_count: u64,
+    iter_of: Vec<u64>,
+    /// Workers that exhausted their iteration budget: they leave the SSP
+    /// minimum so nobody blocks on a worker that will never push again.
+    done: Vec<bool>,
+}
+
+impl PsState {
+    fn min_active_iter(&self) -> u64 {
+        self.iter_of
+            .iter()
+            .zip(&self.done)
+            .filter(|(_, &d)| !d)
+            .map(|(&i, _)| i)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Threaded asynchronous parameter server under the given staleness
+/// policy: pull → gradient → push, with the server applying
+/// [`PsPolicy::lr_scale`]-scaled steps and the SSP variant blocking
+/// runaway workers on a condvar until the slowest catches up.
+pub(crate) fn threaded_ps_async(sub: &ThreadedSubstrate, policy: PsPolicy) -> ThreadedReport {
+    let config = sub.config();
+    let n = config.num_workers;
+    let fleet = build_fleet(config);
+    let params = fleet.workers[0].params.clone();
+    let mut server_cfg = *fleet.workers[0].opt.config();
+    server_cfg.momentum = config.ps_server_momentum;
+    let opt = SgdOptimizer::new(server_cfg, params.len());
+    let server = Arc::new(PsServer {
+        state: Mutex::new(PsState {
+            params,
+            opt,
+            push_count: 0,
+            iter_of: vec![0; n],
+            done: vec![false; n],
+        }),
+        gate: Condvar::new(),
+    });
+    let resources: Vec<_> = (0..n).map(|_| Arc::clone(&server)).collect();
+
+    let out = sub.run_spmd(fleet.workers, resources, move |mut ctx, mut w, server| {
+        for _ in 0..ctx.iters {
+            if !ctx.delay.is_zero() {
+                thread::sleep(ctx.delay);
+            }
+            // Pull: record the server version the gradient is taken at.
+            let version = {
+                let s = server.state.lock().expect("server poisoned");
+                w.set_params(&s.params);
+                s.push_count
+            };
+            let grad = w.gradient(&mut ctx.rng);
+            // Push: staleness = pushes that landed since our pull, plus
+            // our own (same accounting as the virtual-time projection).
+            {
+                let mut guard = server.state.lock().expect("server poisoned");
+                let s = &mut *guard;
+                let staleness = s.push_count - version + 1;
+                s.opt
+                    .step_scaled(&mut s.params, &grad, policy.lr_scale(staleness));
+                s.push_count += 1;
+                s.iter_of[ctx.rank] += 1;
+                w.iteration = s.iter_of[ctx.rank];
+                w.set_params(&s.params);
+            }
+            server.gate.notify_all();
+            if let PsPolicy::Ssp { bound } = policy {
+                let mut s = server.state.lock().expect("server poisoned");
+                while s.iter_of[ctx.rank] > s.min_active_iter().saturating_add(bound) {
+                    s = server.gate.wait(s).expect("server poisoned");
+                }
+            }
+        }
+        {
+            let mut s = server.state.lock().expect("server poisoned");
+            s.done[ctx.rank] = true;
+        }
+        server.gate.notify_all();
+        let m = server.state.lock().expect("server poisoned").params.clone();
+        (m, w.iteration)
+    });
+
+    ThreadedReport {
+        wall_seconds: out.wall_seconds,
+        accuracy: evaluate_uniform_average(config, &fleet.test, &out.params),
+        iterations: out.iterations,
+        controller: None,
+    }
+}

@@ -1,0 +1,143 @@
+//! The substrate-agnostic execution engine.
+//!
+//! Each strategy is written **once** as a state machine
+//! ([`drivers::StrategyDriver`]); the deterministic virtual-time simulator
+//! and the real-thread runtime are two interchangeable substrates that
+//! drive it ([`SimSubstrate`], [`ThreadedSubstrate`]). [`run`] is the one
+//! entry point: pick a [`Strategy`], a config, and a [`Backend`], and get
+//! a [`RunResult`] either way — with the same trace vocabulary flowing to
+//! the given [`TraceSink`] from both substrates.
+
+pub mod drivers;
+pub mod setup;
+pub mod substrate;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use partial_reduce::TraceSink;
+
+pub use drivers::{driver_for, StrategyDriver};
+pub use substrate::{Backend, SimSubstrate, Substrate, ThreadedSubstrate};
+
+use crate::config::ExperimentConfig;
+use crate::metrics::RunResult;
+use crate::strategy::Strategy;
+use partial_reduce::runtime::ControllerStats;
+
+/// Iteration budget per worker for threaded runs when the config leaves
+/// [`ExperimentConfig::threaded_iters`] unset: enough rounds for group
+/// formation, fast-forwarding, and drain to all exercise, small enough to
+/// stay sub-second per strategy on one machine.
+pub const DEFAULT_THREADED_ITERS: u64 = 40;
+
+/// What an engine run produced: the cross-substrate [`RunResult`] plus the
+/// threaded-only observables (per-rank iteration counts, controller
+/// stats) when the backend provides them.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The run's result in the common vocabulary of both substrates.
+    pub result: RunResult,
+    /// Per-rank final iteration counts (threaded backend only).
+    pub iterations: Option<Vec<u64>>,
+    /// Controller statistics (threaded P-Reduce/gossip runs only).
+    pub controller: Option<ControllerStats>,
+}
+
+/// Runs `strategy` under `config` on the chosen backend, narrating the
+/// control plane to `sink`.
+///
+/// On [`Backend::Sim`] the run finishes at the accuracy threshold or the
+/// update cap and the result carries the full convergence trace. On
+/// [`Backend::Threaded`] every worker runs its iteration budget
+/// ([`ExperimentConfig::threaded_iters`] or [`DEFAULT_THREADED_ITERS`]) on
+/// a real OS thread; timing is wall-clock, the trace is empty (real runs
+/// are observed through `sink`, not virtual checkpoints), and `converged`
+/// is always `false` because no threshold gates the loop.
+///
+/// # Panics
+/// Panics if the config is invalid or a worker/controller thread panics.
+pub fn run(
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    backend: Backend,
+    sink: Arc<dyn TraceSink>,
+) -> EngineRun {
+    let driver = driver_for(strategy);
+    match backend {
+        Backend::Sim => {
+            let substrate = SimSubstrate::new(config).with_sink(sink);
+            EngineRun {
+                result: driver.drive_sim(substrate),
+                iterations: None,
+                controller: None,
+            }
+        }
+        Backend::Threaded => {
+            let iters = config.threaded_iters.unwrap_or(DEFAULT_THREADED_ITERS);
+            let substrate = ThreadedSubstrate::new(config, iters).with_sink(sink);
+            let report = driver.drive_threaded(&substrate);
+            let updates: u64 = report.iterations.iter().sum();
+            let mut stats = BTreeMap::new();
+            if let Some(c) = report.controller {
+                stats.insert("groups".into(), c.groups_formed as f64);
+                stats.insert("repairs".into(), c.repairs as f64);
+                stats.insert("singletons".into(), c.singletons as f64);
+            }
+            EngineRun {
+                result: RunResult {
+                    strategy: strategy.label(),
+                    run_time: report.wall_seconds,
+                    updates,
+                    converged: false,
+                    final_accuracy: report.accuracy,
+                    trace: Vec::new(),
+                    per_update_samples: Vec::new(),
+                    stats,
+                },
+                iterations: Some(report.iterations),
+                controller: report.controller,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partial_reduce::NullSink;
+    use preduce_data::cifar10_like;
+    use preduce_models::zoo;
+
+    #[test]
+    fn threaded_run_reports_in_common_vocabulary() {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        c.num_workers = 2;
+        c.threaded_iters = Some(3);
+        let run = run(
+            Strategy::AllReduce,
+            &c,
+            Backend::Threaded,
+            Arc::new(NullSink),
+        );
+        assert_eq!(run.result.strategy, "All-Reduce");
+        assert_eq!(run.result.updates, 6); // 2 workers × 3 iterations
+        assert_eq!(run.iterations.as_deref(), Some(&[3, 3][..]));
+        assert!(run.result.trace.is_empty());
+        assert!(!run.result.converged);
+    }
+
+    #[test]
+    fn sim_run_matches_legacy_dispatch() {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        c.num_workers = 4;
+        c.max_updates = 48;
+        c.eval_every = 16;
+        let engine = run(Strategy::AllReduce, &c, Backend::Sim, Arc::new(NullSink));
+        let legacy = crate::experiment::run_experiment(Strategy::AllReduce, &c);
+        assert_eq!(engine.result.run_time, legacy.run_time);
+        assert_eq!(engine.result.updates, legacy.updates);
+        assert_eq!(engine.result.final_accuracy, legacy.final_accuracy);
+        assert!(engine.iterations.is_none());
+    }
+}

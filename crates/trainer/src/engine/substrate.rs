@@ -1,0 +1,330 @@
+//! The two execution substrates: deterministic virtual time and real OS
+//! threads.
+//!
+//! A substrate supplies the *scheduler* for a strategy's state machine —
+//! how time advances and compute runs, how models are exchanged or
+//! averaged within a group, how the controller is signaled, and how the
+//! control plane is observed (via `TraceSink`). [`SimSubstrate`] hands the
+//! driver a [`SimHarness`] whose event queue plays all of those roles
+//! under virtual time; [`ThreadedSubstrate`] provides an SPMD scaffold
+//! (one OS thread per worker plus per-strategy shared resources: comm
+//! endpoints, partial reducers, or a shared server) over the in-process
+//! fabric.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use partial_reduce::{NullSink, TraceSink};
+use preduce_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::config::ExperimentConfig;
+use crate::engine::setup::worker_thread_seed;
+use crate::sim::SimHarness;
+use crate::worker::WorkerState;
+
+/// Which substrate executes a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Deterministic virtual-time simulation.
+    Sim,
+    /// Real OS threads over in-process message passing.
+    Threaded,
+}
+
+impl Backend {
+    /// All backends, for CLI listings and exhaustive tests.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Threaded];
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "threaded" => Ok(Backend::Threaded),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `sim` or `threaded`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Threaded => "threaded",
+        })
+    }
+}
+
+/// What every substrate exposes to the engine: its identity, fleet size,
+/// and the sink through which its control plane is observed. The
+/// strategy-facing capabilities — advancing time and running compute,
+/// exchanging or averaging models within a group, signaling the
+/// controller — live behind each substrate's scheduler handle (the
+/// simulator's harness, the threaded scaffold's per-worker context and
+/// resources), which the matching `StrategyDriver` projection consumes.
+pub trait Substrate {
+    /// Which backend this substrate is.
+    fn backend(&self) -> Backend;
+    /// Fleet size.
+    fn num_workers(&self) -> usize;
+    /// The trace sink observing this run.
+    fn sink(&self) -> Arc<dyn TraceSink>;
+}
+
+/// The virtual-time substrate: wraps the deterministic [`SimHarness`].
+pub struct SimSubstrate {
+    harness: SimHarness,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl SimSubstrate {
+    /// Builds the simulator substrate for `config` (no tracing).
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        SimSubstrate {
+            harness: SimHarness::new(config),
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Replaces the trace sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Consumes the substrate into its scheduler handle and sink: a sim
+    /// driver projection runs the harness event loop to completion.
+    pub fn into_parts(self) -> (SimHarness, Arc<dyn TraceSink>) {
+        (self.harness, self.sink)
+    }
+}
+
+impl Substrate for SimSubstrate {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn num_workers(&self) -> usize {
+        self.harness.num_workers()
+    }
+
+    fn sink(&self) -> Arc<dyn TraceSink> {
+        self.sink.clone()
+    }
+}
+
+/// The real-concurrency substrate: one OS thread per worker, wall-clock
+/// time, in-process message passing, and an optional controller thread.
+pub struct ThreadedSubstrate {
+    config: ExperimentConfig,
+    iters: u64,
+    delays: Vec<Duration>,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl ThreadedSubstrate {
+    /// Builds the threaded substrate: each worker will run `iters` local
+    /// iterations (real threads need a finite budget; the convergence
+    /// tracker of the simulator has no wall-clock analogue).
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(config: &ExperimentConfig, iters: u64) -> Self {
+        config.validate();
+        ThreadedSubstrate {
+            config: config.clone(),
+            iters,
+            delays: Vec::new(),
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Replaces the trace sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Injects controlled heterogeneity: `delays[rank]` is an artificial
+    /// per-iteration sleep turning worker `rank` into a straggler. An
+    /// empty slice injects none.
+    ///
+    /// # Panics
+    /// Panics if `delays` is neither empty nor one entry per worker.
+    #[must_use]
+    pub fn with_delays(mut self, delays: &[Duration]) -> Self {
+        assert!(
+            delays.is_empty() || delays.len() == self.config.num_workers,
+            "need one delay per worker (or none), got {} for {} workers",
+            delays.len(),
+            self.config.num_workers
+        );
+        self.delays = delays.to_vec();
+        self
+    }
+
+    /// The experiment configuration this substrate runs.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Local iterations each worker will run.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+
+    /// Runs `body` as an SPMD program: one thread per worker, each handed
+    /// its context (rank, iteration budget, straggler delay, seeded RNG),
+    /// its [`WorkerState`], and one element of `resources` (comm endpoint,
+    /// partial reducer, shared-server handle…). Returns the per-rank final
+    /// models and iteration counts plus the wall-clock time of the
+    /// training loops (evaluation happens after, outside the clock).
+    ///
+    /// # Panics
+    /// Panics if a worker thread panics or `resources` is mis-sized.
+    pub(crate) fn run_spmd<R, F>(
+        &self,
+        workers: Vec<WorkerState>,
+        resources: Vec<R>,
+        body: F,
+    ) -> SpmdOutcome
+    where
+        R: Send + 'static,
+        F: Fn(WorkerCtx, WorkerState, R) -> (Tensor, u64) + Send + Sync + 'static,
+    {
+        assert_eq!(workers.len(), resources.len(), "one resource per worker");
+        let body = Arc::new(body);
+        let start = Instant::now();
+        let threads: Vec<_> = workers
+            .into_iter()
+            .zip(resources)
+            .map(|(w, r)| {
+                let ctx = WorkerCtx {
+                    rank: w.rank,
+                    iters: self.iters,
+                    delay: self.delays.get(w.rank).copied().unwrap_or(Duration::ZERO),
+                    rng: StdRng::seed_from_u64(worker_thread_seed(self.config.seed, w.rank)),
+                };
+                let body = Arc::clone(&body);
+                thread::spawn(move || body(ctx, w, r))
+            })
+            .collect();
+        let mut params = Vec::new();
+        let mut iterations = Vec::new();
+        for t in threads {
+            let (p, i) = t.join().expect("worker thread panicked");
+            params.push(p);
+            iterations.push(i);
+        }
+        SpmdOutcome {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            params,
+            iterations,
+        }
+    }
+}
+
+impl Substrate for ThreadedSubstrate {
+    fn backend(&self) -> Backend {
+        Backend::Threaded
+    }
+
+    fn num_workers(&self) -> usize {
+        self.config.num_workers
+    }
+
+    fn sink(&self) -> Arc<dyn TraceSink> {
+        self.sink.clone()
+    }
+}
+
+/// Per-thread context handed to an SPMD worker body.
+pub(crate) struct WorkerCtx {
+    /// Worker rank.
+    pub rank: usize,
+    /// Local iterations to run.
+    pub iters: u64,
+    /// Injected per-iteration straggler sleep.
+    pub delay: Duration,
+    /// This worker's private RNG (batch draws).
+    pub rng: StdRng,
+}
+
+/// What an SPMD run returns: wall time plus each worker's final model and
+/// iteration count, in rank order.
+pub(crate) struct SpmdOutcome {
+    /// Wall-clock seconds for the training loops.
+    pub wall_seconds: f64,
+    /// Final per-rank models.
+    pub params: Vec<Tensor>,
+    /// Final per-rank iteration counts.
+    pub iterations: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preduce_data::cifar10_like;
+    use preduce_models::zoo;
+
+    fn config(n: usize) -> ExperimentConfig {
+        let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+        c.num_workers = n;
+        c
+    }
+
+    #[test]
+    fn backend_parse_and_display_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert!("gpu".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn substrates_report_identity() {
+        let c = config(3);
+        let sim = SimSubstrate::new(&c);
+        assert_eq!(sim.backend(), Backend::Sim);
+        assert_eq!(sim.num_workers(), 3);
+        let thr = ThreadedSubstrate::new(&c, 5);
+        assert_eq!(thr.backend(), Backend::Threaded);
+        assert_eq!(thr.num_workers(), 3);
+        assert_eq!(thr.iters(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need one delay per worker")]
+    fn delays_must_match_fleet() {
+        let _ = ThreadedSubstrate::new(&config(3), 1).with_delays(&[Duration::ZERO]);
+    }
+
+    #[test]
+    fn spmd_scaffold_runs_every_worker_once() {
+        let c = config(4);
+        let fleet = crate::engine::setup::build_fleet(&c);
+        let sub = ThreadedSubstrate::new(&c, 3);
+        let out = sub.run_spmd(fleet.workers, vec![(); 4], |mut ctx, mut w, ()| {
+            for _ in 0..ctx.iters {
+                w.local_update(&mut ctx.rng);
+            }
+            (w.params, w.iteration)
+        });
+        assert_eq!(out.iterations, vec![3; 4]);
+        assert_eq!(out.params.len(), 4);
+        assert!(out.wall_seconds >= 0.0);
+    }
+}

@@ -5,11 +5,8 @@ use std::sync::Arc;
 use partial_reduce::{NullSink, TraceSink};
 
 use crate::config::ExperimentConfig;
+use crate::engine::{self, Backend};
 use crate::metrics::RunResult;
-use crate::sim::{
-    run_ad_psgd, run_allreduce, run_d_psgd, run_eager_reduce, run_preduce_traced, run_ps_asp,
-    run_ps_bk, run_ps_bsp, run_ps_hete, run_ps_ssp, SimHarness,
-};
 use crate::strategy::Strategy;
 
 /// Runs one experiment under virtual time and returns its metrics.
@@ -36,24 +33,7 @@ pub fn run_experiment_traced(
     config: &ExperimentConfig,
     sink: Arc<dyn TraceSink>,
 ) -> RunResult {
-    let harness = SimHarness::new(config);
-    match strategy {
-        Strategy::AllReduce => run_allreduce(harness),
-        Strategy::EagerReduce => run_eager_reduce(harness),
-        Strategy::AdPsgd => run_ad_psgd(harness),
-        Strategy::DPsgd => run_d_psgd(harness),
-        Strategy::PsBsp => run_ps_bsp(harness),
-        Strategy::PsAsp => run_ps_asp(harness),
-        Strategy::PsSsp { bound } => run_ps_ssp(harness, bound),
-        Strategy::PsHete => run_ps_hete(harness),
-        Strategy::PsBackup { backups } => run_ps_bk(harness, backups),
-        Strategy::PReduce { .. } => {
-            let cfg = strategy
-                .controller_config(config.num_workers)
-                .expect("PReduce always carries a controller config");
-            run_preduce_traced(harness, cfg, sink)
-        }
-    }
+    engine::run(strategy, config, Backend::Sim, sink).result
 }
 
 #[cfg(test)]
@@ -194,9 +174,17 @@ mod tests {
             "no learning signal: {}",
             r.final_accuracy
         );
-        // Accuracy trend is upward from first to last trace point.
-        let first = r.trace.first().unwrap().accuracy;
-        let last = r.trace.last().unwrap().accuracy;
-        assert!(last > first, "no improvement: {first} -> {last}");
+        // Accuracy trend is upward from first to last trace point; an
+        // empty trace (too few updates per eval interval) is a test bug
+        // worth naming, not an unwrap panic.
+        match r.trace_endpoints() {
+            Some((first, last)) => assert!(
+                last.accuracy > first.accuracy,
+                "no improvement: {} -> {}",
+                first.accuracy,
+                last.accuracy
+            ),
+            None => panic!("run recorded no trace points; check eval_every vs max_updates"),
+        }
     }
 }

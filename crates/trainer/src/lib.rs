@@ -23,10 +23,13 @@
 //! time — the decomposition into statistical × hardware efficiency.
 //!
 //! Two execution substrates exist: the deterministic virtual-time simulator
-//! (module [`sim`], used by every experiment) and a real multithreaded
-//! runtime ([`threaded`]) demonstrating the prototype end-to-end.
+//! and a real multithreaded runtime. Each strategy is written once in
+//! [`engine::drivers`] and projected onto both; [`engine::run`] is the one
+//! entry point ([`engine::Backend`] picks the substrate), with [`sim`] and
+//! [`threaded`] keeping the harness types and the original call sites.
 
 pub mod config;
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod sim;
@@ -35,9 +38,10 @@ pub mod threaded;
 pub mod worker;
 
 pub use config::{ExperimentConfig, HeteroSpec};
+pub use engine::{Backend, EngineRun};
 pub use experiment::{run_experiment, run_experiment_traced};
 pub use metrics::{RunResult, TracePoint};
-pub use strategy::{NoControllerConfig, Strategy};
+pub use strategy::{NoControllerConfig, Strategy, StrategyFamily};
 pub use threaded::{
     train_threaded_allreduce, train_threaded_preduce, train_threaded_preduce_traced, ThreadedReport,
 };

@@ -1,40 +1,36 @@
-//! Virtual-time simulation drivers, one per strategy family.
+//! The virtual-time simulation harness.
 //!
-//! All drivers share [`SimHarness`]: the worker replicas (real models, real
+//! The strategy drivers themselves live in [`crate::engine::drivers`]
+//! (one module per family, each projected onto both substrates); this
+//! module keeps [`SimHarness`]: the worker replicas (real models, real
 //! SGD math), the heterogeneity model (per-update compute times), the
 //! network cost model, and a convergence tracker that periodically
 //! evaluates the worker-averaged model on the held-out test set and stops
 //! the run at the configured threshold — precisely the paper's protocol
 //! (§5.1–5.2: run time and #updates to a fixed test accuracy; inference on
-//! the average of all workers' models per Algorithm 2 line 8).
+//! the average of all workers' models per Algorithm 2 line 8). The
+//! `run_*` re-exports below preserve the pre-engine call sites.
 
-mod gossip;
-mod preduce;
-mod ps_async;
-mod sync;
+pub use crate::engine::drivers::gossip::{run_ad_psgd, run_d_psgd};
+pub use crate::engine::drivers::preduce::{run_preduce, run_preduce_traced};
+pub use crate::engine::drivers::ps::{run_ps_asp, run_ps_hete, run_ps_ssp};
+pub use crate::engine::drivers::sync::{run_allreduce, run_eager_reduce, run_ps_bk, run_ps_bsp};
+pub use crate::worker::average_params;
 
-pub use gossip::{run_ad_psgd, run_d_psgd};
-pub use preduce::{run_preduce, run_preduce_traced};
-pub use ps_async::{run_ps_asp, run_ps_hete, run_ps_ssp};
-pub use sync::{run_allreduce, run_eager_reduce, run_ps_bk, run_ps_bsp};
-
-use preduce_data::{shard_dataset, Dataset, ShardStrategy};
+use preduce_data::Dataset;
 use preduce_models::{evaluate_accuracy, softmax_cross_entropy, Network};
 use preduce_simnet::{HeterogeneityModel, NetworkModel, SimTime};
-use preduce_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::config::ExperimentConfig;
+use crate::engine::setup::{build_fleet, Fleet, EVAL_BATCH};
 use crate::metrics::{RunResult, TracePoint};
-use crate::worker::{weighted_model_average, WorkerState};
+use crate::worker::WorkerState;
 
 /// Cap on retained per-update time samples (reservoir not needed: the
 /// early-run distribution is representative because the heterogeneity
 /// models are stationary).
 const MAX_UPDATE_SAMPLES: usize = 4096;
-
-/// Evaluation batch size for test-set accuracy.
-const EVAL_BATCH: usize = 256;
 
 /// Shared simulation state handed to every driver.
 pub struct SimHarness {
@@ -61,48 +57,20 @@ pub struct SimHarness {
 }
 
 impl SimHarness {
-    /// Builds the harness from an experiment configuration: dataset,
-    /// shards, identically-initialized replicas, heterogeneity model.
+    /// Builds the harness from an experiment configuration. The fleet
+    /// (dataset, shards, identically-initialized replicas) comes from the
+    /// shared [`build_fleet`] path, so a sim run and a threaded run of
+    /// the same config start from the same state.
     ///
     /// # Panics
     /// Panics if the config is invalid.
     pub fn new(config: &ExperimentConfig) -> Self {
-        config.validate();
-        let n = config.num_workers;
-
-        let mixture = config.preset.mixture(config.seed);
-        let full = mixture.generate();
-        let (train, test) = full.split_test(config.preset.test_size);
-        let train = train.with_label_noise(
-            config.label_noise,
-            &mut StdRng::seed_from_u64(config.seed ^ 0x1abe1),
-        );
-        let shards = shard_dataset(
-            &train,
-            n,
-            config
-                .shard_strategy
-                .unwrap_or(ShardStrategy::Shuffled { seed: config.seed }),
-        );
-
-        let spec = config.model.spec(train.feature_dim(), train.num_classes());
-        let reference = spec.build(config.seed);
-
-        let workers: Vec<WorkerState> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(rank, shard)| {
-                let sampler = preduce_data::BatchSampler::new(
-                    shard,
-                    config.math_batch_size,
-                    // Sampler seeds are unused (drivers sample through the
-                    // harness RNG) but must still be distinct per worker.
-                    config.seed ^ (rank as u64 + 1),
-                );
-                WorkerState::new(rank, reference.clone(), config.sgd, sampler)
-            })
-            .collect();
-
+        let Fleet {
+            workers,
+            test,
+            reference,
+        } = build_fleet(config);
+        let n = workers.len();
         let hetero = config.hetero.build(n, config.device_flops, config.jitter);
 
         SimHarness {
@@ -265,14 +233,6 @@ impl ConvergenceTracker {
         let norm = g.norm2();
         norm * norm
     }
-}
-
-/// The uniform average of all workers' parameter vectors (the model used
-/// for inference, Algorithm 2 line 8).
-pub fn average_params(workers: &[WorkerState]) -> Tensor {
-    let refs: Vec<&Tensor> = workers.iter().map(|w| &w.params).collect();
-    let w = vec![1.0 / workers.len() as f32; workers.len()];
-    weighted_model_average(&refs, &w)
 }
 
 #[cfg(test)]

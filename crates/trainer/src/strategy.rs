@@ -22,6 +22,21 @@ impl fmt::Display for NoControllerConfig {
 
 impl std::error::Error for NoControllerConfig {}
 
+/// The four synchronization shapes a strategy can take — the engine
+/// dispatches each family to one [`crate::engine::StrategyDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyFamily {
+    /// Full-fleet collectives (All-Reduce, Eager-Reduce).
+    Collective,
+    /// Decentralized peer-to-peer mixing (AD-PSGD, D-PSGD).
+    Gossip,
+    /// A central server holding the global model (BSP, ASP, SSP, HETE,
+    /// backup workers).
+    ParameterServer,
+    /// The paper's partial-reduce primitive (CON and DYN).
+    PartialReduce,
+}
+
 /// A distributed-training strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Strategy {
@@ -81,6 +96,20 @@ impl Strategy {
                     format!("P-Reduce CON (P={p})")
                 }
             }
+        }
+    }
+
+    /// The synchronization family this strategy belongs to.
+    pub fn family(&self) -> StrategyFamily {
+        match self {
+            Strategy::AllReduce | Strategy::EagerReduce => StrategyFamily::Collective,
+            Strategy::AdPsgd | Strategy::DPsgd => StrategyFamily::Gossip,
+            Strategy::PsBsp
+            | Strategy::PsAsp
+            | Strategy::PsSsp { .. }
+            | Strategy::PsHete
+            | Strategy::PsBackup { .. } => StrategyFamily::ParameterServer,
+            Strategy::PReduce { .. } => StrategyFamily::PartialReduce,
         }
     }
 
@@ -209,6 +238,26 @@ mod tests {
         assert_eq!(l.len(), 11);
         // 4 P-Reduce variants, 3 backups out of 8.
         assert!(l.contains(&Strategy::PsBackup { backups: 3 }));
+    }
+
+    #[test]
+    fn families_partition_the_lineup() {
+        let lineup = Strategy::table1_lineup(8);
+        assert!(lineup
+            .iter()
+            .any(|s| s.family() == StrategyFamily::Collective));
+        assert!(lineup.iter().any(|s| s.family() == StrategyFamily::Gossip));
+        assert!(lineup
+            .iter()
+            .any(|s| s.family() == StrategyFamily::ParameterServer));
+        assert!(lineup
+            .iter()
+            .any(|s| s.family() == StrategyFamily::PartialReduce));
+        assert_eq!(Strategy::DPsgd.family(), StrategyFamily::Gossip);
+        assert_eq!(
+            Strategy::PsSsp { bound: 4 }.family(),
+            StrategyFamily::ParameterServer
+        );
     }
 
     #[test]

@@ -6,21 +6,22 @@
 //! machine-dependent); the *trajectories* are what tests assert on. The
 //! virtual-time simulator remains the measurement instrument for the
 //! paper's experiments.
+//!
+//! The implementations live in [`crate::engine::drivers`] (every Table-1
+//! strategy has a threaded projection there, driven through
+//! [`crate::engine::run`] with [`crate::engine::Backend::Threaded`]);
+//! this module keeps the report type and the original entry points as
+//! thin wrappers over [`ThreadedSubstrate`].
 
 use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use partial_reduce::runtime::{spawn_with_sink, ControllerStats};
-use partial_reduce::{ControllerConfig, NullSink, TraceSink};
-use preduce_comm::collectives::{barrier, ring_allreduce, TAG_STRIDE};
-use preduce_comm::CommWorld;
-use preduce_data::{shard_dataset, BatchSampler, ShardStrategy};
-use preduce_models::evaluate_accuracy;
-use rand::{rngs::StdRng, SeedableRng};
+use partial_reduce::runtime::ControllerStats;
+use partial_reduce::{ControllerConfig, TraceSink};
 
 use crate::config::ExperimentConfig;
-use crate::worker::WorkerState;
+use crate::engine::drivers::{preduce, sync};
+use crate::engine::substrate::ThreadedSubstrate;
 
 /// Outcome of a threaded training run.
 #[derive(Debug, Clone)]
@@ -31,56 +32,8 @@ pub struct ThreadedReport {
     pub accuracy: f64,
     /// Per-worker iteration counts actually executed.
     pub iterations: Vec<u64>,
-    /// Controller statistics (P-Reduce runs only).
+    /// Controller statistics (controller-backed runs only).
     pub controller: Option<ControllerStats>,
-}
-
-fn build_workers(config: &ExperimentConfig) -> (Vec<WorkerState>, preduce_data::Dataset) {
-    config.validate();
-    let mixture = config.preset.mixture(config.seed);
-    let full = mixture.generate();
-    let (train, test) = full.split_test(config.preset.test_size);
-    let train = train.with_label_noise(
-        config.label_noise,
-        &mut StdRng::seed_from_u64(config.seed ^ 0x1abe1),
-    );
-    let shards = shard_dataset(
-        &train,
-        config.num_workers,
-        config
-            .shard_strategy
-            .unwrap_or(ShardStrategy::Shuffled { seed: config.seed }),
-    );
-    let spec = config.model.spec(train.feature_dim(), train.num_classes());
-    let reference = spec.build(config.seed);
-    let workers = shards
-        .into_iter()
-        .enumerate()
-        .map(|(rank, shard)| {
-            let sampler = BatchSampler::new(
-                shard,
-                config.math_batch_size,
-                config.seed ^ (rank as u64 + 1),
-            );
-            WorkerState::new(rank, reference.clone(), config.sgd, sampler)
-        })
-        .collect();
-    (workers, test)
-}
-
-fn evaluate_average(
-    config: &ExperimentConfig,
-    test: &preduce_data::Dataset,
-    params: &[preduce_tensor::Tensor],
-) -> f64 {
-    let spec = config.model.spec(test.feature_dim(), test.num_classes());
-    let mut net = spec.build(config.seed);
-    let mut avg = preduce_tensor::Tensor::zeros([params[0].len()]);
-    for p in params {
-        avg.axpy(1.0 / params.len() as f32, p);
-    }
-    net.set_param_vector(&avg);
-    evaluate_accuracy(&mut net, test, 256)
 }
 
 /// Trains with the threaded partial-reduce runtime: every worker runs
@@ -93,7 +46,8 @@ pub fn train_threaded_preduce(
     controller: ControllerConfig,
     iters: u64,
 ) -> ThreadedReport {
-    train_threaded_preduce_traced(config, controller, iters, &[], Arc::new(NullSink))
+    let sub = ThreadedSubstrate::new(config, iters);
+    preduce::threaded_preduce(&sub, controller)
 }
 
 /// Like [`train_threaded_preduce`], but with tracing and injected
@@ -112,58 +66,10 @@ pub fn train_threaded_preduce_traced(
     delays: &[Duration],
     sink: Arc<dyn TraceSink>,
 ) -> ThreadedReport {
-    assert!(
-        delays.is_empty() || delays.len() == config.num_workers,
-        "need one delay per worker (or none), got {} for {} workers",
-        delays.len(),
-        config.num_workers
-    );
-    let (workers, test) = build_workers(config);
-    let (handle, reducers) = spawn_with_sink(controller, sink);
-
-    let start = Instant::now();
-    let threads: Vec<_> = workers
-        .into_iter()
-        .zip(reducers)
-        .map(|(mut w, mut r)| {
-            let seed = config.seed ^ (0xabcd << 8) ^ w.rank as u64;
-            let delay = delays.get(w.rank).copied().unwrap_or(Duration::ZERO);
-            thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed);
-                for _ in 0..iters {
-                    if !delay.is_zero() {
-                        thread::sleep(delay);
-                    }
-                    w.local_update(&mut rng);
-                    let iteration = w.iteration;
-                    let mut flat = w.params.clone().into_vec();
-                    let out = r.reduce(&mut flat, iteration).expect("reduce failed");
-                    w.params = preduce_tensor::Tensor::from_vec(flat, [w.params.len()])
-                        .expect("length preserved");
-                    w.iteration = out.new_iteration;
-                }
-                r.finish().expect("finish failed");
-                (w.params, w.iteration)
-            })
-        })
-        .collect();
-
-    let mut params = Vec::new();
-    let mut iterations = Vec::new();
-    for t in threads {
-        let (p, i) = t.join().expect("worker thread panicked");
-        params.push(p);
-        iterations.push(i);
-    }
-    let wall_seconds = start.elapsed().as_secs_f64();
-    let stats = handle.join();
-
-    ThreadedReport {
-        wall_seconds,
-        accuracy: evaluate_average(config, &test, &params),
-        iterations,
-        controller: Some(stats),
-    }
+    let sub = ThreadedSubstrate::new(config, iters)
+        .with_delays(delays)
+        .with_sink(sink);
+    preduce::threaded_preduce(&sub, controller)
 }
 
 /// Trains with threaded synchronous All-Reduce: every worker runs `iters`
@@ -173,55 +79,8 @@ pub fn train_threaded_preduce_traced(
 /// # Panics
 /// Panics if a worker thread panics.
 pub fn train_threaded_allreduce(config: &ExperimentConfig, iters: u64) -> ThreadedReport {
-    let (workers, test) = build_workers(config);
-    let n = config.num_workers;
-    let endpoints = CommWorld::new(n).into_endpoints();
-    let all: Vec<usize> = (0..n).collect();
-
-    let start = Instant::now();
-    let threads: Vec<_> = workers
-        .into_iter()
-        .zip(endpoints)
-        .map(|(mut w, mut ep)| {
-            let group = all.clone();
-            let seed = config.seed ^ (0xdcba << 8) ^ w.rank as u64;
-            thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed);
-                for k in 0..iters {
-                    let grad = w.gradient(&mut rng);
-                    let mut flat = grad.into_vec();
-                    ring_allreduce(&mut ep, &group, (2 * k) * TAG_STRIDE, &mut flat)
-                        .expect("allreduce failed");
-                    // Sum → mean.
-                    for v in &mut flat {
-                        *v /= group.len() as f32;
-                    }
-                    let avg = preduce_tensor::Tensor::from_vec(flat, [w.params.len()])
-                        .expect("length preserved");
-                    w.apply(&avg, 1.0);
-                    w.iteration += 1;
-                    barrier(&mut ep, &group, (2 * k + 1) * TAG_STRIDE).expect("barrier failed");
-                }
-                (w.params, w.iteration)
-            })
-        })
-        .collect();
-
-    let mut params = Vec::new();
-    let mut iterations = Vec::new();
-    for t in threads {
-        let (p, i) = t.join().expect("worker thread panicked");
-        params.push(p);
-        iterations.push(i);
-    }
-    let wall_seconds = start.elapsed().as_secs_f64();
-
-    ThreadedReport {
-        wall_seconds,
-        accuracy: evaluate_average(config, &test, &params),
-        iterations,
-        controller: None,
-    }
+    let sub = ThreadedSubstrate::new(config, iters);
+    sync::threaded_allreduce(&sub)
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Smoke tests for the threaded projections of every strategy family.
+//!
+//! These are behavioral checks, not trajectory goldens (real threads are
+//! scheduled by the OS, so wall times and interleavings vary): every
+//! worker must complete its iteration budget, the averaged model must
+//! evaluate to a finite accuracy, and controller-backed strategies must
+//! actually form groups. CI runs this file single-threaded per test
+//! (`--test-threads=1`) so each strategy gets the whole machine.
+
+use std::sync::Arc;
+
+use partial_reduce::NullSink;
+use preduce_data::cifar10_like;
+use preduce_models::zoo;
+use preduce_trainer::{engine, Backend, EngineRun, ExperimentConfig, Strategy};
+
+fn cfg(n: usize, iters: u64) -> ExperimentConfig {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    c.num_workers = n;
+    c.threaded_iters = Some(iters);
+    c
+}
+
+fn run_threaded(s: Strategy, c: &ExperimentConfig) -> EngineRun {
+    engine::run(s, c, Backend::Threaded, Arc::new(NullSink))
+}
+
+#[test]
+fn collective_allreduce_runs_lockstep() {
+    let run = run_threaded(Strategy::AllReduce, &cfg(4, 6));
+    assert_eq!(run.result.updates, 24); // 4 workers × 6 rounds
+    assert_eq!(run.iterations.as_deref(), Some(&[6, 6, 6, 6][..]));
+    assert!(run.result.run_time > 0.0);
+    assert!(run.result.final_accuracy.is_finite());
+}
+
+#[test]
+fn collective_eager_reduce_runs() {
+    let run = run_threaded(Strategy::EagerReduce, &cfg(4, 6));
+    assert_eq!(run.result.updates, 24);
+    assert!(run.result.final_accuracy.is_finite());
+}
+
+#[test]
+fn ps_family_smoke() {
+    let c = cfg(4, 6);
+    for s in [
+        Strategy::PsBsp,
+        Strategy::PsAsp,
+        Strategy::PsHete,
+        Strategy::PsSsp { bound: 2 },
+        Strategy::PsBackup { backups: 1 },
+    ] {
+        let run = run_threaded(s, &c);
+        assert_eq!(run.result.strategy, s.label());
+        assert_eq!(run.result.updates, 24, "{}", s.label());
+        assert!(
+            run.result.final_accuracy.is_finite(),
+            "{}: accuracy {}",
+            s.label(),
+            run.result.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn gossip_ad_psgd_pairs_through_controller() {
+    let run = run_threaded(Strategy::AdPsgd, &cfg(4, 8));
+    assert_eq!(run.result.updates, 32);
+    let stats = run.controller.expect("gossip runs report controller stats");
+    assert!(stats.groups_formed > 0, "no gossip pairings formed");
+    assert!(run.result.stats.get("groups").copied().unwrap_or(0.0) > 0.0);
+}
+
+#[test]
+fn gossip_d_psgd_ring_runs() {
+    let run = run_threaded(Strategy::DPsgd, &cfg(4, 6));
+    assert_eq!(run.result.updates, 24);
+    assert!(run.result.final_accuracy.is_finite());
+}
+
+#[test]
+fn preduce_forms_groups_and_terminates() {
+    for dynamic in [false, true] {
+        let run = run_threaded(Strategy::PReduce { p: 2, dynamic }, &cfg(4, 8));
+        // Fast-forwarding can lift local iteration counters past the
+        // per-worker budget, never below it.
+        assert!(run.result.updates >= 32, "updates {}", run.result.updates);
+        let stats = run.controller.expect("p-reduce reports controller stats");
+        assert!(stats.groups_formed > 0, "dynamic={dynamic}: no groups");
+        assert!(run.result.final_accuracy.is_finite());
+    }
+}
+
+#[test]
+fn full_lineup_runs_threaded() {
+    // N = 8 so the lineup's P-Reduce (P=5) variants fit the fleet.
+    let c = cfg(8, 3);
+    for s in Strategy::table1_lineup(c.num_workers) {
+        let run = run_threaded(s, &c);
+        assert_eq!(run.result.strategy, s.label());
+        assert!(
+            run.result.updates >= 24,
+            "{}: {} updates",
+            s.label(),
+            run.result.updates
+        );
+        assert!(run.result.run_time > 0.0, "{}", s.label());
+        assert!(
+            run.result.final_accuracy.is_finite(),
+            "{}: accuracy {}",
+            s.label(),
+            run.result.final_accuracy
+        );
+        assert!(run.result.trace.is_empty(), "{}", s.label());
+    }
+}
