@@ -1,0 +1,265 @@
+//! `preduce-analysis` — project-specific static analysis for the
+//! partial-reduce workspace.
+//!
+//! Four passes enforce contracts the compiler (and generic clippy)
+//! cannot see, at analysis time rather than at 3 a.m. mid-training-run:
+//!
+//! | pass | contract |
+//! |------|----------|
+//! | `panic-path` | no panicking constructs in control-plane/comms hot paths |
+//! | `lock-discipline` | no lock-order inversions; no blocking calls under a guard |
+//! | `weight-stochasticity` | every reduce weight row flows through `core::weights` (Thm. 1) |
+//! | `trace-coverage` | every controller state mutation emits a `TraceEvent` |
+//!
+//! Findings are suppressed only by an inline
+//! `// lint: allow(<pass>) <reason>` whose reason is mandatory
+//! ([`allow`]). The crate is dependency-free by design: the lint gate
+//! must build anywhere the toolchain does.
+//!
+//! Run it as `cargo run -p preduce-analysis -- check` or `preduce lint`.
+
+pub mod allow;
+pub mod passes;
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scan::SourceFile;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass produced it (or `allow-syntax` for malformed allows).
+    pub pass: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.message
+        )
+    }
+}
+
+/// Whether the panic-path pass covers this file (control plane, comms,
+/// engine, CLI).
+fn panic_scope(path: &str) -> bool {
+    path == "crates/core/src/controller.rs"
+        || path == "crates/core/src/runtime.rs"
+        || path.starts_with("crates/comm/src/")
+        || path.starts_with("crates/trainer/src/engine/")
+        || path.starts_with("crates/cli/src/")
+}
+
+/// Whether the stricter unchecked-indexing sub-rule applies: the
+/// control-plane core, where a bad index panics the controller or a
+/// comms thread. The trainer's math kernels index heavily under loop
+/// bounds and stay out (see DESIGN.md §10).
+fn index_scope(path: &str) -> bool {
+    path == "crates/core/src/controller.rs"
+        || path == "crates/core/src/runtime.rs"
+        || path.starts_with("crates/comm/src/")
+        || path == "crates/trainer/src/engine/substrate.rs"
+}
+
+/// Whether the lock-discipline pass covers this file (every file in the
+/// workspace that holds a `Mutex`/`Condvar`/`RwLock` today).
+fn lock_scope(path: &str) -> bool {
+    path == "crates/trainer/src/engine/drivers/ps.rs"
+        || path == "crates/trainer/src/engine/drivers/sync.rs"
+        || path == "crates/comm/src/tcp.rs"
+        || path == "crates/core/src/trace.rs"
+}
+
+/// Whether the weight-stochasticity pass covers this file: everywhere
+/// except the blessed constructors themselves.
+fn weights_scope(path: &str) -> bool {
+    path != passes::weight_stochasticity::HOME
+}
+
+/// Whether the trace-coverage pass covers this file: the controller is
+/// the replayed state machine.
+fn trace_scope(path: &str) -> bool {
+    path == "crates/core/src/controller.rs"
+}
+
+/// Runs every pass over one scanned file (scope rules applied), returns
+/// surviving findings after allow filtering, feeding lock-order edges
+/// into `locks`.
+fn check_file(
+    file: &SourceFile,
+    locks: &mut passes::lock_discipline::LockDiscipline,
+) -> Vec<Finding> {
+    let (allows, mut findings) = allow::collect_allows(file, passes::ALL);
+    let mut raw = Vec::new();
+    if panic_scope(&file.path) {
+        raw.extend(passes::panic_path::run(file, index_scope(&file.path)));
+    }
+    if weights_scope(&file.path) {
+        raw.extend(passes::weight_stochasticity::run(file));
+    }
+    if trace_scope(&file.path) {
+        raw.extend(passes::trace_coverage::run(file));
+    }
+    if lock_scope(&file.path) {
+        locks.scan_file(file);
+    }
+    findings.extend(allow::apply_allows(raw, file, &allows));
+    findings
+}
+
+/// Scans the workspace rooted at `root`: every `crates/*/src/**/*.rs`
+/// file, all passes, allowlist applied. Returns surviving findings
+/// sorted by path and line.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.retain(|p| {
+        relative(root, p)
+            .map(|r| r.split('/').any(|seg| seg == "src"))
+            .unwrap_or(false)
+    });
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut locks = passes::lock_discipline::LockDiscipline::new();
+    let mut lock_files: Vec<SourceFile> = Vec::new();
+    for abs in &files {
+        let Some(rel) = relative(root, abs) else {
+            continue;
+        };
+        let file = SourceFile::load(abs, &rel)?;
+        if lock_scope(&rel) {
+            // Lock findings surface at `finish`; keep the file around so
+            // its allows can filter them.
+            findings.extend(check_file_keeping(&file, &mut locks, &mut lock_files));
+        } else {
+            findings.extend(check_file(&file, &mut locks));
+        }
+    }
+    // Global lock-order findings, filtered by their files' allows.
+    let mut lock_findings = locks.finish();
+    for f in &lock_files {
+        let (allows, _) = allow::collect_allows(f, passes::ALL);
+        lock_findings = lock_findings
+            .into_iter()
+            .filter(|finding| {
+                !(finding.file == f.path
+                    && allows
+                        .iter()
+                        .any(|a| a.covers + 1 == finding.line && a.pass == finding.pass))
+            })
+            .collect();
+    }
+    findings.extend(lock_findings);
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn check_file_keeping(
+    file: &SourceFile,
+    locks: &mut passes::lock_discipline::LockDiscipline,
+    keep: &mut Vec<SourceFile>,
+) -> Vec<Finding> {
+    let out = check_file(file, locks);
+    keep.push(SourceFile {
+        path: file.path.clone(),
+        raw: file.raw.clone(),
+        code: file.code.clone(),
+        is_test: file.is_test.clone(),
+    });
+    out
+}
+
+/// Recursively collects `.rs` files.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // `target/` never holds first-party sources.
+            if path.file_name().map(|n| n == "target").unwrap_or(false) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `abs` relative to `root`, `/`-separated.
+fn relative(root: &Path, abs: &Path) -> Option<String> {
+    abs.strip_prefix(root).ok().map(|p| {
+        p.components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/")
+    })
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_are_disjoint_where_intended() {
+        assert!(panic_scope("crates/core/src/controller.rs"));
+        assert!(panic_scope("crates/comm/src/tcp.rs"));
+        assert!(panic_scope("crates/trainer/src/engine/drivers/ps.rs"));
+        assert!(panic_scope("crates/cli/src/commands.rs"));
+        assert!(!panic_scope("crates/models/src/dense.rs"));
+        assert!(!index_scope("crates/trainer/src/engine/drivers/sync.rs"));
+        assert!(lock_scope("crates/core/src/trace.rs"));
+        assert!(!lock_scope("crates/core/src/controller.rs"));
+        assert!(!weights_scope("crates/core/src/weights.rs"));
+        assert!(weights_scope("crates/trainer/src/engine/setup.rs"));
+        assert!(trace_scope("crates/core/src/controller.rs"));
+    }
+
+    #[test]
+    fn finding_display_is_greppable() {
+        let f = Finding {
+            pass: "panic-path".into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "m".into(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/a.rs:7: [panic-path] m");
+    }
+}

@@ -1,0 +1,435 @@
+//! Pass 2 — `lock-discipline`: a static lock-order graph plus
+//! guard-across-blocking-call detection.
+//!
+//! Within each function the pass tracks which lock guards are live
+//! (bound by `let`, released at scope exit or explicit `drop`), with two
+//! refinements: a condvar `wait(guard)` *consumes and returns* the guard
+//! (the lock is released while waiting, so the wait is not "blocking
+//! under a lock"), and an un-bound acquisition (`x.lock().…` inside a
+//! larger expression) lives only for its statement.
+//!
+//! Two rules emit findings:
+//! 1. **Order inversion** — every "guard of A live while B is acquired"
+//!    site adds edge A→B to a global graph; any cycle is a potential
+//!    deadlock and each edge on it is reported.
+//! 2. **Blocking under a lock** — a live guard across a channel
+//!    send/recv, sleep, join, barrier wait, or socket/file I/O call
+//!    serializes or deadlocks the fleet.
+
+use crate::scan::{fn_spans, SourceFile};
+use crate::Finding;
+
+/// Pass name used in findings and allow directives.
+pub const NAME: &str = "lock-discipline";
+
+/// Tokens that acquire a lock guard.
+const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Tokens that block the calling thread. `.wait(` with arguments is a
+/// condvar wait (releases the lock) and is exempted separately.
+const BLOCKING: &[&str] = &[
+    ".recv()",
+    ".recv_timeout(",
+    ".send(",
+    "thread::sleep",
+    ".join()",
+    ".wait()",
+    ".write_all(",
+    ".read_exact(",
+    ".flush()",
+    ".accept()",
+    ".connect(",
+    "write_frame(",
+    "read_frame(",
+];
+
+/// One acquisition observed while another guard was live.
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+}
+
+/// The stateful pass: feed it every in-scope file, then `finish`.
+#[derive(Default)]
+pub struct LockDiscipline {
+    edges: Vec<Edge>,
+    findings: Vec<Finding>,
+}
+
+/// A live guard inside a function walk.
+struct Guard {
+    /// Binding name (`None` for a statement-temporary guard).
+    name: Option<String>,
+    /// Normalized lock key.
+    key: String,
+    /// Brace depth the binding lives at; leaving it releases the guard.
+    depth: usize,
+}
+
+impl LockDiscipline {
+    /// Fresh pass state.
+    pub fn new() -> LockDiscipline {
+        LockDiscipline::default()
+    }
+
+    /// Scans one file, recording blocking-under-lock findings and
+    /// lock-order edges.
+    pub fn scan_file(&mut self, file: &SourceFile) {
+        for span in fn_spans(file) {
+            if file.is_test[span.start] {
+                continue;
+            }
+            self.walk_fn(file, span.start, span.end);
+        }
+    }
+
+    fn walk_fn(&mut self, file: &SourceFile, start: usize, end: usize) {
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0usize;
+        for l in start..=end {
+            let line = file.code[l].trim().to_string();
+            let line = line.as_str();
+
+            // Condvar hand-back: `g = cv.wait(g)` / `let g = cv.wait(g)`.
+            // The guard survives (same key) and the wait is exempt.
+            let condvar_wait = wait_has_args(line);
+
+            // Explicit drop releases the named guard.
+            if let Some(name) = drop_target(line) {
+                guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+            }
+
+            // New acquisitions on this line.
+            let sites = acquisitions(line);
+            let acquired: Vec<String> = sites.iter().map(|(k, _)| k.clone()).collect();
+            for key in &acquired {
+                // Re-acquiring a key already held is an immediate
+                // self-deadlock risk (std) or undefined order (parking_lot).
+                if guards.iter().any(|g| &g.key == key) && !condvar_wait {
+                    self.findings.push(Finding {
+                        pass: NAME.into(),
+                        file: file.path.clone(),
+                        line: l + 1,
+                        message: format!(
+                            "lock `{key}` acquired while already held in this function"
+                        ),
+                    });
+                }
+                for g in &guards {
+                    if &g.key != key {
+                        self.edges.push(Edge {
+                            from: g.key.clone(),
+                            to: key.clone(),
+                            file: file.path.clone(),
+                            line: l + 1,
+                        });
+                    }
+                }
+            }
+
+            // Blocking call while any guard is live?
+            if !guards.is_empty() || !acquired.is_empty() {
+                for tok in BLOCKING {
+                    if !line.contains(tok) {
+                        continue;
+                    }
+                    if *tok == ".send(" && condvar_wait {
+                        continue;
+                    }
+                    let held: Vec<String> = guards
+                        .iter()
+                        .map(|g| g.key.clone())
+                        .chain(acquired.iter().cloned())
+                        .collect();
+                    self.findings.push(Finding {
+                        pass: NAME.into(),
+                        file: file.path.clone(),
+                        line: l + 1,
+                        message: format!(
+                            "blocking call `{tok}` while holding lock{} `{}`",
+                            if held.len() > 1 { "s" } else { "" },
+                            held.join("`, `")
+                        ),
+                    });
+                    break;
+                }
+            }
+
+            // Register bound guards: a `let` whose right-hand side *ends*
+            // at the acquisition (plus an unwrap chain) binds the guard.
+            // `let x = m.lock().expect(…).field.clone();` binds the clone —
+            // the guard is a statement temporary and dies here.
+            if let Some(name) = let_binding(line) {
+                for (key, end) in &sites {
+                    if chain_ends_statement(line, *end) {
+                        guards.push(Guard {
+                            name: Some(name.clone()),
+                            key: key.clone(),
+                            depth: depth + line.matches('{').count(),
+                        });
+                    }
+                }
+            }
+
+            // Track brace depth; close-of-scope releases guards bound
+            // deeper than the new depth.
+            for c in file.code[l].chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| g.depth <= depth);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Emits accumulated findings plus one finding per lock-order cycle.
+    pub fn finish(mut self) -> Vec<Finding> {
+        // Deduplicate edges by (from, to), keeping the first site.
+        let mut uniq: Vec<&Edge> = Vec::new();
+        for e in &self.edges {
+            if !uniq.iter().any(|u| u.from == e.from && u.to == e.to) {
+                uniq.push(e);
+            }
+        }
+        // Every edge that can reach its own source participates in a
+        // cycle; report it at its acquisition site.
+        for e in &uniq {
+            if reaches(&uniq, &e.to, &e.from) {
+                self.findings.push(Finding {
+                    pass: NAME.into(),
+                    file: e.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "lock-order inversion: `{}` → `{}` here, but the reverse order also exists (potential deadlock)",
+                        e.from, e.to
+                    ),
+                });
+            }
+        }
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.findings
+    }
+}
+
+/// Reachability in the dedup'd edge list.
+fn reaches(edges: &[&Edge], from: &str, to: &str) -> bool {
+    let mut stack = vec![from.to_string()];
+    let mut seen = vec![];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if seen.contains(&n) {
+            continue;
+        }
+        seen.push(n.clone());
+        for e in edges {
+            if e.from == n {
+                stack.push(e.to.clone());
+            }
+        }
+    }
+    false
+}
+
+/// Normalized keys of every lock acquisition on a line, with the byte
+/// index just past the acquire token.
+fn acquisitions(line: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for tok in ACQUIRE {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(tok) {
+            let i = from + pos;
+            if let Some(key) = lock_key(line, i) {
+                out.push((key, i + tok.len()));
+            }
+            from = i + tok.len();
+        }
+    }
+    out
+}
+
+/// True when everything after the acquire token is an unwrap/expect
+/// chain ending the statement — i.e. the `let` binds the guard itself.
+fn chain_ends_statement(line: &str, mut i: usize) -> bool {
+    let b = line.as_bytes();
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() || b[i] == b';' {
+            return true;
+        }
+        let rest = &line[i..];
+        let adapter = [".unwrap()", ".expect(", ".unwrap_or_else("]
+            .iter()
+            .find(|a| rest.starts_with(**a));
+        match adapter {
+            Some(a) if a.ends_with(')') => i += a.len(),
+            Some(a) => {
+                // Skip to the matching close paren of the adapter call.
+                let mut depth = 0usize;
+                let mut j = i + a.len() - 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return false;
+                }
+                i = j + 1;
+            }
+            None => return false,
+        }
+    }
+}
+
+/// Walks back from the `.lock()` dot to name the receiver: the last
+/// path segment, with any index bracket stripped (`server.state` →
+/// `state`, `boards[slot]` → `boards`, `self.writer` → `writer`).
+fn lock_key(line: &str, dot: usize) -> Option<String> {
+    let b = line.as_bytes();
+    let mut i = dot;
+    // Skip one index-bracket group, e.g. `boards[slot]`.
+    if i > 0 && b[i - 1] == b']' {
+        let mut depth = 0usize;
+        while i > 0 {
+            i -= 1;
+            match b[i] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let seg_end = i;
+    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        i -= 1;
+    }
+    (i < seg_end).then(|| line[i..seg_end].to_string())
+}
+
+/// `.read()`/`.write()` also name non-lock I/O; a line acquiring via
+/// those without `let`-binding a guard is rare in scoped files, and the
+/// key-based graph tolerates the noise. `.wait(` with a non-empty
+/// argument list is a condvar wait.
+fn wait_has_args(line: &str) -> bool {
+    line.find(".wait(")
+        .map(|i| line.as_bytes().get(i + 6) != Some(&b')'))
+        .unwrap_or(false)
+        || line.contains(".wait_timeout(")
+        || line.contains(".wait_while(")
+}
+
+/// The binding name of `let <name> = …` / `let mut <name> = …`.
+fn let_binding(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| rest[..end].to_string())
+}
+
+/// `drop(<name>)` target, if the line drops a local.
+fn drop_target(line: &str) -> Option<String> {
+    let i = line.find("drop(")?;
+    if i > 0 {
+        let prev = line.as_bytes()[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
+            return None; // mem::drop handled via the `::` path? no: `.drop(` or `xdrop(`
+        }
+    }
+    let inner = &line[i + 5..line[i..].find(')').map(|p| i + p)?];
+    let inner = inner.trim();
+    inner
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        .then(|| inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("t.rs", src);
+        let mut p = LockDiscipline::new();
+        p.scan_file(&f);
+        p.finish()
+    }
+
+    #[test]
+    fn order_inversion_detected() {
+        let got = run_on(
+            "fn ab(a: &Mutex<u8>, b: &Mutex<u8>) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n}\nfn ba(a: &Mutex<u8>, b: &Mutex<u8>) {\n    let gb = b.lock().unwrap();\n    let ga = a.lock().unwrap();\n}\n",
+        );
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got[0].message.contains("inversion"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let got = run_on(
+            "fn ab(a: &Mutex<u8>, b: &Mutex<u8>) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n}\nfn ab2(a: &Mutex<u8>, b: &Mutex<u8>) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn blocking_under_guard_flagged() {
+        let got = run_on(
+            "fn f(m: &Mutex<u8>, tx: &Sender<u8>) {\n    let g = m.lock().unwrap();\n    tx.send(1).ok();\n}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains(".send("));
+    }
+
+    #[test]
+    fn scope_exit_and_drop_release() {
+        let got = run_on(
+            "fn f(m: &Mutex<u8>, tx: &Sender<u8>) {\n    {\n        let g = m.lock().unwrap();\n    }\n    tx.send(1).ok();\n    let g2 = m.lock().unwrap();\n    drop(g2);\n    tx.send(2).ok();\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_exempt_barrier_wait_is_not() {
+        let clean = run_on(
+            "fn f(m: &Mutex<u8>, cv: &Condvar) {\n    let mut g = m.lock().unwrap();\n    g = cv.wait(g).unwrap();\n}\n",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let bad = run_on(
+            "fn f(m: &Mutex<u8>, bar: &Barrier) {\n    let g = m.lock().unwrap();\n    bar.wait();\n}\n",
+        );
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn statement_temporary_guard_with_io_flagged() {
+        let got = run_on("fn f(w: &Mutex<W>) {\n    write_frame(&mut w.lock(), &x);\n}\n");
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("write_frame"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The four project-specific passes. Each is a pure function (or small
+//! state machine) over [`crate::scan::SourceFile`]s; scoping — which
+//! files each pass sees — lives in [`crate::run_check`].
+
+pub mod lock_discipline;
+pub mod panic_path;
+pub mod trace_coverage;
+pub mod weight_stochasticity;
+
+/// Names of all passes, in report order (allow directives must name one
+/// of these).
+pub const ALL: &[&str] = &[
+    panic_path::NAME,
+    lock_discipline::NAME,
+    weight_stochasticity::NAME,
+    trace_coverage::NAME,
+];

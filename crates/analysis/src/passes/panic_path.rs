@@ -1,0 +1,289 @@
+//! Pass 1 — `panic-path`: no panicking constructs in the control plane
+//! and comms hot paths.
+//!
+//! A worker that panics mid-`reduce` stalls its whole group; a
+//! controller that panics strands the fleet. Inside the scoped files
+//! every `unwrap`/`expect`/`panic!`-family macro is a finding, and in
+//! the narrower control-plane core so is unchecked slice indexing —
+//! unless the enclosing function visibly guards the index (an `assert!`
+//! family check, a `for`-loop binding, or a conditional mentioning the
+//! index identifier). `assert!` itself is not flagged: stated invariants
+//! are the contract, silent panics are the bug.
+
+use crate::scan::{fn_spans, has_word, identifiers, SourceFile};
+use crate::Finding;
+
+/// Pass name used in findings and allow directives.
+pub const NAME: &str = "panic-path";
+
+/// Method-call tokens that panic.
+const PANIC_CALLS: &[&str] = &[".unwrap()", ".expect(", ".unwrap_err()", ".expect_err("];
+
+/// Macro tokens that panic (asserts excluded by design).
+const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Runs the pass on one file. `check_indexing` adds the unchecked-index
+/// rule (the caller enables it only for the control-plane core).
+pub fn run(file: &SourceFile, check_indexing: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, line) in file.non_test_lines() {
+        for tok in PANIC_CALLS {
+            if line.contains(tok) {
+                findings.push(finding(
+                    file,
+                    i,
+                    format!("`{tok}` can panic in a hot path; return or propagate an error"),
+                ));
+                break;
+            }
+        }
+        for tok in PANIC_MACROS {
+            if macro_used(line, tok) {
+                findings.push(finding(file, i, format!("`{tok}` in a hot path strands the fleet; make the state unrepresentable or propagate an error")));
+                break;
+            }
+        }
+    }
+    if check_indexing {
+        findings.extend(index_findings(file));
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding {
+        pass: NAME.into(),
+        file: file.path.clone(),
+        line: line + 1,
+        message,
+    }
+}
+
+/// `tok!` usage, excluding longer names (`debug_unreachable!` etc.).
+fn macro_used(line: &str, tok: &str) -> bool {
+    let bare = &tok[..tok.len() - 1];
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(tok) {
+        let i = from + pos;
+        if i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+            return true;
+        }
+        from = i + bare.len();
+    }
+    false
+}
+
+/// Unchecked-indexing sub-rule: flags `expr[idx]` where no identifier of
+/// the subscript (or of the indexed base, for literal subscripts) is
+/// guarded in the enclosing function.
+fn index_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let spans = fn_spans(file);
+    for span in &spans {
+        if file.is_test[span.start] {
+            continue;
+        }
+        let guarded = guarded_idents(file, span.start, span.end);
+        for l in span.start..=span.end {
+            if file.is_test[l] {
+                continue;
+            }
+            for (base, subscript) in index_sites(&file.code[l]) {
+                let subs: Vec<&str> = identifiers(subscript);
+                let checked = if subs.is_empty() {
+                    // Literal subscript: fine if the base's emptiness or
+                    // length is visibly checked.
+                    identifiers(base)
+                        .iter()
+                        .any(|id| guarded.contains(&id.to_string()))
+                } else {
+                    subs.iter().any(|id| guarded.contains(&id.to_string()))
+                };
+                if !checked {
+                    findings.push(finding(
+                        file,
+                        l,
+                        format!("unchecked index `{}[{}]`: no guard on the index in this function (assert, loop bound, or conditional)", base.trim(), subscript.trim()),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Identifiers a function visibly constrains: mentioned in an
+/// assert-family macro, bound by a `for` loop or closure parameter, or
+/// appearing in an `if`/`while`/`match` head or a `.len()`-comparison.
+fn guarded_idents(file: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for l in start..=end {
+        let line = &file.code[l];
+        let guard_line = line.contains("assert")
+            || line.contains(".len()")
+            || line.contains(".is_empty()")
+            || has_word(line, "if")
+            || has_word(line, "while")
+            || has_word(line, "match")
+            || has_word(line, "min")
+            || has_word(line, "rem_euclid");
+        if guard_line {
+            // A guard statement can wrap (rustfmt splits long asserts);
+            // collect identifiers through to its `;` or opening brace.
+            let mut j = l;
+            loop {
+                out.extend(identifiers(&file.code[j]).iter().map(|s| s.to_string()));
+                if j >= end || file.code[j].contains(';') || file.code[j].contains('{') {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `for i in …` / `for (i, x) in …` binds a safe index.
+        if let Some(pos) = line.find("for ") {
+            if let Some(in_pos) = line[pos..].find(" in ") {
+                out.extend(
+                    identifiers(&line[pos + 4..pos + in_pos])
+                        .iter()
+                        .map(|s| s.to_string()),
+                );
+            }
+        }
+        // Closure parameters (`|w|`, `|(i, x)|`) are iterator-fed.
+        let bars: Vec<usize> = line.match_indices('|').map(|(i, _)| i).collect();
+        if bars.len() >= 2 {
+            out.extend(
+                identifiers(&line[bars[0] + 1..bars[1]])
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        }
+    }
+    out
+}
+
+/// Extracts `(base, subscript)` for each index expression in a line.
+fn index_sites(line: &str) -> Vec<(&str, &str)> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Indexing needs an expression directly before the bracket.
+        let prev = (0..i).rev().find(|&k| !b[k].is_ascii_whitespace());
+        let Some(p) = prev else {
+            i += 1;
+            continue;
+        };
+        let is_index = b[p].is_ascii_alphanumeric() || b[p] == b'_' || b[p] == b')' || b[p] == b']';
+        // `vec![…]` / `#[…]` / `&[…]` are macros, attributes, and types.
+        if !is_index || b[p] == b'!' || (p > 0 && b[p - 1] == b'#') {
+            i += 1;
+            continue;
+        }
+        // Macro call like `vec![`: identifier directly followed by `!`.
+        if b[p] == b'!' {
+            i += 1;
+            continue;
+        }
+        // Walk back over the base path (idents, `.`, `::`, `self`).
+        let mut s = p;
+        while s > 0 {
+            let c = b[s - 1];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':' {
+                s -= 1;
+            } else {
+                break;
+            }
+        }
+        let base = &line[s..p + 1];
+        // A keyword before `[` is a type or pattern position
+        // (`&mut [f32]`, `for x in [a, b]`), not an index expression.
+        const KEYWORDS: &[&str] = &[
+            "mut", "in", "dyn", "impl", "ref", "return", "as", "where", "const", "static", "box",
+            "move", "else", "match",
+        ];
+        if base.ends_with('!') || base.is_empty() || KEYWORDS.contains(&base) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`.
+        let mut depth = 0usize;
+        let mut j = i;
+        let mut close = None;
+        while j < b.len() {
+            match b[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(cl) = close else { break };
+        let subscript = &line[i + 1..cl];
+        // Full-range slices never panic; range-to/from can, but the
+        // pass stays at whole-index granularity.
+        if !subscript.trim().is_empty() && subscript.trim() != ".." {
+            out.push((base, subscript));
+        }
+        i = cl + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_panicking_calls_and_macros() {
+        let f = SourceFile::from_source(
+            "crates/core/src/controller.rs",
+            "fn f(x: Option<u8>) {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    panic!(\"no\");\n}\n",
+        );
+        let got = run(&f, false);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[2].line, 4);
+    }
+
+    #[test]
+    fn ignores_tests_strings_and_unwrap_or() {
+        let f = SourceFile::from_source(
+            "t.rs",
+            "fn f() { let s = \"call .unwrap() now\"; let v = o.unwrap_or(0); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(run(&f, false).is_empty());
+    }
+
+    #[test]
+    fn unchecked_index_flagged_guarded_index_not() {
+        let f = SourceFile::from_source(
+            "t.rs",
+            "fn bad(v: &[u8], i: usize) -> u8 {\n    v[i]\n}\nfn good(v: &[u8], i: usize) -> u8 {\n    assert!(i < v.len());\n    v[i]\n}\nfn looped(v: &[u8]) {\n    for i in 0..v.len() {\n        v[i];\n    }\n}\n",
+        );
+        let got = run(&f, true);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn vec_macro_and_attributes_are_not_indexing() {
+        let f = SourceFile::from_source(
+            "t.rs",
+            "#[derive(Debug)]\nfn f(n: usize) -> Vec<f32> {\n    vec![0.0; n]\n}\n",
+        );
+        assert!(run(&f, true).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Pass 4 — `trace-coverage`: every controller state-mutation path
+//! emits a `TraceEvent`.
+//!
+//! PR 1's invariant checker replays the event stream; a `&mut self`
+//! method on the controller that mutates state without recording (and
+//! without reaching a recording method) is a blind spot the checker can
+//! never see into. The pass collects every `&mut self` method in the
+//! scoped file, marks those that textually emit (`TraceEvent::` or
+//! `.record(`), propagates emission through `self.method(…)` calls to a
+//! fixpoint, and flags the rest.
+
+use crate::scan::{fn_spans, FnSpan, SourceFile};
+use crate::Finding;
+
+/// Pass name used in findings and allow directives.
+pub const NAME: &str = "trace-coverage";
+
+/// Runs the pass on one file (the caller scopes it to the controller).
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let spans: Vec<FnSpan> = fn_spans(file)
+        .into_iter()
+        .filter(|s| !file.is_test[s.start])
+        .collect();
+    let mutating: Vec<&FnSpan> = spans
+        .iter()
+        .filter(|s| s.header.contains("&mut self"))
+        .collect();
+
+    // Seed: methods that record directly.
+    let mut emits: Vec<String> = spans
+        .iter()
+        .filter(|s| {
+            (s.start..=s.end)
+                .any(|l| file.code[l].contains("TraceEvent::") || file.code[l].contains(".record("))
+        })
+        .map(|s| s.name.clone())
+        .collect();
+
+    // Fixpoint: calling an emitting method (on self or free) propagates.
+    loop {
+        let mut grew = false;
+        for s in &spans {
+            if emits.contains(&s.name) {
+                continue;
+            }
+            let calls_emitter = (s.start..=s.end).any(|l| {
+                let line = &file.code[l];
+                emits.iter().any(|e| {
+                    line.contains(&format!("self.{e}(")) || line.contains(&format!(" {e}("))
+                })
+            });
+            if calls_emitter {
+                emits.push(s.name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    mutating
+        .iter()
+        .filter(|s| !emits.contains(&s.name))
+        .map(|s| Finding {
+            pass: NAME.into(),
+            file: file.path.clone(),
+            line: s.start + 1,
+            message: format!(
+                "`{}` takes `&mut self` but no `TraceEvent` is emitted on this path; the replay checker cannot see this mutation",
+                s.name
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_mutation_flagged() {
+        let f = SourceFile::from_source(
+            "crates/core/src/controller.rs",
+            "impl C {\n    fn silent(&mut self) {\n        self.x += 1;\n    }\n}\n",
+        );
+        let got = run(&f);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("silent"));
+    }
+
+    #[test]
+    fn direct_and_transitive_emission_clean() {
+        let f = SourceFile::from_source(
+            "crates/core/src/controller.rs",
+            "impl C {\n    fn emitter(&mut self) {\n        self.sink.record(TraceEvent::RunStarted { n: 0 });\n    }\n    fn caller(&mut self) {\n        self.emitter();\n    }\n    fn reader(&self) -> u8 {\n        self.x\n    }\n}\n",
+        );
+        assert!(run(&f).is_empty());
+    }
+}

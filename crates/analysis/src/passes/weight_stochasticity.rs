@@ -1,0 +1,67 @@
+//! Pass 3 — `weight-stochasticity`: reduce weight rows come from
+//! `core::weights`, nowhere else.
+//!
+//! Theorem 1's convergence bound needs every synchronization matrix to
+//! be doubly stochastic (Eq. 9), which holds *by construction* exactly
+//! when every weight row is built by `core::weights` (constant `1/P`
+//! rows, EMA dynamic rows, singleton rows). A hand-rolled
+//! `vec![1.0 / p; p]` elsewhere is one refactor away from a row that
+//! silently breaks the precondition. Gradient-scale arithmetic
+//! (`grad.scale(1.0 / n)`) and learning-rate scales (`1.0 / staleness`)
+//! are not weight rows and are not flagged.
+
+use crate::scan::{has_word, SourceFile};
+use crate::Finding;
+
+/// Pass name used in findings and allow directives.
+pub const NAME: &str = "weight-stochasticity";
+
+/// The one module allowed to build weight rows.
+pub const HOME: &str = "crates/core/src/weights.rs";
+
+/// Runs the pass on one file (the caller excludes [`HOME`]).
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, line) in file.non_test_lines() {
+        let uniform_literal = line.contains("vec![1.0 /") || line.contains("vec![1. /");
+        let named_weight_build =
+            has_word(line, "weights") && (line.contains("vec![") || line.contains("1.0 /"));
+        if uniform_literal || named_weight_build {
+            findings.push(Finding {
+                pass: NAME.into(),
+                file: file.path.clone(),
+                line: i + 1,
+                message: if uniform_literal {
+                    "uniform weight row built by hand; use `core::weights::constant_weights` so the doubly-stochastic precondition holds by construction".into()
+                } else {
+                    "weight row constructed outside `core::weights`; route it through the blessed constructors (Thm. 1 precondition)".into()
+                },
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_rolled_rows_flagged() {
+        let f = SourceFile::from_source(
+            "crates/x/src/a.rs",
+            "fn f(n: usize) {\n    let weights = vec![1.0 / n as f32; n];\n    let w = vec![1.0 / n as f32; n];\n    let d = GroupAssignment { weights: vec![1.0], group };\n}\n",
+        );
+        let got = run(&f);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn scales_and_blessed_calls_clean() {
+        let f = SourceFile::from_source(
+            "crates/x/src/a.rs",
+            "fn f(n: usize, s: u64) {\n    grad.scale(1.0 / n as f32);\n    let lr = 1.0 / s as f32;\n    let weights = constant_weights(n);\n    let link_slowdown = vec![1.0; n];\n}\n",
+        );
+        assert!(run(&f).is_empty());
+    }
+}

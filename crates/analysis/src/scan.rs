@@ -1,0 +1,485 @@
+//! Lexical source model: a `.rs` file split into lines twice — the raw
+//! text (for allowlist comments) and a *code view* with comments and
+//! string/char literals blanked to spaces, so the passes can match tokens
+//! without tripping over doc prose or string contents. Column positions
+//! are preserved: `code[i]` has the same length as `raw[i]`.
+//!
+//! This is a deliberate non-parser. The passes need token- and
+//! brace-level facts (is this `.unwrap()` in code? which guard is live at
+//! this line?), not full syntax trees, and the crate must build with no
+//! dependencies. The blanking state machine handles line and nested block
+//! comments, plain/byte/raw string literals, and char literals vs
+//! lifetimes; everything else stays verbatim.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (display + scoping).
+    pub path: String,
+    /// Original lines, verbatim.
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char literals blanked to spaces.
+    pub code: Vec<String>,
+    /// `is_test[i]`: line `i` is inside a `#[cfg(test)]` item.
+    pub is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Reads and scans the file at `abs`, recording it under the
+    /// workspace-relative `rel` path.
+    pub fn load(abs: &Path, rel: &str) -> io::Result<SourceFile> {
+        Ok(SourceFile::from_source(rel, &fs::read_to_string(abs)?))
+    }
+
+    /// Scans in-memory source (fixture tests use this directly).
+    pub fn from_source(rel: &str, source: &str) -> SourceFile {
+        let blanked = blank_non_code(source);
+        let raw: Vec<String> = source.lines().map(str::to_string).collect();
+        let code: Vec<String> = blanked.lines().map(str::to_string).collect();
+        debug_assert_eq!(raw.len(), code.len());
+        let is_test = mark_test_regions(&code);
+        SourceFile {
+            path: rel.to_string(),
+            raw,
+            code,
+            is_test,
+        }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the file has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Code lines that are not inside `#[cfg(test)]`, with 0-based index.
+    pub fn non_test_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.code
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.is_test[*i])
+            .map(|(i, l)| (i, l.as_str()))
+    }
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure and column positions.
+fn blank_non_code(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and byte-raw) string literal: r"..." / r#"..."# / br#"..."#.
+        if let Some(skip) = raw_string_len(b, i) {
+            for k in 0..skip {
+                out.push(if b[i + k] == b'\n' { b'\n' } else { b' ' });
+            }
+            i += skip;
+            continue;
+        }
+        // Plain or byte string literal.
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"') && !prev_is_ident(b, i)) {
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b' '); // opening quote
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    // An escaped newline (string continuation) must keep
+                    // the line structure intact.
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote right after) is a lifetime and stays as code.
+        if c == b'\'' && !prev_is_ident(b, i) {
+            let is_char = match b.get(i + 1) {
+                Some(b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // The scanner only ever sees ASCII-relevant tokens; non-ASCII bytes
+    // pass through untouched, so this round-trips valid UTF-8.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// If a raw string literal starts at `i`, returns its total byte length.
+fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') || prev_is_ident(b, i) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Find closing `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..].len() >= hashes
+            && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(b.len() - i)
+}
+
+/// True when the byte before `i` continues an identifier (so `r`/`b`
+/// here is the tail of a name, not a literal prefix).
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line
+/// through the matching close brace, or the terminating `;` for
+/// braceless items).
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        if let Some(col) = code[line].find("#[cfg(test)]") {
+            let end = item_end(code, line, col);
+            for t in is_test.iter_mut().take(end + 1).skip(line) {
+                *t = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    is_test
+}
+
+/// Finds the last line of the item starting at (`line`, `col`): scans
+/// forward for either a `;` at brace depth 0 (braceless item) or the
+/// close of the first `{`.
+fn item_end(code: &[String], line: usize, col: usize) -> usize {
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    let mut l = line;
+    let mut c = col;
+    while l < code.len() {
+        let bytes = code[l].as_bytes();
+        while c < bytes.len() {
+            match bytes[c] {
+                b'{' => {
+                    depth += 1;
+                    seen_brace = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if seen_brace && depth == 0 {
+                        return l;
+                    }
+                }
+                b';' if !seen_brace => {
+                    // Skip the attribute's own `]` line; a `;` before any
+                    // brace ends a braceless item like `#[cfg(test)] use x;`.
+                    return l;
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+        l += 1;
+        c = 0;
+    }
+    code.len() - 1
+}
+
+/// A function item's extent in a file (0-based, inclusive lines).
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub start: usize,
+    /// Line of the body's closing brace.
+    pub end: usize,
+    /// Header text from `fn` through the opening brace (signature).
+    pub header: String,
+}
+
+/// Extracts every `fn` item span from the code view. Nested functions
+/// and closures stay inside their parent's span; the parent is listed
+/// first.
+pub fn fn_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for start in 0..file.len() {
+        let line = &file.code[start];
+        let Some(col) = find_fn_keyword(line) else {
+            continue;
+        };
+        let Some(name) = ident_after(line, col + 2) else {
+            continue;
+        };
+        // Walk from the keyword to the opening brace of the body,
+        // bailing at `;` (trait method declaration, no body).
+        let mut header = String::new();
+        let (mut l, mut c) = (start, col);
+        let mut open: Option<(usize, usize)> = None;
+        'scan: while l < file.len() {
+            let bytes = file.code[l].as_bytes();
+            while c < bytes.len() {
+                match bytes[c] {
+                    b'{' => {
+                        open = Some((l, c));
+                        break 'scan;
+                    }
+                    b';' => break 'scan,
+                    _ => header.push(bytes[c] as char),
+                }
+                c += 1;
+            }
+            header.push(' ');
+            l += 1;
+            c = 0;
+        }
+        let Some((bl, bc)) = open else { continue };
+        let end = match matching_brace(&file.code, bl, bc) {
+            Some((el, _)) => el,
+            None => file.len() - 1,
+        };
+        spans.push(FnSpan {
+            name,
+            start,
+            end,
+            header,
+        });
+    }
+    spans
+}
+
+/// Finds a `fn` keyword (word-bounded) in a code line.
+fn find_fn_keyword(line: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("fn") {
+        let i = from + pos;
+        let before_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        let after_ok = matches!(b.get(i + 2), Some(c) if c.is_ascii_whitespace());
+        if before_ok && after_ok {
+            return Some(i);
+        }
+        from = i + 2;
+    }
+    None
+}
+
+/// First identifier at or after byte `from`.
+fn ident_after(line: &str, from: usize) -> Option<String> {
+    let b = line.as_bytes();
+    let mut i = from;
+    while i < b.len() && !(b[i].is_ascii_alphabetic() || b[i] == b'_') {
+        i += 1;
+    }
+    let s = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    (i > s).then(|| line[s..i].to_string())
+}
+
+/// Position of the brace matching the `{` at (`line`, `col`).
+pub fn matching_brace(code: &[String], line: usize, col: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let (mut l, mut c) = (line, col);
+    while l < code.len() {
+        let bytes = code[l].as_bytes();
+        while c < bytes.len() {
+            match bytes[c] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((l, c));
+                    }
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+        l += 1;
+        c = 0;
+    }
+    None
+}
+
+/// All identifier tokens in a code line.
+pub fn identifiers(line: &str) -> Vec<&str> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+            let s = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(&line[s..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `token` appears in `line` as a whole word (not as a
+/// fragment of a longer identifier).
+pub fn has_word(line: &str, token: &str) -> bool {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let i = from + pos;
+        let j = i + token.len();
+        let before_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        let after_ok = j >= b.len() || !(b[j].is_ascii_alphanumeric() || b[j] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = j;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let f = SourceFile::from_source(
+            "t.rs",
+            "let x = \"a.unwrap()\"; // .expect(\nlet y = 1; /* panic! */ let z = 2;\n",
+        );
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(!f.code[0].contains("expect"));
+        assert!(f.code[0].contains("let x ="));
+        assert!(!f.code[1].contains("panic"));
+        assert!(f.code[1].contains("let z = 2;"));
+        assert_eq!(f.code[0].len(), f.raw[0].len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_blank_lifetimes_survive() {
+        let f = SourceFile::from_source(
+            "t.rs",
+            "let s = r#\"no .unwrap() here\"#;\nlet c = '\\n'; fn f<'a>(x: &'a str) {}\n",
+        );
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[1].contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_regions_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("t.rs", src);
+        assert_eq!(f.is_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    inner();\n}\n\nfn b(x: u8) -> u8 {\n    x\n}\n";
+        let f = SourceFile::from_source("t.rs", src);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            (spans[0].name.as_str(), spans[0].start, spans[0].end),
+            ("a", 0, 2)
+        );
+        assert_eq!(
+            (spans[1].name.as_str(), spans[1].start, spans[1].end),
+            ("b", 4, 6)
+        );
+    }
+
+    #[test]
+    fn word_matching_is_bounded() {
+        assert!(has_word("let weights = x;", "weights"));
+        assert!(!has_word("let raw_weights = x;", "weights"));
+        assert!(!has_word("weightsum", "weights"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Fixture-driven integration tests: every pass over a known-bad and a
+//! known-good source (exact finding counts), the allow grammar, the real
+//! workspace (must be clean), and the binary's exit-code contract.
+//!
+//! The fixtures under `tests/fixtures/` are never compiled; they are
+//! scanned as text under pretend in-scope paths.
+
+use std::path::Path;
+use std::process::Command;
+
+use preduce_analysis::passes::lock_discipline::LockDiscipline;
+use preduce_analysis::scan::SourceFile;
+use preduce_analysis::{allow, passes, run_check, Finding};
+
+/// Feeds `raw` pass findings through the allow machinery, the same way
+/// `run_check` does for a whole file.
+fn with_allows(file: &SourceFile, raw: Vec<Finding>) -> Vec<Finding> {
+    let (allows, mut findings) = allow::collect_allows(file, passes::ALL);
+    findings.extend(allow::apply_allows(raw, file, &allows));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+#[test]
+fn panic_path_bad_fixture_yields_exactly_five() {
+    let f = SourceFile::from_source(
+        "crates/core/src/controller.rs",
+        include_str!("fixtures/panic_path_bad.rs"),
+    );
+    let got = with_allows(&f, passes::panic_path::run(&f, true));
+    assert_eq!(got.len(), 5, "{got:#?}");
+    for needle in [
+        "`.unwrap()`",
+        "`.expect(`",
+        "`panic!`",
+        "`unreachable!`",
+        "unchecked index",
+    ] {
+        assert!(
+            got.iter().any(|g| g.message.contains(needle)),
+            "missing {needle}: {got:#?}"
+        );
+    }
+}
+
+#[test]
+fn panic_path_good_fixture_is_clean() {
+    let f = SourceFile::from_source(
+        "crates/core/src/controller.rs",
+        include_str!("fixtures/panic_path_good.rs"),
+    );
+    let got = with_allows(&f, passes::panic_path::run(&f, true));
+    assert!(got.is_empty(), "{got:#?}");
+}
+
+#[test]
+fn lock_discipline_bad_fixture_yields_exactly_three() {
+    let f = SourceFile::from_source(
+        "crates/comm/src/tcp.rs",
+        include_str!("fixtures/lock_discipline_bad.rs"),
+    );
+    let mut pass = LockDiscipline::new();
+    pass.scan_file(&f);
+    let got = pass.finish();
+    assert_eq!(got.len(), 3, "{got:#?}");
+    assert_eq!(
+        got.iter()
+            .filter(|g| g.message.contains("inversion"))
+            .count(),
+        2,
+        "{got:#?}"
+    );
+    assert_eq!(
+        got.iter()
+            .filter(|g| g.message.contains("blocking"))
+            .count(),
+        1,
+        "{got:#?}"
+    );
+}
+
+#[test]
+fn lock_discipline_good_fixture_is_clean() {
+    let f = SourceFile::from_source(
+        "crates/comm/src/tcp.rs",
+        include_str!("fixtures/lock_discipline_good.rs"),
+    );
+    let mut pass = LockDiscipline::new();
+    pass.scan_file(&f);
+    let got = pass.finish();
+    assert!(got.is_empty(), "{got:#?}");
+}
+
+#[test]
+fn weights_bad_fixture_yields_exactly_two() {
+    let f = SourceFile::from_source(
+        "crates/trainer/src/engine/setup.rs",
+        include_str!("fixtures/weights_bad.rs"),
+    );
+    let got = with_allows(&f, passes::weight_stochasticity::run(&f));
+    assert_eq!(got.len(), 2, "{got:#?}");
+    assert!(got.iter().any(|g| g.message.contains("uniform weight row")));
+    assert!(got
+        .iter()
+        .any(|g| g.message.contains("outside `core::weights`")));
+}
+
+#[test]
+fn weights_good_fixture_is_clean() {
+    let f = SourceFile::from_source(
+        "crates/trainer/src/engine/setup.rs",
+        include_str!("fixtures/weights_good.rs"),
+    );
+    let got = with_allows(&f, passes::weight_stochasticity::run(&f));
+    assert!(got.is_empty(), "{got:#?}");
+}
+
+#[test]
+fn trace_coverage_bad_fixture_yields_exactly_one() {
+    let f = SourceFile::from_source(
+        "crates/core/src/controller.rs",
+        include_str!("fixtures/trace_coverage_bad.rs"),
+    );
+    let got = with_allows(&f, passes::trace_coverage::run(&f));
+    assert_eq!(got.len(), 1, "{got:#?}");
+    assert!(got[0].message.contains("push_ready"), "{got:#?}");
+}
+
+#[test]
+fn trace_coverage_good_fixture_is_clean() {
+    let f = SourceFile::from_source(
+        "crates/core/src/controller.rs",
+        include_str!("fixtures/trace_coverage_good.rs"),
+    );
+    let got = with_allows(&f, passes::trace_coverage::run(&f));
+    assert!(got.is_empty(), "{got:#?}");
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_suppresses_nothing() {
+    let f = SourceFile::from_source(
+        "crates/core/src/controller.rs",
+        include_str!("fixtures/allow_without_reason.rs"),
+    );
+    let got = with_allows(&f, passes::panic_path::run(&f, true));
+    // Two malformed allows + the two panic findings they fail to cover.
+    assert_eq!(got.len(), 4, "{got:#?}");
+    assert_eq!(
+        got.iter().filter(|g| g.pass == "allow-syntax").count(),
+        2,
+        "{got:#?}"
+    );
+    assert_eq!(
+        got.iter().filter(|g| g.pass == "panic-path").count(),
+        2,
+        "{got:#?}"
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the root");
+    let findings = run_check(root).expect("workspace scan");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn binary_exit_codes_distinguish_clean_dirty_and_usage() {
+    let bin = env!("CARGO_BIN_EXE_preduce-analysis");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+
+    let clean = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("run analyzer");
+    assert!(
+        clean.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let dir = std::env::temp_dir().join("preduce-analysis-exit-codes");
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("controller.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+    let dirty = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run analyzer");
+    assert_eq!(dirty.status.code(), Some(1), "findings must exit 1");
+    assert!(String::from_utf8_lossy(&dirty.stdout).contains("panic-path"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let usage = Command::new(bin)
+        .arg("frobnicate")
+        .output()
+        .expect("run analyzer");
+    assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
+}

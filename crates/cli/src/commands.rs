@@ -25,6 +25,24 @@ pub enum CliError {
     Unknown(String),
     /// A replayed trace broke this many control-plane invariants.
     Invariant(usize),
+    /// `preduce lint` found this many rule violations.
+    Lint(usize),
+    /// An operation that should not fail did (I/O, serialization).
+    Internal(String),
+}
+
+impl CliError {
+    /// Process exit code: usage errors are 2 (conventional), internal
+    /// failures 3, invariant violations 4, lint findings 1 (matching the
+    /// standalone `preduce-analysis` binary so CI gates compose).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Args(_) | CliError::Unknown(_) => 2,
+            CliError::Internal(_) => 3,
+            CliError::Invariant(_) => 4,
+            CliError::Lint(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -35,6 +53,8 @@ impl fmt::Display for CliError {
             CliError::Invariant(n) => {
                 write!(f, "trace violates {n} invariant(s)")
             }
+            CliError::Lint(n) => write!(f, "lint found {n} violation(s)"),
+            CliError::Internal(what) => write!(f, "{what}"),
         }
     }
 }
@@ -57,6 +77,8 @@ pub enum Command {
     /// `preduce trace --check trace.jsonl` — replay a recorded trace
     /// through the invariant checker.
     Trace,
+    /// `preduce lint` — run the workspace static-analysis passes.
+    Lint,
     /// `preduce list` — strategies, models, presets.
     List,
     /// `preduce help`.
@@ -70,6 +92,7 @@ impl Command {
             "run" => Ok(Command::Run),
             "spectral" => Ok(Command::Spectral),
             "trace" => Ok(Command::Trace),
+            "lint" => Ok(Command::Lint),
             "list" => Ok(Command::List),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Unknown(format!("command `{other}`"))),
@@ -89,6 +112,7 @@ USAGE:
                    [--config experiment.json] [--trace-out trace.jsonl]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
+  preduce lint     [--root PATH]
   preduce list
   preduce help
 
@@ -108,6 +132,12 @@ TRACING:
   one JSON object per line; `trace --check FILE` replays the file and
   asserts the paper's invariants (group size, weight rows, fast-forward,
   frozen-schedule repair, departures). Exit is nonzero on violations.
+
+LINTING:
+  `lint` runs the workspace static-analysis passes (panic-path,
+  lock-discipline, weight-stochasticity, trace-coverage) over the source
+  tree — the same engine as `cargo run -p preduce-analysis -- check`.
+  Exit is nonzero on findings; see DESIGN.md section 10.
 ";
 
 fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
@@ -238,11 +268,9 @@ pub fn run_command(
             }
             .result;
             if args.get_or("json", false)? {
-                let _ = writeln!(
-                    out,
-                    "{}",
-                    serde_json::to_string_pretty(&result).expect("RunResult serializes")
-                );
+                let text = serde_json::to_string_pretty(&result)
+                    .map_err(|e| CliError::Internal(format!("serialize result: {e}")))?;
+                let _ = writeln!(out, "{text}");
             } else {
                 let _ = writeln!(
                     out,
@@ -254,6 +282,40 @@ pub fn run_command(
                     result.final_accuracy,
                     if result.converged { "" } else { "  (hit cap)" },
                 );
+            }
+        }
+        Command::Lint => {
+            let root = match args.get("root") {
+                Some(p) => {
+                    // A typo'd --root would otherwise scan zero files and
+                    // report "clean" — a silently green gate.
+                    let r = std::path::PathBuf::from(p);
+                    if !r.join("crates").is_dir() {
+                        return Err(CliError::Unknown(format!(
+                            "workspace root `{p}` (no crates/ directory)"
+                        )));
+                    }
+                    r
+                }
+                None => {
+                    let cwd = std::env::current_dir()
+                        .map_err(|e| CliError::Internal(format!("current directory: {e}")))?;
+                    preduce_analysis::find_workspace_root(&cwd).ok_or_else(|| {
+                        CliError::Unknown(
+                            "workspace root (run inside the repo or pass --root)".to_string(),
+                        )
+                    })?
+                }
+            };
+            let findings = preduce_analysis::run_check(&root)
+                .map_err(|e| CliError::Internal(format!("lint walk: {e}")))?;
+            for f in &findings {
+                let _ = writeln!(out, "{f}");
+            }
+            if findings.is_empty() {
+                let _ = writeln!(out, "lint: workspace clean");
+            } else {
+                return Err(CliError::Lint(findings.len()));
             }
         }
         Command::Trace => {
@@ -298,7 +360,8 @@ pub fn run_command(
             };
             let groups = observe_groups(fleet, p, rounds);
             let e_w = expected_sync_matrix(n, &groups);
-            let report = spectral_gap(&e_w).expect("symmetric E[W]");
+            let report = spectral_gap(&e_w)
+                .map_err(|e| CliError::Internal(format!("spectral analysis of E[W]: {e}")))?;
             let _ = writeln!(
                 out,
                 "N = {n}, P = {p}, {rounds} observed groups:\n  rho     = {:.4}\n  rho_bar = {:.4}",
@@ -331,7 +394,10 @@ fn observe_groups(
     }
     let mut groups = Vec::with_capacity(rounds);
     while groups.len() < rounds {
-        let (t, w) = queue.pop().expect("workers always reschedule");
+        // Every formed group reschedules all of its members, so the queue
+        // can never drain before `rounds` groups form; stop early rather
+        // than panic if that invariant is ever broken.
+        let Some((t, w)) = queue.pop() else { break };
         controller.push_ready(w, 0);
         while let Some(d) = controller.try_form_group() {
             for &m in &d.group {
@@ -611,5 +677,43 @@ mod tests {
             Command::from_name("frobnicate"),
             Err(CliError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn lint_reports_clean_on_this_workspace() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let root = std::path::Path::new(root)
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let (r, out) = run(&["lint", "--root", root.to_str().unwrap()]);
+        r.unwrap();
+        assert!(out.contains("workspace clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_counts_findings_in_a_dirty_tree() {
+        let dir = std::env::temp_dir().join("preduce-cli-lint-dirty");
+        let src = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(
+            src.join("controller.rs"),
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let (r, out) = run(&["lint", "--root", dir.to_str().unwrap()]);
+        assert!(matches!(r, Err(CliError::Lint(1))), "{out}");
+        assert!(out.contains("panic-path"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_modes() {
+        assert_eq!(CliError::Unknown("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Internal("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Invariant(2).exit_code(), 4);
+        assert_eq!(CliError::Lint(1).exit_code(), 1);
     }
 }

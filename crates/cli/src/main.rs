@@ -26,6 +26,6 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = run_command(command, &args, &mut stdout) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(i32::from(e.exit_code()));
     }
 }

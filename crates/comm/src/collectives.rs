@@ -139,7 +139,12 @@ pub fn weighted_average(
         "one weight per group member required"
     );
     let me = position_in_group(ep, group)?;
-    let w = weights[me];
+    let Some(&w) = weights.get(me) else {
+        return Err(CommError::InvalidGroup(format!(
+            "member position {me} outside weight row of {}",
+            weights.len()
+        )));
+    };
     for d in data.iter_mut() {
         *d *= w;
     }

@@ -128,7 +128,9 @@ impl Endpoint {
             .iter()
             .position(|m| m.from == from && m.tag == tag)
         {
-            return Ok(self.stash.remove(pos).expect("position just found").payload);
+            if let Some(m) = self.stash.remove(pos) {
+                return Ok(m.payload);
+            }
         }
         // Pull from the channel until a match arrives.
         loop {

@@ -22,6 +22,12 @@
 //! when) are identical to a networked deployment, which is what the
 //! reproduction's claims rest on.
 
+// Comms hot paths must not panic on recoverable conditions: fallible
+// operations propagate `CommError` or document their panic with a
+// `lint: allow` (see DESIGN.md §10). Tests are exempt.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod collectives;
 pub mod control;
 mod endpoint;

@@ -83,8 +83,16 @@ pub struct TcpControllerLink {
 /// # Panics
 /// Panics if the address cannot be bound.
 pub fn bind_controller(addr: &str) -> (TcpListener, SocketAddr) {
-    let listener = TcpListener::bind(addr).expect("bind controller listener");
-    let local = listener.local_addr().expect("listener has a local address");
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        // lint: allow(panic-path) startup-only: the documented contract is to panic when the controller listener cannot come up
+        Err(e) => panic!("bind controller listener on {addr}: {e}"),
+    };
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        // lint: allow(panic-path) startup-only: the documented contract is to panic when the controller listener cannot come up
+        Err(e) => panic!("controller listener has no local address: {e}"),
+    };
     (listener, local)
 }
 
@@ -134,15 +142,15 @@ pub fn accept_workers(listener: &TcpListener, n: usize) -> Result<TcpControllerL
                     }
                 }
             })
-            .expect("spawn reader thread");
+            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
     }
 
+    // Range and duplicate checks above guarantee all n slots were filled.
+    let writers: Vec<Arc<Mutex<TcpStream>>> = writers.into_iter().flatten().collect();
+    debug_assert_eq!(writers.len(), n, "every rank said hello");
     Ok(TcpControllerLink {
         signals: rx,
-        writers: writers
-            .into_iter()
-            .map(|w| w.expect("all ranks said hello"))
-            .collect(),
+        writers,
     })
 }
 
@@ -162,7 +170,7 @@ impl ControlPlane for TcpControllerLink {
             rank: worker,
             world: self.writers.len(),
         })?;
-        write_frame(&mut writer.lock(), &assignment)
+        write_frame(&mut writer.lock(), &assignment) // lint: allow(lock-discipline) the per-worker writer mutex exists precisely to serialize whole frames onto one socket; nothing else is ever held with it
             .map_err(|_| CommError::Disconnected { peer: worker })
     }
 }

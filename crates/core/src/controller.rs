@@ -442,17 +442,16 @@ impl Controller {
         // Extract the chosen signals (descending index for stable removal).
         let mut signals: Vec<ReadySignal> = Vec::with_capacity(p);
         for &idx in member_idx.iter().rev() {
-            signals.push(
-                self.queue
-                    .remove(idx)
-                    .expect("indices validated against queue"),
-            );
+            if let Some(s) = self.queue.remove(idx) {
+                signals.push(s);
+            }
         }
+        debug_assert_eq!(signals.len(), p, "member indices validated against queue");
         signals.reverse(); // restore FIFO order
 
         let group: Vec<usize> = signals.iter().map(|s| s.worker).collect();
         let iterations: Vec<u64> = signals.iter().map(|s| s.iteration).collect();
-        let new_iteration = *iterations.iter().max().expect("group non-empty");
+        let new_iteration = iterations.iter().copied().max().unwrap_or(0);
 
         let weights = match self.config.mode {
             AggregationMode::Constant => constant_weights(p),

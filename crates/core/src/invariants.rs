@@ -579,8 +579,8 @@ impl<'a> Replay<'a> {
             );
         }
         let expected: Option<Vec<f32>> = match self.config.as_ref().map(|c| c.mode) {
-            Some(AggregationMode::Constant) => {
-                Some(vec![1.0 / weights.len() as f32; weights.len()])
+            Some(AggregationMode::Constant) if !weights.is_empty() => {
+                Some(crate::weights::constant_weights(weights.len()))
             }
             Some(AggregationMode::Dynamic { alpha, gap_policy })
                 if iterations.len() == weights.len() && !iterations.is_empty() =>

@@ -34,6 +34,12 @@
 //! * [`invariants`] — the trace-driven [`invariants::InvariantChecker`]
 //!   asserting the paper's contracts over a recorded run.
 
+// The control plane must not panic on recoverable conditions: every
+// fallible operation either propagates an error or documents its panic
+// with a `lint: allow` (see DESIGN.md §10). Tests are exempt.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod controller;
 pub mod graph;
 pub mod invariants;
@@ -52,4 +58,4 @@ pub use spectral::{
     expected_sync_matrix, expected_sync_matrix_uniform, rho_bar, spectral_gap, SpectralReport,
 };
 pub use trace::{read_jsonl, JsonlSink, NullSink, RingSink, SinkObserver, TraceEvent, TraceSink};
-pub use weights::{constant_weights, dynamic_weights, GapPolicy};
+pub use weights::{constant_weights, dynamic_weights, singleton_weights, GapPolicy};

@@ -37,7 +37,7 @@ fn check_group(n: usize, group: &[usize]) {
 /// outside `0..n`.
 pub fn sync_matrix(n: usize, group: &[usize]) -> Tensor {
     check_group(n, group);
-    weighted_sync_matrix(n, group, &vec![1.0 / group.len() as f32; group.len()])
+    weighted_sync_matrix(n, group, &crate::weights::constant_weights(group.len()))
 }
 
 /// The synchronization matrix for a weighted partial reduce: each member

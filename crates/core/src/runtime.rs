@@ -54,7 +54,12 @@ impl ControllerHandle {
     /// # Panics
     /// Panics if the controller thread panicked.
     pub fn join(self) -> ControllerStats {
-        self.join.join().expect("controller thread panicked")
+        match self.join.join() {
+            Ok(stats) => stats,
+            // Re-raise the controller's own panic rather than minting a
+            // fresh one: the original message and backtrace survive.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -172,7 +177,7 @@ pub fn spawn_with_sink(
     let join = thread::Builder::new()
         .name("preduce-controller".into())
         .spawn(move || controller_loop(config, ctl_link, ctl_sink))
-        .expect("failed to spawn controller thread");
+        .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
         .into_iter()
@@ -234,10 +239,12 @@ pub fn spawn_tcp_with_sink(
     // accept; avoids needing a connector thread per worker.
     let worker_links: Vec<preduce_comm::tcp::TcpWorkerLink> = (0..n)
         .map(|rank| {
-            preduce_comm::tcp::TcpWorkerLink::connect(addr, rank).expect("loopback connect")
+            preduce_comm::tcp::TcpWorkerLink::connect(addr, rank)
+                .unwrap_or_else(|e| panic!("loopback connect: {e}")) // lint: allow(panic-path) startup-only: the documented contract is to panic if the loopback handshake fails before training begins
         })
         .collect();
-    let ctl_link = preduce_comm::tcp::accept_workers(&listener, n).expect("worker handshake");
+    let ctl_link = preduce_comm::tcp::accept_workers(&listener, n)
+        .unwrap_or_else(|e| panic!("worker handshake: {e}")); // lint: allow(panic-path) startup-only: the documented contract is to panic if the loopback handshake fails before training begins
     let ctl_link = ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
 
     let endpoints = CommWorld::new(n).into_endpoints();
@@ -245,7 +252,7 @@ pub fn spawn_tcp_with_sink(
     let join = thread::Builder::new()
         .name("preduce-controller-tcp".into())
         .spawn(move || controller_loop(config, ctl_link, ctl_sink))
-        .expect("failed to spawn controller thread");
+        .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
         .into_iter()
@@ -317,7 +324,7 @@ fn controller_loop<C: ControlPlane>(
                 }
                 let assignment = GroupAssignment {
                     group: vec![worker],
-                    weights: vec![1.0],
+                    weights: crate::weights::singleton_weights(),
                     base_tag: 0,
                     new_iteration: iteration,
                 };

@@ -85,12 +85,9 @@ pub fn rho_bar(rho: f64) -> f64 {
 pub fn spectral_gap(e_w: &Tensor) -> Result<SpectralReport, TensorError> {
     let eigenvalues = symmetric_eigenvalues(e_w, JacobiOptions::default())?;
     // eigenvalues are sorted descending; λ1 ≈ 1.
-    let rho = if eigenvalues.len() < 2 {
-        0.0
-    } else {
-        let lambda_2 = eigenvalues[1];
-        let lambda_n = *eigenvalues.last().expect("non-empty");
-        lambda_2.abs().max(lambda_n.abs()).min(1.0)
+    let rho = match (eigenvalues.get(1), eigenvalues.last()) {
+        (Some(lambda_2), Some(lambda_n)) => lambda_2.abs().max(lambda_n.abs()).min(1.0),
+        _ => 0.0,
     };
     // Clamp tiny negatives from float error; snap near-1 values (a
     // disconnected schedule's repeated unit eigenvalue) to exactly 1.

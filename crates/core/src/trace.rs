@@ -172,6 +172,9 @@ impl TraceSink for NullSink {
     fn record(&self, _event: TraceEvent) {}
 }
 
+// Sinks are best-effort by contract (see `JsonlSink`): a panicking
+// recorder thread must not take tracing down with it, so poisoned locks
+// are recovered via `PoisonError::into_inner` instead of propagated.
 struct RingInner {
     buf: VecDeque<TraceEvent>,
     dropped: u64,
@@ -203,13 +206,20 @@ impl RingSink {
 
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let inner = self.inner.lock().expect("ring sink poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.buf.iter().cloned().collect()
     }
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("ring sink poisoned").buf.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .buf
+            .len()
     }
 
     /// Whether no events are retained.
@@ -219,13 +229,19 @@ impl RingSink {
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("ring sink poisoned").dropped
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .dropped
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&self, event: TraceEvent) {
-        let mut inner = self.inner.lock().expect("ring sink poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.buf.len() == self.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
@@ -262,7 +278,10 @@ impl JsonlSink {
 
     /// Number of events lost to I/O or serialization errors.
     pub fn write_errors(&self) -> u64 {
-        *self.write_errors.lock().expect("jsonl sink poisoned")
+        *self
+            .write_errors
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -271,18 +290,31 @@ impl TraceSink for JsonlSink {
         let line = match serde_json::to_string(&event) {
             Ok(l) => l,
             Err(_) => {
-                *self.write_errors.lock().expect("jsonl sink poisoned") += 1;
+                *self
+                    .write_errors
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
                 return;
             }
         };
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if writeln!(w, "{line}").is_err() {
-            *self.write_errors.lock().expect("jsonl sink poisoned") += 1;
+            *self
+                .write_errors
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = w.flush(); // lint: allow(lock-discipline) flushing the buffered writer requires holding its own lock; nothing else is ever held here
     }
 }
 

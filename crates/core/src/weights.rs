@@ -46,6 +46,14 @@ pub fn constant_weights(p: usize) -> Vec<f32> {
     vec![1.0 / p as f32; p]
 }
 
+/// The weight row of a singleton "group": the drain protocol's
+/// self-assignment keeps the worker's own model with full mass. Trivially
+/// doubly stochastic; routed through here so every row in the system
+/// comes from this module.
+pub fn singleton_weights() -> Vec<f32> {
+    vec![1.0]
+}
+
 /// Staleness-aware weights for dynamic partial reduce.
 ///
 /// `iterations[i]` is member `i`'s current iteration number as reported in
@@ -61,11 +69,11 @@ pub fn dynamic_weights(iterations: &[u64], alpha: f64, gap_policy: GapPolicy) ->
         "EMA decay must lie in (0, 1), got {alpha}"
     );
     let p = iterations.len();
-    let k_max = *iterations.iter().max().expect("non-empty");
+    let k_max = iterations.iter().copied().max().unwrap_or(0);
 
     // Relative iteration numbers k̂_i ∈ [1, k̂_max].
     let rel: Vec<u64> = iterations.iter().map(|&k| k_max - k + 1).collect();
-    let rel_max = *rel.iter().max().expect("non-empty");
+    let rel_max = rel.iter().copied().max().unwrap_or(1);
 
     // All members at the same iteration: degenerate to constant weights
     // (also avoids 0/0 when α^1 cancellation would apply).
@@ -94,7 +102,7 @@ pub fn dynamic_weights(iterations: &[u64], alpha: f64, gap_policy: GapPolicy) ->
         let recipients: Vec<usize> = match gap_policy {
             GapPolicy::Initial => (0..p).filter(|&i| rel[i] == rel_max).collect(),
             GapPolicy::Nearest => {
-                let nearest = rel
+                let Some(nearest) = rel
                     .iter()
                     .map(|&kr| {
                         let d = kr.abs_diff(r);
@@ -102,7 +110,9 @@ pub fn dynamic_weights(iterations: &[u64], alpha: f64, gap_policy: GapPolicy) ->
                         (d, if kr > r { 0u8 } else { 1u8 })
                     })
                     .min()
-                    .expect("non-empty");
+                else {
+                    continue;
+                };
                 (0..p)
                     .filter(|&i| {
                         let d = rel[i].abs_diff(r);

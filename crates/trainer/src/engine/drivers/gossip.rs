@@ -15,7 +15,7 @@ use preduce_tensor::Tensor;
 use rand::Rng;
 
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
-use crate::engine::substrate::{Substrate, ThreadedSubstrate};
+use crate::engine::substrate::{must, Substrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
 use crate::sim::SimHarness;
 use crate::threaded::ThreadedReport;
@@ -77,7 +77,7 @@ pub fn run_ad_psgd(mut h: SimHarness) -> RunResult {
 
         // Apply the (possibly inconsistent) gradient taken at compute
         // start.
-        let grad = in_flight[w].take().expect("scheduled with gradient");
+        let grad = in_flight[w].take().expect("scheduled with gradient"); // lint: allow(panic-path) sim-only invariant: every scheduled event stored its gradient at compute start; a violation is a harness bug worth a loud stop
         h.workers[w].apply(&grad, 1.0);
         h.workers[w].iteration += 1;
 
@@ -161,12 +161,12 @@ pub(crate) fn threaded_ad_psgd(sub: &ThreadedSubstrate) -> ThreadedReport {
             let mut flat = w.params.clone().into_vec();
             // Gossip keeps the *local* iteration count: ignore the
             // controller's fast-forwarded value.
-            let _ = r.reduce(&mut flat, w.iteration + 1).expect("reduce failed");
-            w.params = Tensor::from_vec(flat, [w.params.len()]).expect("length preserved");
+            let _ = must("pairwise reduce", r.reduce(&mut flat, w.iteration + 1));
+            w.params = must("rebuild params", Tensor::from_vec(flat, [w.params.len()]));
             w.apply(&grad, 1.0);
             w.iteration += 1;
         }
-        r.finish().expect("finish failed");
+        must("finish", r.finish());
         (w.params, w.iteration)
     });
     let stats = handle.join();
@@ -198,19 +198,24 @@ pub(crate) fn threaded_d_psgd(sub: &ThreadedSubstrate) -> ThreadedReport {
             }
             let grad = w.gradient(&mut ctx.rng);
             let own = w.params.clone().into_vec();
-            let (left, right) =
-                ring_exchange(&mut ep, &all, (2 * k) * TAG_STRIDE, &own).expect("exchange failed");
+            let (left, right) = must(
+                "ring exchange",
+                ring_exchange(&mut ep, &all, (2 * k) * TAG_STRIDE, &own),
+            );
             let mixed: Vec<f32> = own
                 .iter()
                 .zip(&left)
                 .zip(&right)
                 .map(|((o, l), r)| (o + l + r) / 3.0)
                 .collect();
-            let mixed = Tensor::from_vec(mixed, [w.params.len()]).expect("length preserved");
+            let mixed = must("rebuild params", Tensor::from_vec(mixed, [w.params.len()]));
             w.set_params(&mixed);
             w.apply(&grad, 1.0);
             w.iteration += 1;
-            barrier(&mut ep, &all, (2 * k + 1) * TAG_STRIDE).expect("barrier failed");
+            must(
+                "round barrier",
+                barrier(&mut ep, &all, (2 * k + 1) * TAG_STRIDE),
+            );
         }
         (w.params, w.iteration)
     });

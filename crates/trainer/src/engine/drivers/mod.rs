@@ -18,7 +18,7 @@ pub mod sync;
 
 use crate::engine::substrate::{SimSubstrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
-use crate::strategy::{Strategy, StrategyFamily};
+use crate::strategy::Strategy;
 use crate::threaded::ThreadedReport;
 
 use ps::PsPolicy;
@@ -37,30 +37,41 @@ pub trait StrategyDriver {
     fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport;
 }
 
-/// The driver for `strategy`, dispatched by family.
+/// The driver for `strategy`.
+///
+/// One driver type dispatches every strategy through a single exhaustive
+/// match per projection: a strategy/family mismatch is unrepresentable, so
+/// no dispatch path can panic.
 pub fn driver_for(strategy: Strategy) -> Box<dyn StrategyDriver> {
-    match strategy.family() {
-        StrategyFamily::Collective => Box::new(CollectiveDriver(strategy)),
-        StrategyFamily::Gossip => Box::new(GossipDriver(strategy)),
-        StrategyFamily::ParameterServer => Box::new(PsDriver(strategy)),
-        StrategyFamily::PartialReduce => Box::new(PReduceDriver(strategy)),
-    }
+    Box::new(Driver(strategy))
 }
 
-/// All-Reduce and Eager-Reduce: full-fleet collectives, no server.
-struct CollectiveDriver(Strategy);
+/// Uniform driver over the whole strategy catalog. The family structure
+/// survives in [`Strategy::family`] and in the per-family modules; the
+/// dispatch itself is flat so every arm is statically covered.
+struct Driver(Strategy);
 
-impl StrategyDriver for CollectiveDriver {
+impl StrategyDriver for Driver {
     fn strategy(&self) -> Strategy {
         self.0
     }
 
     fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
-        let (h, _sink) = substrate.into_parts();
+        let (h, sink) = substrate.into_parts();
         match self.0 {
             Strategy::AllReduce => sync::run_allreduce(h),
             Strategy::EagerReduce => sync::run_eager_reduce(h),
-            other => unreachable!("not a collective strategy: {other:?}"),
+            Strategy::AdPsgd => gossip::run_ad_psgd(h),
+            Strategy::DPsgd => gossip::run_d_psgd(h),
+            Strategy::PsBsp => sync::run_ps_bsp(h),
+            Strategy::PsBackup { backups } => sync::run_ps_bk(h, backups),
+            Strategy::PsAsp => ps::run_ps_asp(h),
+            Strategy::PsSsp { bound } => ps::run_ps_ssp(h, bound),
+            Strategy::PsHete => ps::run_ps_hete(h),
+            Strategy::PReduce { p, dynamic } => {
+                let cfg = Strategy::preduce_controller_config(p, dynamic, h.num_workers());
+                preduce::run_preduce_traced(h, cfg, sink)
+            }
         }
     }
 
@@ -68,92 +79,19 @@ impl StrategyDriver for CollectiveDriver {
         match self.0 {
             Strategy::AllReduce => sync::threaded_allreduce(substrate),
             Strategy::EagerReduce => sync::threaded_eager_reduce(substrate),
-            other => unreachable!("not a collective strategy: {other:?}"),
-        }
-    }
-}
-
-/// AD-PSGD and D-PSGD: decentralized peer-to-peer model mixing.
-struct GossipDriver(Strategy);
-
-impl StrategyDriver for GossipDriver {
-    fn strategy(&self) -> Strategy {
-        self.0
-    }
-
-    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
-        let (h, _sink) = substrate.into_parts();
-        match self.0 {
-            Strategy::AdPsgd => gossip::run_ad_psgd(h),
-            Strategy::DPsgd => gossip::run_d_psgd(h),
-            other => unreachable!("not a gossip strategy: {other:?}"),
-        }
-    }
-
-    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
-        match self.0 {
             Strategy::AdPsgd => gossip::threaded_ad_psgd(substrate),
             Strategy::DPsgd => gossip::threaded_d_psgd(substrate),
-            other => unreachable!("not a gossip strategy: {other:?}"),
-        }
-    }
-}
-
-/// The parameter-server zoo: BSP, BK, ASP, SSP, HETE.
-struct PsDriver(Strategy);
-
-impl StrategyDriver for PsDriver {
-    fn strategy(&self) -> Strategy {
-        self.0
-    }
-
-    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
-        let (h, _sink) = substrate.into_parts();
-        match self.0 {
-            Strategy::PsBsp => sync::run_ps_bsp(h),
-            Strategy::PsBackup { backups } => sync::run_ps_bk(h, backups),
-            Strategy::PsAsp => ps::run_ps_asp(h),
-            Strategy::PsSsp { bound } => ps::run_ps_ssp(h, bound),
-            Strategy::PsHete => ps::run_ps_hete(h),
-            other => unreachable!("not a parameter-server strategy: {other:?}"),
-        }
-    }
-
-    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
-        match self.0 {
             Strategy::PsBsp => sync::threaded_ps_bsp(substrate),
             Strategy::PsBackup { backups } => sync::threaded_ps_bk(substrate, backups),
             Strategy::PsAsp => ps::threaded_ps_async(substrate, PsPolicy::Asp),
             Strategy::PsSsp { bound } => ps::threaded_ps_async(substrate, PsPolicy::Ssp { bound }),
             Strategy::PsHete => ps::threaded_ps_async(substrate, PsPolicy::Hete),
-            other => unreachable!("not a parameter-server strategy: {other:?}"),
+            Strategy::PReduce { p, dynamic } => {
+                let cfg =
+                    Strategy::preduce_controller_config(p, dynamic, substrate.config().num_workers);
+                preduce::threaded_preduce(substrate, cfg)
+            }
         }
-    }
-}
-
-/// P-Reduce (CON and DYN): the paper's partial-reduce primitive.
-struct PReduceDriver(Strategy);
-
-impl StrategyDriver for PReduceDriver {
-    fn strategy(&self) -> Strategy {
-        self.0
-    }
-
-    fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
-        let (h, sink) = substrate.into_parts();
-        let cfg = self
-            .0
-            .controller_config(h.num_workers())
-            .expect("partial-reduce strategy has a controller config");
-        preduce::run_preduce_traced(h, cfg, sink)
-    }
-
-    fn drive_threaded(&self, substrate: &ThreadedSubstrate) -> ThreadedReport {
-        let cfg = self
-            .0
-            .controller_config(substrate.config().num_workers)
-            .expect("partial-reduce strategy has a controller config");
-        preduce::threaded_preduce(substrate, cfg)
     }
 }
 

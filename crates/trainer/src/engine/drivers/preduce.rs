@@ -13,7 +13,7 @@ use preduce_simnet::{EventQueue, SimTime};
 use preduce_tensor::Tensor;
 
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
-use crate::engine::substrate::{Substrate, ThreadedSubstrate};
+use crate::engine::substrate::{must, Substrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
 use crate::sim::SimHarness;
 use crate::threaded::ThreadedReport;
@@ -201,11 +201,11 @@ pub(crate) fn threaded_preduce(
             w.local_update(&mut ctx.rng);
             let iteration = w.iteration;
             let mut flat = w.params.clone().into_vec();
-            let outcome = r.reduce(&mut flat, iteration).expect("reduce failed");
-            w.params = Tensor::from_vec(flat, [w.params.len()]).expect("length preserved");
+            let outcome = must("partial reduce", r.reduce(&mut flat, iteration));
+            w.params = must("rebuild params", Tensor::from_vec(flat, [w.params.len()]));
             w.iteration = outcome.new_iteration;
         }
-        r.finish().expect("finish failed");
+        must("finish", r.finish());
         (w.params, w.iteration)
     });
     let stats = handle.join();

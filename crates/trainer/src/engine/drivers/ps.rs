@@ -17,7 +17,7 @@ use preduce_simnet::{EventQueue, SimTime};
 use preduce_tensor::Tensor;
 
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
-use crate::engine::substrate::ThreadedSubstrate;
+use crate::engine::substrate::{must, ThreadedSubstrate};
 use crate::metrics::RunResult;
 use crate::sim::SimHarness;
 use crate::threaded::ThreadedReport;
@@ -119,7 +119,7 @@ fn run_ps(mut h: SimHarness, policy: PsPolicy, label: String) -> RunResult {
         }
 
         // SSP gate: block if this worker ran too far ahead.
-        let min_iter = *iter_of.iter().min().expect("non-empty");
+        let min_iter = iter_of.iter().copied().min().unwrap_or(0);
         if let PsPolicy::Ssp { bound } = policy {
             if iter_of[w] > min_iter + bound {
                 blocked[w] = Some((h.compute_time(w, done), done));
@@ -129,7 +129,7 @@ fn run_ps(mut h: SimHarness, policy: PsPolicy, label: String) -> RunResult {
                 queue.schedule(done + ct, w);
             }
             // Release any blocked workers the new minimum unblocks.
-            let min_iter = *iter_of.iter().min().expect("non-empty");
+            let min_iter = iter_of.iter().copied().min().unwrap_or(0);
             for b in 0..n {
                 if let Some((ct, since)) = blocked[b] {
                     if iter_of[b] <= min_iter + bound {
@@ -214,7 +214,7 @@ pub(crate) fn threaded_ps_async(sub: &ThreadedSubstrate, policy: PsPolicy) -> Th
             }
             // Pull: record the server version the gradient is taken at.
             let version = {
-                let s = server.state.lock().expect("server poisoned");
+                let s = must("server lock", server.state.lock());
                 w.set_params(&s.params);
                 s.push_count
             };
@@ -222,7 +222,7 @@ pub(crate) fn threaded_ps_async(sub: &ThreadedSubstrate, policy: PsPolicy) -> Th
             // Push: staleness = pushes that landed since our pull, plus
             // our own (same accounting as the virtual-time projection).
             {
-                let mut guard = server.state.lock().expect("server poisoned");
+                let mut guard = must("server lock", server.state.lock());
                 let s = &mut *guard;
                 let staleness = s.push_count - version + 1;
                 s.opt
@@ -234,18 +234,18 @@ pub(crate) fn threaded_ps_async(sub: &ThreadedSubstrate, policy: PsPolicy) -> Th
             }
             server.gate.notify_all();
             if let PsPolicy::Ssp { bound } = policy {
-                let mut s = server.state.lock().expect("server poisoned");
+                let mut s = must("server lock", server.state.lock());
                 while s.iter_of[ctx.rank] > s.min_active_iter().saturating_add(bound) {
-                    s = server.gate.wait(s).expect("server poisoned");
+                    s = must("ssp gate", server.gate.wait(s));
                 }
             }
         }
         {
-            let mut s = server.state.lock().expect("server poisoned");
+            let mut s = must("server lock", server.state.lock());
             s.done[ctx.rank] = true;
         }
         server.gate.notify_all();
-        let m = server.state.lock().expect("server poisoned").params.clone();
+        let m = must("server lock", server.state.lock()).params.clone();
         (m, w.iteration)
     });
 

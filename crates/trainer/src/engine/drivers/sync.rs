@@ -14,7 +14,7 @@ use preduce_simnet::SimTime;
 use preduce_tensor::Tensor;
 
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
-use crate::engine::substrate::ThreadedSubstrate;
+use crate::engine::substrate::{must, ThreadedSubstrate};
 use crate::metrics::RunResult;
 use crate::sim::SimHarness;
 use crate::threaded::ThreadedReport;
@@ -84,7 +84,7 @@ pub fn run_ps_bk(mut h: SimHarness, backups: usize) -> RunResult {
         let compute: Vec<f64> = (0..n).map(|w| h.compute_time(w, now)).collect();
         // Round closes at the k-th fastest finisher.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| compute[a].partial_cmp(&compute[b]).expect("finite"));
+        order.sort_by(|&a, &b| compute[a].total_cmp(&compute[b]));
         let contributors = &order[..k];
         let round_compute = compute[contributors[k - 1]];
 
@@ -134,19 +134,21 @@ pub fn run_eager_reduce(mut h: SimHarness) -> RunResult {
             }
         }
         // The round closes when the majority-th in-flight gradient lands.
-        let mut finishes: Vec<f64> = in_flight
-            .iter()
-            .map(|s| s.as_ref().expect("all started").0)
-            .collect();
-        finishes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // (The loop above filled every slot, so the flatten is total.)
+        let mut finishes: Vec<f64> = in_flight.iter().flatten().map(|&(t, _)| t).collect();
+        finishes.sort_by(f64::total_cmp);
         let window = finishes[majority - 1].max(now.seconds());
 
         // Deliver everything that finished inside the window (possibly
         // stale gradients started rounds ago).
         let mut delivered: Vec<Tensor> = Vec::new();
         for slot in in_flight.iter_mut() {
-            if slot.as_ref().expect("all started").0 <= window {
-                delivered.push(slot.take().expect("just checked").1);
+            if let Some((t, _)) = slot {
+                if *t <= window {
+                    if let Some((_, g)) = slot.take() {
+                        delivered.push(g);
+                    }
+                }
             }
         }
         debug_assert!(!delivered.is_empty());
@@ -202,16 +204,21 @@ pub(crate) fn threaded_allreduce(sub: &ThreadedSubstrate) -> ThreadedReport {
             }
             let grad = w.gradient(&mut ctx.rng);
             let mut flat = grad.into_vec();
-            ring_allreduce(&mut ep, &all, (2 * k) * TAG_STRIDE, &mut flat)
-                .expect("allreduce failed");
+            must(
+                "ring allreduce",
+                ring_allreduce(&mut ep, &all, (2 * k) * TAG_STRIDE, &mut flat),
+            );
             // Sum → mean.
             for v in &mut flat {
                 *v /= all.len() as f32;
             }
-            let avg = Tensor::from_vec(flat, [w.params.len()]).expect("length preserved");
+            let avg = must("rebuild gradient", Tensor::from_vec(flat, [w.params.len()]));
             w.apply(&avg, 1.0);
             w.iteration += 1;
-            barrier(&mut ep, &all, (2 * k + 1) * TAG_STRIDE).expect("barrier failed");
+            must(
+                "round barrier",
+                barrier(&mut ep, &all, (2 * k + 1) * TAG_STRIDE),
+            );
         }
         (w.params, w.iteration)
     });
@@ -257,10 +264,10 @@ pub(crate) fn threaded_eager_reduce(sub: &ThreadedSubstrate) -> ThreadedReport {
             }
             // Gradient at the current global model (snapshot may be stale
             // by the time the push lands — that's the point of ER).
-            let snapshot = board.lock().expect("board poisoned").model.clone();
+            let snapshot = must("board lock", board.lock()).model.clone();
             w.set_params(&snapshot);
             let grad = w.gradient(&mut ctx.rng);
-            let mut guard = board.lock().expect("board poisoned");
+            let mut guard = must("board lock", board.lock());
             let b = &mut *guard;
             b.pending.push(grad);
             if b.pending.len() >= majority {
@@ -275,7 +282,7 @@ pub(crate) fn threaded_eager_reduce(sub: &ThreadedSubstrate) -> ThreadedReport {
             drop(guard);
             w.iteration += 1;
         }
-        let m = board.lock().expect("board poisoned").model.clone();
+        let m = must("board lock", board.lock()).model.clone();
         (m, w.iteration)
     });
 
@@ -332,7 +339,7 @@ fn threaded_ps_rounds(sub: &ThreadedSubstrate, take: usize) -> ThreadedReport {
                 let secs = clock.elapsed().as_secs_f64();
                 let slot = (k % 2) as usize;
                 {
-                    let mut b = boards[slot].lock().expect("board poisoned");
+                    let mut b = must("board lock", boards[slot].lock());
                     if b.round != k {
                         b.entries.clear();
                         b.round = k;
@@ -341,7 +348,7 @@ fn threaded_ps_rounds(sub: &ThreadedSubstrate, take: usize) -> ThreadedReport {
                 }
                 gate.wait();
                 {
-                    let b = boards[slot].lock().expect("board poisoned");
+                    let b = must("board lock", boards[slot].lock());
                     // Canonical contributor order: fastest first, rank
                     // breaking ties, so every worker computes the same
                     // average regardless of push order.
@@ -349,7 +356,7 @@ fn threaded_ps_rounds(sub: &ThreadedSubstrate, take: usize) -> ThreadedReport {
                     order.sort_by(|&x, &y| {
                         let (rx, tx, _) = &b.entries[x];
                         let (ry, ty, _) = &b.entries[y];
-                        tx.partial_cmp(ty).expect("finite").then(rx.cmp(ry))
+                        tx.total_cmp(ty).then(rx.cmp(ry))
                     });
                     let mut avg = Tensor::zeros([w.params.len()]);
                     for &i in order.iter().take(take) {

@@ -92,7 +92,7 @@ pub fn worker_thread_seed(seed: u64, rank: usize) -> u64 {
 /// Panics if `params` is empty or lengths differ.
 pub fn uniform_average(params: &[Tensor]) -> Tensor {
     let refs: Vec<&Tensor> = params.iter().collect();
-    let weights = vec![1.0 / params.len() as f32; params.len()];
+    let weights = partial_reduce::constant_weights(params.len());
     weighted_model_average(&refs, &weights)
 }
 

@@ -225,7 +225,12 @@ impl ThreadedSubstrate {
         let mut params = Vec::new();
         let mut iterations = Vec::new();
         for t in threads {
-            let (p, i) = t.join().expect("worker thread panicked");
+            let (p, i) = match t.join() {
+                Ok(v) => v,
+                // Re-raise the worker's own panic so its message and
+                // backtrace survive instead of a generic join error.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             params.push(p);
             iterations.push(i);
         }
@@ -248,6 +253,18 @@ impl Substrate for ThreadedSubstrate {
 
     fn sink(&self) -> Arc<dyn TraceSink> {
         self.sink.clone()
+    }
+}
+
+/// Unwraps a result inside an SPMD worker body. Worker closures run under
+/// [`ThreadedSubstrate::run_spmd`], which joins every thread and re-raises
+/// a worker panic on the driving thread — panicking here is the designed
+/// channel through which a failed mid-run collective aborts the whole run.
+pub(crate) fn must<T, E: fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        // lint: allow(panic-path) worker-thread failures propagate to the driver through run_spmd's join; a failed collective mid-run has no recovery path
+        Err(e) => panic!("{what}: {e}"),
     }
 }
 

@@ -124,17 +124,9 @@ impl Strategy {
         num_workers: usize,
     ) -> Result<ControllerConfig, NoControllerConfig> {
         match self {
-            Strategy::PReduce { p, dynamic } => Ok(ControllerConfig {
-                num_workers,
-                group_size: *p,
-                mode: if *dynamic {
-                    AggregationMode::dynamic_default()
-                } else {
-                    AggregationMode::Constant
-                },
-                history_window: None,
-                frozen_avoidance: true,
-            }),
+            Strategy::PReduce { p, dynamic } => {
+                Ok(Self::preduce_controller_config(*p, *dynamic, num_workers))
+            }
             Strategy::AllReduce
             | Strategy::EagerReduce
             | Strategy::AdPsgd
@@ -146,6 +138,27 @@ impl Strategy {
             | Strategy::PsBackup { .. } => Err(NoControllerConfig {
                 strategy: self.label(),
             }),
+        }
+    }
+
+    /// The controller configuration of a [`Strategy::PReduce`] run —
+    /// infallible, for call sites that already hold the destructured
+    /// `p`/`dynamic` fields (the P-Reduce driver's two projections).
+    pub fn preduce_controller_config(
+        p: usize,
+        dynamic: bool,
+        num_workers: usize,
+    ) -> ControllerConfig {
+        ControllerConfig {
+            num_workers,
+            group_size: p,
+            mode: if dynamic {
+                AggregationMode::dynamic_default()
+            } else {
+                AggregationMode::Constant
+            },
+            history_window: None,
+            frozen_avoidance: true,
         }
     }
 

@@ -109,7 +109,7 @@ pub fn weighted_model_average(models: &[&Tensor], weights: &[f32]) -> Tensor {
 /// for inference, Algorithm 2 line 8).
 pub fn average_params(workers: &[WorkerState]) -> Tensor {
     let refs: Vec<&Tensor> = workers.iter().map(|w| &w.params).collect();
-    let w = vec![1.0 / workers.len() as f32; workers.len()];
+    let w = partial_reduce::constant_weights(workers.len());
     weighted_model_average(&refs, &w)
 }
 
