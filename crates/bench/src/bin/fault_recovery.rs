@@ -1,0 +1,229 @@
+//! Fault-recovery bench: reaction times of the resilience layer
+//! (DESIGN.md §11) plus the accuracy cost of a crash.
+//!
+//! Three metrics seed `BENCH_fault_recovery.json` (written to the current
+//! directory — run from the workspace root so it lands next to README):
+//!
+//! * **time-to-evict** — wall delta from the injected crash
+//!   (`FaultInjected`) to the liveness eviction (`WorkerEvicted`) on the
+//!   threaded backend; nominally the silence budget of
+//!   [`chaos_liveness`];
+//! * **time-to-repair** — wall delta from the eviction to the next
+//!   scheduling decision (a formed group, a singleton release, or a
+//!   queue drain): how long the survivor set stays blocked;
+//! * **post-fault convergence gap** — fault-free minus crashed
+//!   final accuracy at an equal update budget on the simulator, CON and
+//!   DYN (the dead replica's stale parameters stay in the final uniform
+//!   average, so the gap is real but bounded — see the chaos suite).
+//!
+//! Run: `cargo run --release -p preduce-bench --bin fault_recovery`
+//! (set `PREDUCE_QUICK=1` for fewer repetitions)
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use partial_reduce::{NullSink, TraceEvent, TraceSink};
+use preduce_bench::configs::quick_mode;
+use preduce_data::cifar10_like;
+use preduce_models::zoo;
+use preduce_trainer::engine::drivers::preduce::chaos_liveness;
+use preduce_trainer::{engine, Backend, ExperimentConfig, FaultPlan, Strategy};
+use serde::Serialize;
+
+/// Wall-clock-stamps every trace event (milliseconds since sink
+/// creation) so reaction times can be measured from the stream.
+struct TimedSink {
+    start: Instant,
+    events: Mutex<Vec<(f64, TraceEvent)>>,
+}
+
+impl TimedSink {
+    fn new() -> Self {
+        TimedSink {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<(f64, TraceEvent)> {
+        self.events
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_else(|p| p.into_inner().clone())
+    }
+}
+
+impl TraceSink for TimedSink {
+    fn record(&self, event: TraceEvent) {
+        let t = self.start.elapsed().as_secs_f64() * 1e3;
+        match self.events.lock() {
+            Ok(mut g) => g.push((t, event)),
+            Err(p) => p.into_inner().push((t, event)),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Summary {
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+    samples: usize,
+}
+
+fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(Summary {
+        mean_ms: xs.iter().sum::<f64>() / xs.len() as f64,
+        min_ms: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ms: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        samples: xs.len(),
+    })
+}
+
+#[derive(Serialize)]
+struct Liveness {
+    heartbeat_interval_ms: f64,
+    miss_threshold: u64,
+    nominal_eviction_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Gap {
+    con: f64,
+    #[serde(rename = "dyn")]
+    dynamic: f64,
+}
+
+#[derive(Serialize)]
+struct FaultRecoveryBench {
+    bench: &'static str,
+    generated_by: &'static str,
+    runs: usize,
+    liveness: Liveness,
+    time_to_evict_ms: Option<Summary>,
+    time_to_repair_ms: Option<Summary>,
+    post_fault_convergence_gap: Option<Gap>,
+}
+
+/// One threaded crash run: N=4 / P=2, rank 3 fail-stops after 4
+/// iterations and the liveness monitor must evict it. Returns
+/// (time-to-evict, time-to-repair) in milliseconds.
+fn crash_reaction() -> (Option<f64>, Option<f64>) {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    c.num_workers = 4;
+    c.threaded_iters = Some(12);
+    let sink = Arc::new(TimedSink::new());
+    let run = engine::run_with_faults(
+        Strategy::PReduce {
+            p: 2,
+            dynamic: false,
+        },
+        &c,
+        Backend::Threaded,
+        sink.clone(),
+        FaultPlan::none().crash(3, 4),
+    );
+    assert_eq!(
+        run.controller.expect("p-reduce reports stats").evictions,
+        1,
+        "crash was not evicted"
+    );
+
+    let events = sink.snapshot();
+    let fault = events
+        .iter()
+        .find(|(_, e)| matches!(e, TraceEvent::FaultInjected { worker: 3, .. }))
+        .map(|(t, _)| *t);
+    let evict = events
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::WorkerEvicted { worker: 3, .. }));
+    let (Some(fault_ms), Some(evict_idx)) = (fault, evict) else {
+        return (None, None);
+    };
+    let evict_ms = events[evict_idx].0;
+    let repair = events[evict_idx + 1..]
+        .iter()
+        .find(|(_, e)| {
+            matches!(
+                e,
+                TraceEvent::GroupFormed { .. }
+                    | TraceEvent::SingletonIssued { .. }
+                    | TraceEvent::PendingDrained { .. }
+            )
+        })
+        .map(|(t, _)| t - evict_ms);
+    (Some(evict_ms - fault_ms), repair)
+}
+
+/// Equal-budget accuracy gap on the simulator: fault-free minus a run
+/// where rank 3 crashes at iteration 20 (N=8 / P=4).
+fn convergence_gap(dynamic: bool, max_updates: u64) -> f64 {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    c.num_workers = 8;
+    c.threshold = 0.999; // unreachable: fixed-budget comparison
+    c.max_updates = max_updates;
+    c.eval_every = 100;
+    let s = Strategy::PReduce { p: 4, dynamic };
+    let golden = engine::run(s, &c, Backend::Sim, Arc::new(NullSink));
+    let faulted = engine::run_with_faults(
+        s,
+        &c,
+        Backend::Sim,
+        Arc::new(NullSink),
+        FaultPlan::none().crash(3, 20),
+    );
+    golden.result.final_accuracy - faulted.result.final_accuracy
+}
+
+fn main() {
+    let quick = quick_mode();
+    let runs = if quick { 2 } else { 5 };
+    let max_updates = if quick { 200 } else { 300 };
+    let policy = chaos_liveness();
+    println!(
+        "fault-recovery bench: {runs} threaded crash runs, liveness = \
+         {:?} every, {} misses (quick mode = {quick})",
+        policy.heartbeat_interval, policy.miss_threshold
+    );
+
+    let mut evictions = Vec::new();
+    let mut repairs = Vec::new();
+    for i in 0..runs {
+        let (evict, repair) = crash_reaction();
+        println!(
+            "  run {i}: evict {} repair {}",
+            evict.map_or("n/a".into(), |t| format!("{t:.1}ms")),
+            repair.map_or("n/a".into(), |t| format!("{t:.1}ms")),
+        );
+        evictions.extend(evict);
+        repairs.extend(repair);
+    }
+    let gap = Gap {
+        con: convergence_gap(false, max_updates),
+        dynamic: convergence_gap(true, max_updates),
+    };
+    println!(
+        "  post-fault convergence gap: CON {:+.3}, DYN {:+.3}",
+        gap.con, gap.dynamic
+    );
+
+    let report = FaultRecoveryBench {
+        bench: "fault_recovery",
+        generated_by: "cargo run --release -p preduce-bench --bin fault_recovery",
+        runs,
+        liveness: Liveness {
+            heartbeat_interval_ms: policy.heartbeat_interval.as_secs_f64() * 1e3,
+            miss_threshold: policy.miss_threshold,
+            nominal_eviction_ms: policy.eviction_after().as_secs_f64() * 1e3,
+        },
+        time_to_evict_ms: summarize(&evictions),
+        time_to_repair_ms: summarize(&repairs),
+        post_fault_convergence_gap: Some(gap),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write("BENCH_fault_recovery.json", json).expect("write BENCH_fault_recovery.json");
+    println!("wrote BENCH_fault_recovery.json");
+}

@@ -11,7 +11,7 @@ use partial_reduce::{
 use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
 use preduce_models::zoo;
 use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
-use preduce_trainer::{engine, Backend, ExperimentConfig, Strategy};
+use preduce_trainer::{engine, Backend, ExperimentConfig, FaultPlan, Strategy};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::args::{ArgError, Args};
@@ -110,6 +110,7 @@ USAGE:
                    [--max-updates K] [--seed SEED] [--json true]
                    [--backend sim|threaded] [--iters K]
                    [--config experiment.json] [--trace-out trace.jsonl]
+                   [--fault-plan SPEC]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
   preduce lint     [--root PATH]
@@ -126,6 +127,16 @@ BACKENDS (for --backend):
   threaded       — real OS threads over the message-passing runtime;
                    each worker performs --iters local updates (wall
                    clock replaces virtual time, no convergence trace).
+
+FAULT INJECTION:
+  `run --fault-plan SPEC` executes a P-Reduce run under a chaos plan
+  (DESIGN.md section 11). SPEC is a comma-separated list of
+  crash:W@I (worker W fail-stops after I local updates),
+  stall:WxF[@I] (W becomes F x slower from iteration I),
+  delay:W+S (W's control signals arrive S seconds late), and
+  latejoin:W+S (W starts S seconds late). Example:
+  --fault-plan \"crash:3@40,stall:5x4@10\". Honored by the p-reduce
+  strategy on both backends; other strategies ignore the plan.
 
 TRACING:
   `run --trace-out FILE` records every P-Reduce control-plane decision as
@@ -254,17 +265,25 @@ pub fn run_command(
             if args.get("iters").is_some() {
                 config.threaded_iters = Some(args.get_or("iters", 0)?);
             }
+            let faults = match args.get("fault-plan") {
+                None => FaultPlan::none(),
+                Some(spec) => FaultPlan::parse(spec)
+                    .map_err(|e| CliError::Unknown(format!("fault plan: {e}")))?,
+            };
             let result = match args.get("trace-out") {
                 Some(path) => {
                     let sink = Arc::new(
                         JsonlSink::create(path)
                             .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?,
                     );
-                    let r = engine::run(strategy, &config, backend, sink.clone());
+                    let r =
+                        engine::run_with_faults(strategy, &config, backend, sink.clone(), faults);
                     sink.flush();
                     r
                 }
-                None => engine::run(strategy, &config, backend, Arc::new(NullSink)),
+                None => {
+                    engine::run_with_faults(strategy, &config, backend, Arc::new(NullSink), faults)
+                }
             }
             .result;
             if args.get_or("json", false)? {
@@ -522,6 +541,35 @@ mod tests {
     #[test]
     fn unknown_backend_is_an_error() {
         let (r, out) = run(&["run", "--backend", "mpi", "--workers", "4"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+    }
+
+    #[test]
+    fn run_accepts_a_fault_plan() {
+        let (r, out) = run(&[
+            "run",
+            "--strategy",
+            "p-reduce",
+            "--p",
+            "2",
+            "--workers",
+            "4",
+            "--max-updates",
+            "60",
+            "--eval-every",
+            "30",
+            "--threshold",
+            "0.99",
+            "--fault-plan",
+            "crash:3@5,stall:1x2@2",
+        ]);
+        r.unwrap();
+        assert!(out.contains("P-Reduce CON (P=2)"), "{out}");
+    }
+
+    #[test]
+    fn malformed_fault_plan_is_an_error() {
+        let (r, out) = run(&["run", "--workers", "4", "--fault-plan", "explode:1@2"]);
         assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
     }
 

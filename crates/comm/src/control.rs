@@ -30,6 +30,13 @@ pub enum WorkerSignal {
         /// Worker rank.
         worker: usize,
     },
+    /// Liveness beacon: "I am still here", sent on a fixed period by a
+    /// background thread. Carries no training state; the controller uses
+    /// arrival times to detect silent (crashed) workers (DESIGN.md §11).
+    Heartbeat {
+        /// Worker rank.
+        worker: usize,
+    },
 }
 
 /// The controller's reply: the composed group and how to aggregate.
@@ -75,6 +82,13 @@ pub trait WorkerControlPlane: Send {
     fn send_leaving(&mut self) -> Result<()>;
     /// Blocks for the controller's group assignment.
     fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment>;
+    /// Returns a send-only heartbeat closure usable from a background
+    /// thread while the main worker loop keeps exclusive use of the
+    /// link, or `None` when the transport cannot split its write half.
+    /// Each call of the closure emits one [`WorkerSignal::Heartbeat`].
+    fn heartbeat_sender(&self) -> Option<Box<dyn FnMut() -> Result<()> + Send>> {
+        None
+    }
 }
 
 /// Observer hook for control-plane traffic, transport-independent: wrap
@@ -243,6 +257,15 @@ impl WorkerControlPlane for WorkerLink {
     fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment> {
         WorkerLink::recv_assignment(self, timeout)
     }
+
+    fn heartbeat_sender(&self) -> Option<Box<dyn FnMut() -> Result<()> + Send>> {
+        let tx = self.signal_tx.clone();
+        let rank = self.rank;
+        Some(Box::new(move || {
+            tx.send(WorkerSignal::Heartbeat { worker: rank })
+                .map_err(|_| CommError::Disconnected { peer: rank })
+        }))
+    }
 }
 
 /// Builds the signaling fabric for `n` workers plus one controller.
@@ -376,6 +399,25 @@ mod tests {
         // announce fans out through send_assignment: one per member.
         assert_eq!(counter.assignments.load(Ordering::Relaxed), 2);
         assert_eq!(workers[0].recv_assignment(T).unwrap(), a);
+    }
+
+    #[test]
+    fn heartbeats_flow_through_the_signal_queue() {
+        let (ctl, workers) = control_links(2);
+        let mut beat = workers[1].heartbeat_sender().expect("channel links split");
+        beat().unwrap();
+        workers[0].send_ready(3).unwrap();
+        assert_eq!(
+            ctl.recv_signal(T).unwrap(),
+            WorkerSignal::Heartbeat { worker: 1 }
+        );
+        assert_eq!(
+            ctl.recv_signal(T).unwrap(),
+            WorkerSignal::Ready {
+                worker: 0,
+                iteration: 3
+            }
+        );
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub enum CommError {
         /// Length received from a peer.
         actual: usize,
     },
+    /// A TCP connect did not succeed within the retry policy's budget.
+    /// Carries the real OS error text instead of the old
+    /// `Disconnected { peer: usize::MAX }` sentinel.
+    ConnectFailed {
+        /// The address dialed.
+        addr: String,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The last underlying `io::Error`, stringified (kept as text so
+        /// `CommError` stays `Clone + PartialEq + Eq`).
+        error: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -52,6 +64,14 @@ impl fmt::Display for CommError {
                 f,
                 "payload length mismatch in collective: {expected} vs {actual}"
             ),
+            CommError::ConnectFailed {
+                addr,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "connect to {addr} failed after {attempts} attempt(s): {error}"
+            ),
         }
     }
 }
@@ -70,5 +90,13 @@ mod tests {
         assert!(CommError::Timeout { peer: 2, tag: 77 }
             .to_string()
             .contains("77"));
+        let e = CommError::ConnectFailed {
+            addr: "127.0.0.1:9".into(),
+            attempts: 5,
+            error: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("127.0.0.1:9"));
+        assert!(e.to_string().contains("5 attempt(s)"));
+        assert!(e.to_string().contains("refused"));
     }
 }

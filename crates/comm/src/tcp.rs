@@ -13,12 +13,19 @@
 //! worker socket funnels decoded signals into a single queue, so the
 //! controller side exposes the same [`ControlPlane`] interface as the
 //! in-process channels.
+//!
+//! Hardening (DESIGN.md §11): connects retry with exponential backoff
+//! under a deadline and fail with the typed
+//! [`CommError::ConnectFailed`]; every connected socket carries read and
+//! write timeouts so no control-plane operation can block forever; and
+//! workers can stream [`WorkerSignal::Heartbeat`] frames so the runtime
+//! can turn silence into a detected departure.
 
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
@@ -32,13 +39,53 @@ use crate::Result;
 /// to this indicates protocol corruption.
 const MAX_FRAME: u32 = 1 << 20;
 
+/// Read timeout on every connected control-plane socket. Reader threads
+/// wake at this period on idle sockets; liveness decisions happen in the
+/// runtime (heartbeat accounting), not down here.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Write timeout on every connected control-plane socket. A peer that
+/// cannot drain a few-byte frame for this long is treated as gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the controller waits for a connected worker's `Hello`.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Consecutive read timeouts tolerated *inside* a frame before the peer
+/// is declared gone. Idle timeouts (between frames) are unbounded.
+const MID_FRAME_STALLS: u32 = 8;
+
+/// Connect retry policy: exponential backoff under an overall deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum dial attempts (at least one is always made).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Overall budget; no new attempt starts past this deadline.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
 /// The worker's first frame after connecting.
 #[derive(Debug, Serialize, Deserialize)]
 struct Hello {
     rank: usize,
 }
 
-fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<()> {
+fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T, peer: usize) -> Result<()> {
     let payload = serde_json::to_vec(msg)
         .map_err(|_| CommError::InvalidGroup("unserializable control message".into()))?;
     let len = payload.len() as u32;
@@ -46,14 +93,57 @@ fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<()> {
     stream
         .write_all(&len.to_be_bytes())
         .and_then(|_| stream.write_all(&payload))
-        .map_err(|_| CommError::Disconnected { peer: usize::MAX })
+        .map_err(|_| CommError::Disconnected { peer })
 }
 
-fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream) -> Result<T> {
+/// Serializes one whole frame onto a shared socket under its writer
+/// mutex (heartbeat thread and worker loop share the write half).
+fn locked_write<T: Serialize>(writer: &Mutex<TcpStream>, msg: &T, peer: usize) -> Result<()> {
+    write_frame(&mut writer.lock(), msg, peer) // lint: allow(lock-discipline) the per-socket writer mutex exists precisely to serialize whole frames onto one socket; nothing else is ever held with it
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing the three ways a
+/// timed-out socket can fail: an idle timeout before any byte arrives
+/// (`Timeout`, retryable — when `idle_ok`), a bounded number of stalls
+/// mid-frame (then `Disconnected`), and a real EOF/socket error
+/// (`Disconnected`).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], peer: usize, idle_ok: bool) -> Result<()> {
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(CommError::Disconnected { peer }),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_ok && filled == 0 {
+                    return Err(CommError::Timeout { peer, tag: 0 });
+                }
+                stalls += 1;
+                if stalls >= MID_FRAME_STALLS {
+                    return Err(CommError::Disconnected { peer });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(CommError::Disconnected { peer }),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. An idle socket (no frame started
+/// before the read timeout) returns `Timeout`; a frame cut off mid-way
+/// returns `Disconnected`.
+fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream, peer: usize) -> Result<T> {
     let mut len_buf = [0u8; 4];
-    stream
-        .read_exact(&mut len_buf)
-        .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+    read_full(stream, &mut len_buf, peer, true)?;
     let len = u32::from_be_bytes(len_buf);
     if len >= MAX_FRAME {
         return Err(CommError::InvalidGroup(format!(
@@ -61,11 +151,19 @@ fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream) -> Result<T> {
         )));
     }
     let mut payload = vec![0u8; len as usize];
-    stream
-        .read_exact(&mut payload)
-        .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+    read_full(stream, &mut payload, peer, false)?;
     serde_json::from_slice(&payload)
         .map_err(|_| CommError::InvalidGroup("malformed control frame".into()))
+}
+
+/// Applies the standard control-plane socket configuration: no Nagle
+/// delay, plus read/write timeouts so no operation blocks forever.
+fn configure(stream: &TcpStream, peer: usize) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .and_then(|_| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
+        .map_err(|_| CommError::Disconnected { peer })
 }
 
 /// Controller side of the TCP message queue.
@@ -107,42 +205,63 @@ pub fn accept_workers(listener: &TcpListener, n: usize) -> Result<TcpControllerL
     let (tx, rx) = unbounded::<WorkerSignal>();
     let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
 
-    for _ in 0..n {
+    for conn in 0..n {
         let (mut stream, _) = listener
             .accept()
-            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
-        stream.set_nodelay(true).ok();
-        let hello: Hello = read_frame(&mut stream)?;
+            .map_err(|_| CommError::Disconnected { peer: conn })?;
+        configure(&stream, conn)?;
+        // The handshake gets a generous read timeout; reader threads
+        // drop back to the short idle period afterwards.
+        stream
+            .set_read_timeout(Some(HELLO_TIMEOUT))
+            .map_err(|_| CommError::Disconnected { peer: conn })?;
+        let hello: Hello = read_frame(&mut stream, conn)?;
         if hello.rank >= n {
             return Err(CommError::InvalidRank {
                 rank: hello.rank,
                 world: n,
             });
         }
-        if writers[hello.rank].is_some() {
+        let slot = writers.get_mut(hello.rank).ok_or(CommError::InvalidRank {
+            rank: hello.rank,
+            world: n,
+        })?;
+        if slot.is_some() {
             return Err(CommError::InvalidGroup(format!(
                 "duplicate hello from rank {}",
                 hello.rank
             )));
         }
+        stream
+            .set_read_timeout(Some(READ_TIMEOUT))
+            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
         let reader = stream
             .try_clone()
             .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
-        writers[hello.rank] = Some(Arc::new(Mutex::new(stream)));
+        *slot = Some(Arc::new(Mutex::new(stream)));
 
-        // Reader thread: decode signals until the socket closes.
+        // Reader thread: decode signals until the socket closes. Idle
+        // timeouts just re-arm the read — liveness is judged upstream
+        // from heartbeat arrival times, not socket state.
         let tx = tx.clone();
+        let rank = hello.rank;
         thread::Builder::new()
-            .name(format!("preduce-tcp-reader-{}", hello.rank))
+            .name(format!("preduce-tcp-reader-{rank}"))
             .spawn(move || {
                 let mut reader = reader;
-                while let Ok(signal) = read_frame::<WorkerSignal>(&mut reader) {
-                    if tx.send(signal).is_err() {
-                        break;
+                loop {
+                    match read_frame::<WorkerSignal>(&mut reader, rank) {
+                        Ok(signal) => {
+                            if tx.send(signal).is_err() {
+                                break;
+                            }
+                        }
+                        Err(CommError::Timeout { .. }) => continue,
+                        Err(_) => break,
                     }
                 }
             })
-            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
+            .map_err(|_| CommError::Disconnected { peer: rank })?;
     }
 
     // Range and duplicate checks above guarantee all n slots were filled.
@@ -170,29 +289,78 @@ impl ControlPlane for TcpControllerLink {
             rank: worker,
             world: self.writers.len(),
         })?;
-        write_frame(&mut writer.lock(), &assignment) // lint: allow(lock-discipline) the per-worker writer mutex exists precisely to serialize whole frames onto one socket; nothing else is ever held with it
-            .map_err(|_| CommError::Disconnected { peer: worker })
+        locked_write(writer, &assignment, worker)
     }
 }
 
 /// Worker side of the TCP message queue.
+///
+/// The socket is split: `stream` carries reads (assignments from the
+/// controller); `writer` carries every outgoing frame under a mutex so
+/// the heartbeat thread and the training loop interleave whole frames.
 #[derive(Debug)]
 pub struct TcpWorkerLink {
     rank: usize,
     stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
 }
 
 impl TcpWorkerLink {
-    /// Dials the controller and introduces this worker.
+    /// Dials the controller with the default [`RetryPolicy`] and
+    /// introduces this worker.
     ///
     /// # Errors
-    /// Fails if the connection or handshake fails.
+    /// [`CommError::ConnectFailed`] once the retry budget is exhausted;
+    /// other variants if the handshake fails after connecting.
     pub fn connect(addr: SocketAddr, rank: usize) -> Result<Self> {
-        let mut stream =
-            TcpStream::connect(addr).map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
-        stream.set_nodelay(true).ok();
-        write_frame(&mut stream, &Hello { rank })?;
-        Ok(TcpWorkerLink { rank, stream })
+        Self::connect_with(addr, rank, RetryPolicy::default())
+    }
+
+    /// Dials the controller under `policy` (exponential backoff between
+    /// attempts, bounded by `max_attempts` and `deadline`).
+    ///
+    /// # Errors
+    /// [`CommError::ConnectFailed`] carrying the dialed address, the
+    /// attempt count, and the last OS error once the budget is
+    /// exhausted; other variants if the handshake fails.
+    pub fn connect_with(addr: SocketAddr, rank: usize, policy: RetryPolicy) -> Result<Self> {
+        let start = Instant::now();
+        let mut backoff = policy.initial_backoff;
+        let mut attempts = 0u32;
+        let last_error = loop {
+            attempts += 1;
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Self::handshake(stream, rank),
+                Err(e) => {
+                    if attempts >= policy.max_attempts.max(1)
+                        || start.elapsed() + backoff > policy.deadline
+                    {
+                        break e;
+                    }
+                }
+            }
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2).min(policy.max_backoff);
+        };
+        Err(CommError::ConnectFailed {
+            addr: addr.to_string(),
+            attempts,
+            error: last_error.to_string(),
+        })
+    }
+
+    fn handshake(stream: TcpStream, rank: usize) -> Result<Self> {
+        configure(&stream, rank)?;
+        let writer = stream
+            .try_clone()
+            .map_err(|_| CommError::Disconnected { peer: rank })?;
+        let writer = Arc::new(Mutex::new(writer));
+        locked_write(&writer, &Hello { rank }, rank)?;
+        Ok(TcpWorkerLink {
+            rank,
+            stream,
+            writer,
+        })
     }
 }
 
@@ -206,28 +374,27 @@ impl WorkerControlPlane for TcpWorkerLink {
             worker: self.rank,
             iteration,
         };
-        write_frame(&mut self.stream, &signal)
+        locked_write(&self.writer, &signal, self.rank)
     }
 
     fn send_leaving(&mut self) -> Result<()> {
         let signal = WorkerSignal::Leaving { worker: self.rank };
-        write_frame(&mut self.stream, &signal)
+        locked_write(&self.writer, &signal, self.rank)
     }
 
     fn recv_assignment(&mut self, timeout: Duration) -> Result<GroupAssignment> {
         self.stream
             .set_read_timeout(Some(timeout))
-            .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
-        let r = read_frame(&mut self.stream);
-        // A read timeout surfaces as Disconnected from read_frame; map it
-        // to Timeout when the socket is still alive.
-        match r {
-            Err(CommError::Disconnected { .. }) => Err(CommError::Timeout {
-                peer: usize::MAX,
-                tag: 1,
-            }),
-            other => other,
-        }
+            .map_err(|_| CommError::Disconnected { peer: self.rank })?;
+        read_frame(&mut self.stream, self.rank)
+    }
+
+    fn heartbeat_sender(&self) -> Option<Box<dyn FnMut() -> Result<()> + Send>> {
+        let writer = Arc::clone(&self.writer);
+        let rank = self.rank;
+        Some(Box::new(move || {
+            locked_write(&writer, &WorkerSignal::Heartbeat { worker: rank }, rank)
+        }))
     }
 }
 
@@ -237,18 +404,22 @@ mod tests {
 
     const T: Duration = Duration::from_secs(5);
 
+    fn dial(addr: SocketAddr, rank: usize) -> TcpWorkerLink {
+        TcpWorkerLink::connect_with(addr, rank, RetryPolicy::default()).expect("dial controller")
+    }
+
     #[test]
     fn tcp_control_roundtrip() {
         let (listener, addr) = bind_controller("127.0.0.1:0");
         let worker = thread::spawn(move || {
-            let mut w = TcpWorkerLink::connect(addr, 0).unwrap();
-            w.send_ready(7).unwrap();
-            let a = w.recv_assignment(T).unwrap();
-            w.send_leaving().unwrap();
+            let mut w = dial(addr, 0);
+            w.send_ready(7).expect("ready");
+            let a = w.recv_assignment(T).expect("assignment");
+            w.send_leaving().expect("leaving");
             a
         });
-        let mut ctl = accept_workers(&listener, 1).unwrap();
-        match ctl.recv_signal(T).unwrap() {
+        let mut ctl = accept_workers(&listener, 1).expect("accept");
+        match ctl.recv_signal(T).expect("signal") {
             WorkerSignal::Ready { worker, iteration } => {
                 assert_eq!(worker, 0);
                 assert_eq!(iteration, 7);
@@ -261,10 +432,10 @@ mod tests {
             base_tag: 9,
             new_iteration: 7,
         };
-        ctl.send_assignment(0, assignment.clone()).unwrap();
-        assert_eq!(worker.join().unwrap(), assignment);
+        ctl.send_assignment(0, assignment.clone()).expect("send");
+        assert_eq!(worker.join().expect("join"), assignment);
         assert!(matches!(
-            ctl.recv_signal(T).unwrap(),
+            ctl.recv_signal(T).expect("signal"),
             WorkerSignal::Leaving { worker: 0 }
         ));
     }
@@ -276,16 +447,16 @@ mod tests {
         let workers: Vec<_> = (0..n)
             .map(|rank| {
                 thread::spawn(move || {
-                    let mut w = TcpWorkerLink::connect(addr, rank).unwrap();
-                    w.send_ready(rank as u64 * 10).unwrap();
-                    w.recv_assignment(T).unwrap()
+                    let mut w = dial(addr, rank);
+                    w.send_ready(rank as u64 * 10).expect("ready");
+                    w.recv_assignment(T).expect("assignment")
                 })
             })
             .collect();
-        let mut ctl = accept_workers(&listener, n).unwrap();
+        let mut ctl = accept_workers(&listener, n).expect("accept");
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..n {
-            match ctl.recv_signal(T).unwrap() {
+            match ctl.recv_signal(T).expect("signal") {
                 WorkerSignal::Ready { worker, iteration } => {
                     assert_eq!(iteration, worker as u64 * 10);
                     seen.insert(worker);
@@ -300,9 +471,9 @@ mod tests {
             base_tag: 0,
             new_iteration: 30,
         };
-        ctl.announce(&a).unwrap();
+        ctl.announce(&a).expect("announce");
         for w in workers {
-            assert_eq!(w.join().unwrap(), a);
+            assert_eq!(w.join().expect("join"), a);
         }
     }
 
@@ -312,18 +483,63 @@ mod tests {
         let w = thread::spawn(move || TcpWorkerLink::connect(addr, 5));
         let r = accept_workers(&listener, 2);
         assert!(matches!(r, Err(CommError::InvalidRank { rank: 5, .. })));
-        let _ = w.join().unwrap();
+        let _ = w.join().expect("join");
     }
 
     #[test]
     fn worker_recv_times_out_without_controller_message() {
         let (listener, addr) = bind_controller("127.0.0.1:0");
         let worker = thread::spawn(move || {
-            let mut w = TcpWorkerLink::connect(addr, 0).unwrap();
+            let mut w = dial(addr, 0);
             w.recv_assignment(Duration::from_millis(100))
         });
-        let _ctl = accept_workers(&listener, 1).unwrap();
-        let r = worker.join().unwrap();
+        let _ctl = accept_workers(&listener, 1).expect("accept");
+        let r = worker.join().expect("join");
         assert!(matches!(r, Err(CommError::Timeout { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn connect_failed_reports_address_and_attempts() {
+        // Bind then immediately drop a listener to find a refused port.
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        drop(listener);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Duration::from_secs(2),
+        };
+        match TcpWorkerLink::connect_with(addr, 0, policy) {
+            Err(CommError::ConnectFailed {
+                addr: dialed,
+                attempts,
+                error,
+            }) => {
+                assert_eq!(dialed, addr.to_string());
+                assert_eq!(attempts, 3);
+                assert!(!error.is_empty(), "OS error text threaded through");
+            }
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeats_multiplex_with_signals() {
+        let (listener, addr) = bind_controller("127.0.0.1:0");
+        let worker = thread::spawn(move || {
+            let w = dial(addr, 0);
+            let mut beat = w.heartbeat_sender().expect("tcp links heartbeat");
+            beat().expect("beat 1");
+            beat().expect("beat 2");
+            w
+        });
+        let mut ctl = accept_workers(&listener, 1).expect("accept");
+        for _ in 0..2 {
+            assert!(matches!(
+                ctl.recv_signal(T).expect("signal"),
+                WorkerSignal::Heartbeat { worker: 0 }
+            ));
+        }
+        drop(worker.join().expect("join"));
     }
 }

@@ -18,6 +18,11 @@
 //!   (§4 group-frozen avoidance);
 //! * departed workers never appear in later groups, and their queued
 //!   signals are purged on departure;
+//! * an eviction ([`TraceEvent::WorkerEvicted`]) is *justified*: it is
+//!   preceded by heartbeat silence ([`TraceEvent::HeartbeatMissed`]) or an
+//!   injected fault ([`TraceEvent::FaultInjected`]) for that worker, it
+//!   carries the post-eviction active count, and it is resolved by the
+//!   worker's ordinary departure event — never by silently vanishing;
 //! * closing counters ([`TraceEvent::RunFinished`]) match the replayed
 //!   tallies.
 //!
@@ -122,6 +127,12 @@ struct Replay<'a> {
     min_next: BTreeMap<usize, u64>,
     /// Workers inside an unfinished group: worker → group members.
     in_flight: BTreeMap<usize, Vec<usize>>,
+    /// Workers with an injected fault on record (justifies eviction).
+    faulted: BTreeMap<usize, ()>,
+    /// Workers whose heartbeat silence was narrated (justifies eviction).
+    missed: BTreeMap<usize, ()>,
+    /// Evicted workers awaiting their departure event.
+    evicted_pending: BTreeMap<usize, ()>,
     /// Replica of the controller's group history database.
     history: Option<GroupHistory>,
     expected_sequence: u64,
@@ -147,6 +158,9 @@ impl<'a> Replay<'a> {
             departed: BTreeMap::new(),
             min_next: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            faulted: BTreeMap::new(),
+            missed: BTreeMap::new(),
+            evicted_pending: BTreeMap::new(),
             history: None,
             expected_sequence: 0,
             active: None,
@@ -294,6 +308,45 @@ impl<'a> Replay<'a> {
                             );
                         }
                     }
+                }
+                TraceEvent::FaultInjected { worker, .. } => {
+                    // Fault narration needs no prior state; it *creates*
+                    // state: this worker's later eviction is justified.
+                    if let Some(cfg) = &self.config {
+                        if *worker >= cfg.num_workers {
+                            self.fail(
+                                i,
+                                format!(
+                                    "fault injected into out-of-range \
+                                     worker {worker} (N = {})",
+                                    cfg.num_workers
+                                ),
+                            );
+                        }
+                    }
+                    self.faulted.insert(*worker, ());
+                }
+                TraceEvent::HeartbeatMissed { worker, misses } => {
+                    self.require_started(i);
+                    if *misses == 0 {
+                        self.fail(
+                            i,
+                            format!("worker {worker} reported with zero missed heartbeats"),
+                        );
+                    }
+                    if self.departed.contains_key(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "heartbeat silence reported for worker \
+                                 {worker} after it already departed"
+                            ),
+                        );
+                    }
+                    self.missed.insert(*worker, ());
+                }
+                TraceEvent::WorkerEvicted { worker, active } => {
+                    self.on_evicted(i, *worker, *active)
                 }
                 TraceEvent::RunFinished {
                     groups_formed,
@@ -475,6 +528,15 @@ impl<'a> Replay<'a> {
                 self.fail(
                     index,
                     format!("departed worker {m} appears in group {sequence}"),
+                );
+            }
+            if self.evicted_pending.contains_key(&m) {
+                self.fail(
+                    index,
+                    format!(
+                        "evicted worker {m} appears in group {sequence} \
+                         before its departure was recorded"
+                    ),
                 );
             }
             if self.strict_inflight {
@@ -668,8 +730,55 @@ impl<'a> Replay<'a> {
         }
     }
 
+    /// An eviction must be justified (prior silence or an injected fault),
+    /// must target a still-active worker, and must carry the post-eviction
+    /// active count. The replayed `active` is *not* decremented here: the
+    /// eviction routes through the ordinary departure path, so the
+    /// worker's [`TraceEvent::WorkerLeft`] — carrying the same count —
+    /// performs the decrement.
+    fn on_evicted(&mut self, index: usize, worker: usize, active: usize) {
+        self.require_started(index);
+        if self.departed.contains_key(&worker) {
+            self.fail(
+                index,
+                format!("worker {worker} evicted after it already departed"),
+            );
+        }
+        if self.evicted_pending.insert(worker, ()).is_some() {
+            self.fail(index, format!("worker {worker} evicted twice"));
+        }
+        if !self.missed.contains_key(&worker) && !self.faulted.contains_key(&worker) {
+            self.fail(
+                index,
+                format!(
+                    "worker {worker} evicted without prior HeartbeatMissed \
+                     or FaultInjected justification"
+                ),
+            );
+        }
+        match self.active {
+            Some(prev) if prev == 0 => {
+                self.fail(index, "more evictions than active workers".to_string());
+            }
+            Some(prev) => {
+                if active != prev - 1 {
+                    self.fail(
+                        index,
+                        format!(
+                            "eviction reports {active} active workers, \
+                             replay expects {}",
+                            prev - 1
+                        ),
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
     fn on_left(&mut self, index: usize, worker: usize, active: usize, purged_signal: bool) {
         self.require_started(index);
+        self.evicted_pending.remove(&worker);
         if self.departed.insert(worker, ()).is_some() {
             self.fail(index, format!("worker {worker} left twice"));
         }
@@ -927,6 +1036,111 @@ mod tests {
                 .violations
                 .iter()
                 .any(|v| v.message.contains("departed worker 1")),
+            "{report}"
+        );
+    }
+
+    /// A well-formed eviction narrative: silence, eviction with the
+    /// post-eviction count, then the ordinary departure event.
+    fn eviction_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::HeartbeatMissed {
+                worker: 2,
+                misses: 3,
+            },
+            TraceEvent::WorkerEvicted {
+                worker: 2,
+                active: 3,
+            },
+            TraceEvent::WorkerLeft {
+                worker: 2,
+                active: 3,
+                purged_signal: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn justified_eviction_is_clean() {
+        let report = InvariantChecker::check(&eviction_trace());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn fault_injection_justifies_eviction() {
+        let mut events = eviction_trace();
+        events[1] = TraceEvent::FaultInjected {
+            worker: 2,
+            fault: "crash@40".to_string(),
+            iteration: 40,
+        };
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unjustified_eviction_is_caught() {
+        let mut events = eviction_trace();
+        events.remove(1); // drop the HeartbeatMissed
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("without prior")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn eviction_active_count_mismatch_is_caught() {
+        let mut events = eviction_trace();
+        if let TraceEvent::WorkerEvicted { active, .. } = &mut events[2] {
+            *active = 4; // pre-eviction count smuggled in
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("eviction reports 4 active")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn evicted_member_in_group_before_departure_is_caught() {
+        let mut events = eviction_trace();
+        events.pop(); // eviction never resolved by WorkerLeft
+        events.extend([
+            TraceEvent::SignalEnqueued {
+                worker: 2,
+                iteration: 1,
+                queued: 1,
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 0,
+                iteration: 1,
+                queued: 2,
+            },
+            TraceEvent::GroupFormed {
+                sequence: 0,
+                members: vec![0, 2],
+                iterations: vec![1, 1],
+                weights: vec![0.5, 0.5],
+                new_iteration: 1,
+                repaired: false,
+            },
+        ]);
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("evicted worker 2 appears")),
             "{report}"
         );
     }

@@ -16,16 +16,17 @@
 //! controller answers every subsequent ready signal with a singleton group
 //! (a local no-op), so stragglers drain without deadlock.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use preduce_comm::collectives::{weighted_average, TAG_STRIDE};
 use preduce_comm::control::{
     control_links, ControlPlane, GroupAssignment, ObservedControlPlane, WorkerControlPlane,
     WorkerSignal,
 };
-use preduce_comm::{CommWorld, Endpoint};
+use preduce_comm::{CommError, CommWorld, Endpoint};
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::trace::{NullSink, SinkObserver, TraceEvent, TraceSink};
@@ -39,6 +40,77 @@ pub struct ControllerStats {
     pub repairs: u64,
     /// Singleton assignments issued during drain-out.
     pub singletons: u64,
+    /// Workers evicted by the liveness monitor (heartbeat silence).
+    pub evictions: u64,
+}
+
+/// When to declare a silent worker dead (DESIGN.md §11).
+///
+/// A worker is *heard from* whenever any of its signals arrives — ready,
+/// leaving, or heartbeat. Once a worker has been silent for
+/// `heartbeat_interval × miss_threshold`, the controller evicts it:
+/// [`TraceEvent::WorkerEvicted`] then the ordinary departure path
+/// ([`crate::Controller::mark_left`]), so queued signals purge and
+/// scheduling repair proceeds exactly as for a voluntary departure.
+///
+/// Liveness assumes workers actually heartbeat
+/// ([`PartialReducer::start_heartbeat`]); enabling it for a fleet that
+/// never beats evicts anyone whose compute phase outlasts the silence
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessPolicy {
+    /// Expected heartbeat period; also the controller's poll granularity.
+    pub heartbeat_interval: Duration,
+    /// Full silent windows tolerated before eviction (≥ 1).
+    pub miss_threshold: u64,
+}
+
+impl LivenessPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    /// Panics if `heartbeat_interval` is zero or `miss_threshold == 0`.
+    pub fn new(heartbeat_interval: Duration, miss_threshold: u64) -> Self {
+        assert!(
+            !heartbeat_interval.is_zero(),
+            "heartbeat interval must be positive"
+        );
+        assert!(miss_threshold > 0, "miss threshold must be at least 1");
+        LivenessPolicy {
+            heartbeat_interval,
+            miss_threshold,
+        }
+    }
+
+    /// Total silence tolerated before eviction.
+    pub fn eviction_after(&self) -> Duration {
+        self.heartbeat_interval
+            .saturating_mul(u32::try_from(self.miss_threshold).unwrap_or(u32::MAX))
+    }
+}
+
+impl Default for LivenessPolicy {
+    fn default() -> Self {
+        LivenessPolicy::new(Duration::from_millis(100), 3)
+    }
+}
+
+/// Spawn-time options shared by every transport.
+pub struct RuntimeOptions {
+    /// Trace sink receiving every control-plane decision.
+    pub sink: Arc<dyn TraceSink>,
+    /// Heartbeat-based failure detection; `None` disables it (the
+    /// controller then only learns of departures via `Leaving`).
+    pub liveness: Option<LivenessPolicy>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            sink: Arc::new(NullSink),
+            liveness: None,
+        }
+    }
 }
 
 /// Handle to the running controller thread.
@@ -81,6 +153,8 @@ pub struct PartialReducer {
     timeout: Duration,
     finished: bool,
     sink: Arc<dyn TraceSink>,
+    /// Set to stop the background heartbeat thread, if one was started.
+    stop_heartbeat: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for PartialReducer {
@@ -140,11 +214,65 @@ impl PartialReducer {
 
     /// Announces that this worker will issue no further reduces.
     pub fn finish(&mut self) -> preduce_comm::Result<()> {
+        self.stop_beating();
         if !self.finished {
             self.finished = true;
             self.link.send_leaving()?;
         }
         Ok(())
+    }
+
+    /// Starts a background thread sending [`WorkerSignal::Heartbeat`]
+    /// every `interval` so the controller's [`LivenessPolicy`] sees this
+    /// worker as alive while it computes. Returns `false` when the
+    /// transport cannot split a send-only handle (no heartbeat runs).
+    /// The thread stops at [`PartialReducer::finish`], on drop, or when
+    /// the control link dies.
+    pub fn start_heartbeat(&mut self, interval: Duration) -> bool {
+        if self.stop_heartbeat.is_some() {
+            return true;
+        }
+        let Some(mut beat) = self.link.heartbeat_sender() else {
+            return false;
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let spawned = thread::Builder::new()
+            .name(format!("preduce-heartbeat-{}", self.link.rank()))
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    if beat().is_err() {
+                        break;
+                    }
+                    thread::sleep(interval);
+                }
+            })
+            .is_ok();
+        if spawned {
+            self.stop_heartbeat = Some(stop);
+        }
+        spawned
+    }
+
+    /// Simulates a fail-stop (chaos-testing hook): the heartbeat stops
+    /// and the handle drops **without** announcing departure, so the
+    /// controller only learns of the death through heartbeat silence and
+    /// the liveness eviction path.
+    pub fn crash(mut self) {
+        self.stop_beating();
+        self.finished = true;
+    }
+
+    fn stop_beating(&mut self) {
+        if let Some(stop) = self.stop_heartbeat.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for PartialReducer {
+    fn drop(&mut self) {
+        self.stop_beating();
     }
 }
 
@@ -167,7 +295,27 @@ pub fn spawn_with_sink(
     config: ControllerConfig,
     sink: Arc<dyn TraceSink>,
 ) -> (ControllerHandle, Vec<PartialReducer>) {
+    spawn_with_options(
+        config,
+        RuntimeOptions {
+            sink,
+            liveness: None,
+        },
+    )
+}
+
+/// Like [`spawn_with_sink`], but with full [`RuntimeOptions`] — in
+/// particular a [`LivenessPolicy`] that turns heartbeat silence into
+/// eviction through the ordinary departure path.
+///
+/// # Panics
+/// Panics if the config is invalid.
+pub fn spawn_with_options(
+    config: ControllerConfig,
+    opts: RuntimeOptions,
+) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
+    let RuntimeOptions { sink, liveness } = opts;
     let n = config.num_workers;
     let (ctl_link, worker_links) = control_links(n);
     let ctl_link = ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
@@ -176,7 +324,7 @@ pub fn spawn_with_sink(
     let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller".into())
-        .spawn(move || controller_loop(config, ctl_link, ctl_sink))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness))
         .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
@@ -188,6 +336,7 @@ pub fn spawn_with_sink(
             timeout: Duration::from_secs(30),
             finished: false,
             sink: sink.clone(),
+            stop_heartbeat: None,
         })
         .collect();
 
@@ -231,7 +380,27 @@ pub fn spawn_tcp_with_sink(
     config: ControllerConfig,
     sink: Arc<dyn TraceSink>,
 ) -> (ControllerHandle, Vec<PartialReducer>) {
+    spawn_tcp_with_options(
+        config,
+        RuntimeOptions {
+            sink,
+            liveness: None,
+        },
+    )
+}
+
+/// Like [`spawn_tcp_with_sink`], but with full [`RuntimeOptions`]. Over
+/// TCP, heartbeats are real frames on the control socket, so eviction
+/// detects genuine network silence.
+///
+/// # Panics
+/// Panics if the loopback listener cannot be bound or the handshake fails.
+pub fn spawn_tcp_with_options(
+    config: ControllerConfig,
+    opts: RuntimeOptions,
+) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
+    let RuntimeOptions { sink, liveness } = opts;
     let n = config.num_workers;
     let (listener, addr) = preduce_comm::tcp::bind_controller("127.0.0.1:0");
 
@@ -251,7 +420,7 @@ pub fn spawn_tcp_with_sink(
     let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller-tcp".into())
-        .spawn(move || controller_loop(config, ctl_link, ctl_sink))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness))
         .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
@@ -263,51 +432,147 @@ pub fn spawn_tcp_with_sink(
             timeout: Duration::from_secs(30),
             finished: false,
             sink: sink.clone(),
+            stop_heartbeat: None,
         })
         .collect();
 
     (ControllerHandle { join }, reducers)
 }
 
+/// Controller shutdown deadline: total control-plane silence tolerated
+/// before the loop assumes every worker handle is gone.
+const IDLE_DEADLINE: Duration = Duration::from_secs(60);
+
 fn controller_loop<C: ControlPlane>(
     config: ControllerConfig,
     mut link: C,
     sink: Arc<dyn TraceSink>,
+    liveness: Option<LivenessPolicy>,
 ) -> ControllerStats {
     let n = config.num_workers;
     let p = config.group_size;
     let mut controller = Controller::with_sink(config, sink);
     let mut active = n;
     let mut singletons = 0u64;
+    let mut evictions = 0u64;
     // Worker iterations seen in pending singleton-drain signals.
     let mut pending_drain: Vec<(usize, u64)> = Vec::new();
 
+    // Liveness bookkeeping: when each worker was last heard from (any
+    // signal counts) and how many silent windows were already narrated.
+    let mut last_seen: Vec<Instant> = vec![Instant::now(); n];
+    let mut reported_misses: Vec<u64> = vec![0; n];
+    let mut last_activity = Instant::now();
+    // With liveness on, wake at the heartbeat period so silence is
+    // noticed even while other workers keep the queue busy elsewhere.
+    let recv_timeout = match liveness {
+        Some(policy) => policy.heartbeat_interval.min(IDLE_DEADLINE),
+        None => IDLE_DEADLINE,
+    };
+
     while active > 0 {
-        let signal = match link.recv_signal(Duration::from_secs(60)) {
-            Ok(s) => s,
-            // All worker handles dropped: shut down.
+        let signal = match link.recv_signal(recv_timeout) {
+            Ok(s) => {
+                last_activity = Instant::now();
+                Some(s)
+            }
+            // An idle poll tick: fall through to the liveness sweep.
+            Err(CommError::Timeout { .. }) if last_activity.elapsed() < IDLE_DEADLINE => None,
+            // All worker handles dropped (or terminal silence): shut down.
             Err(_) => break,
         };
-        match signal {
-            WorkerSignal::Ready { worker, iteration } => {
-                if active < p {
-                    // Too few workers remain to ever fill a group: answer
-                    // with a singleton so the caller proceeds alone.
-                    pending_drain.push((worker, iteration));
-                } else if controller.push_ready(worker, iteration)
-                    && drain_groups(&mut controller, &mut link).is_err()
-                {
-                    return stats(&controller, singletons);
+        if let Some(signal) = signal {
+            let from = match &signal {
+                WorkerSignal::Ready { worker, .. }
+                | WorkerSignal::Leaving { worker }
+                | WorkerSignal::Heartbeat { worker } => *worker,
+            };
+            if let Some(seen) = last_seen.get_mut(from) {
+                *seen = Instant::now();
+            }
+            if let Some(misses) = reported_misses.get_mut(from) {
+                *misses = 0;
+            }
+            match signal {
+                WorkerSignal::Ready { worker, iteration } => {
+                    if worker >= n {
+                        // Malformed rank from a remote peer: drop it.
+                    } else if active < p {
+                        // Too few workers remain to ever fill a group:
+                        // answer with a singleton so the caller proceeds
+                        // alone (unless the sender was already evicted).
+                        if !controller.has_left(worker) {
+                            pending_drain.push((worker, iteration));
+                        }
+                    } else if controller.push_ready(worker, iteration)
+                        && drain_groups(&mut controller, &mut link).is_err()
+                    {
+                        return stats(&controller, singletons, evictions);
+                    }
+                }
+                WorkerSignal::Leaving { worker } => {
+                    // An evicted worker may still announce departure
+                    // (e.g. a stall misjudged as a crash); it already
+                    // left, so the announcement is a no-op.
+                    if worker < n && !controller.has_left(worker) {
+                        active -= 1;
+                        controller.mark_left(worker);
+                        // A departure can unblock a frozen-avoidance
+                        // deferral (the queue may now cover every
+                        // remaining worker).
+                        if active >= p && drain_groups(&mut controller, &mut link).is_err() {
+                            return stats(&controller, singletons, evictions);
+                        }
+                    }
+                }
+                WorkerSignal::Heartbeat { .. } => {
+                    // Liveness bookkeeping above is the whole effect.
                 }
             }
-            WorkerSignal::Leaving { worker } => {
-                active -= 1;
-                controller.mark_left(worker);
-                // A departure can unblock a frozen-avoidance deferral
-                // (the queue may now cover every remaining worker).
-                if active >= p && drain_groups(&mut controller, &mut link).is_err() {
-                    return stats(&controller, singletons);
+        }
+        // Liveness sweep: evict workers whose silence exceeded the
+        // policy's budget, routing them through the ordinary departure
+        // path (queue purge + repair).
+        if let Some(policy) = liveness {
+            let now = Instant::now();
+            for worker in 0..n {
+                if controller.has_left(worker) {
+                    continue;
                 }
+                let silent = match last_seen.get(worker) {
+                    Some(seen) => now.duration_since(*seen),
+                    None => continue,
+                };
+                let misses =
+                    (silent.as_micros() / policy.heartbeat_interval.as_micros().max(1)) as u64;
+                if misses == 0 {
+                    continue;
+                }
+                let reported = match reported_misses.get_mut(worker) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                if misses > *reported {
+                    *reported = misses;
+                    if controller.sink().enabled() {
+                        controller
+                            .sink()
+                            .record(TraceEvent::HeartbeatMissed { worker, misses });
+                    }
+                }
+                if misses >= policy.miss_threshold {
+                    evictions += 1;
+                    active -= 1;
+                    if controller.sink().enabled() {
+                        controller
+                            .sink()
+                            .record(TraceEvent::WorkerEvicted { worker, active });
+                    }
+                    controller.mark_left(worker);
+                }
+            }
+            if active >= p && drain_groups(&mut controller, &mut link).is_err() {
+                return stats(&controller, singletons, evictions);
             }
         }
         // If the fleet shrank below P, flush everyone still queued or
@@ -316,6 +581,10 @@ fn controller_loop<C: ControlPlane>(
             let mut flush: Vec<(usize, u64)> = controller.drain_pending();
             flush.append(&mut pending_drain);
             for (worker, iteration) in flush.drain(..) {
+                // Evicted after queueing for drain: no receiver anymore.
+                if controller.has_left(worker) {
+                    continue;
+                }
                 singletons += 1;
                 if controller.sink().enabled() {
                     controller
@@ -329,12 +598,12 @@ fn controller_loop<C: ControlPlane>(
                     new_iteration: iteration,
                 };
                 if link.send_assignment(worker, assignment).is_err() {
-                    return stats(&controller, singletons);
+                    return stats(&controller, singletons, evictions);
                 }
             }
         }
     }
-    stats(&controller, singletons)
+    stats(&controller, singletons, evictions)
 }
 
 fn drain_groups<C: ControlPlane>(controller: &mut Controller, link: &mut C) -> Result<(), ()> {
@@ -352,7 +621,7 @@ fn drain_groups<C: ControlPlane>(controller: &mut Controller, link: &mut C) -> R
     Ok(())
 }
 
-fn stats(controller: &Controller, singletons: u64) -> ControllerStats {
+fn stats(controller: &Controller, singletons: u64, evictions: u64) -> ControllerStats {
     if controller.sink().enabled() {
         controller.sink().record(TraceEvent::RunFinished {
             groups_formed: controller.groups_formed(),
@@ -366,6 +635,7 @@ fn stats(controller: &Controller, singletons: u64) -> ControllerStats {
         groups_formed: controller.groups_formed(),
         repairs: controller.repairs(),
         singletons,
+        evictions,
     }
 }
 
@@ -653,6 +923,113 @@ mod tests {
         let report = InvariantChecker::check(&events);
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.groups, stats.groups_formed);
+    }
+
+    #[test]
+    fn liveness_evicts_silent_worker_and_run_completes() {
+        use crate::invariants::InvariantChecker;
+        use crate::trace::RingSink;
+
+        let sink = Arc::new(RingSink::new(65536));
+        let cfg = ControllerConfig::constant(3, 2);
+        let (handle, mut reducers) = spawn_with_options(
+            cfg,
+            RuntimeOptions {
+                sink: sink.clone(),
+                liveness: Some(LivenessPolicy::new(Duration::from_millis(50), 6)),
+            },
+        );
+        let r2 = reducers.pop().unwrap();
+        let r1 = reducers.pop().unwrap();
+        let r0 = reducers.pop().unwrap();
+
+        let crasher = thread::spawn(move || {
+            let mut r = r2;
+            assert!(r.start_heartbeat(Duration::from_millis(10)));
+            let mut params = vec![2.0f32; 4];
+            r.reduce(&mut params, 1).unwrap();
+            // Fail-stop at the iteration boundary: no Leaving signal.
+            r.crash();
+        });
+        let survivors: Vec<_> = [r0, r1]
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut r)| {
+                thread::spawn(move || {
+                    assert!(r.start_heartbeat(Duration::from_millis(10)));
+                    let mut params = vec![rank as f32; 4];
+                    let mut iteration = 0u64;
+                    for _ in 0..30 {
+                        thread::sleep(Duration::from_millis(5));
+                        iteration += 1;
+                        let out = r.reduce(&mut params, iteration).unwrap();
+                        iteration = out.new_iteration;
+                    }
+                    r.finish().unwrap();
+                })
+            })
+            .collect();
+
+        crasher.join().unwrap();
+        for t in survivors {
+            t.join().unwrap();
+        }
+        let stats = handle.join();
+        assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+        assert!(stats.groups_formed > 0);
+
+        let events = sink.snapshot();
+        let evicted_pos = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::WorkerEvicted { worker: 2, .. }))
+            .expect("eviction traced");
+        let missed_pos = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::HeartbeatMissed { worker: 2, .. }))
+            .expect("misses traced");
+        assert!(missed_pos < evicted_pos, "misses narrate before eviction");
+        assert!(
+            matches!(
+                events.get(evicted_pos + 1),
+                Some(TraceEvent::WorkerLeft { worker: 2, .. })
+            ),
+            "eviction routes through the departure path: {:?}",
+            events.get(evicted_pos + 1)
+        );
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn tcp_liveness_flushes_stranded_signal_after_eviction() {
+        // Worker 1 dies before ever signaling ready; worker 0's queued
+        // signal can never form a pair. Eviction must shrink the fleet
+        // below P and flush worker 0 as a singleton instead of leaving
+        // it blocked.
+        let cfg = ControllerConfig::constant(2, 2);
+        let (handle, mut reducers) = spawn_tcp_with_options(
+            cfg,
+            RuntimeOptions {
+                sink: Arc::new(NullSink),
+                liveness: Some(LivenessPolicy::new(Duration::from_millis(50), 6)),
+            },
+        );
+        let r1 = reducers.pop().unwrap();
+        let mut r0 = reducers.pop().unwrap();
+
+        assert!(r0.start_heartbeat(Duration::from_millis(10)));
+        // Fail-stop before the first signal: no Ready, no Leaving, and no
+        // heartbeats ever arrive from rank 1. Only the liveness sweep can
+        // notice this worker is gone.
+        r1.crash();
+
+        let mut params = vec![1.0f32; 3];
+        let out = r0.reduce(&mut params, 1).unwrap();
+        assert_eq!(out.group, vec![0], "flushed as a singleton");
+        r0.finish().unwrap();
+        let stats = handle.join();
+        assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+        assert_eq!(stats.singletons, 1, "stats: {stats:?}");
     }
 
     #[test]

@@ -127,6 +127,33 @@ pub enum TraceEvent {
         /// The worker's reported iteration (also the adopted one).
         iteration: u64,
     },
+    /// A planned fault was applied to a worker (chaos runs only; see
+    /// DESIGN.md §11). The label is the substrate-independent
+    /// `FaultKind::label()` string (e.g. `crash@40`).
+    FaultInjected {
+        /// Worker rank the fault targets.
+        worker: usize,
+        /// Compact fault label, stable across substrates.
+        fault: String,
+        /// The worker's iteration when the fault took effect.
+        iteration: u64,
+    },
+    /// The liveness monitor missed a heartbeat window for a worker.
+    HeartbeatMissed {
+        /// Worker rank.
+        worker: usize,
+        /// Consecutive windows missed so far (1-based).
+        misses: u64,
+    },
+    /// The liveness monitor declared a silent worker dead and is about to
+    /// route it through [`TraceEvent::WorkerLeft`] (the eviction is an
+    /// involuntary departure; the repair path is shared).
+    WorkerEvicted {
+        /// Worker rank.
+        worker: usize,
+        /// Workers still participating after the eviction.
+        active: usize,
+    },
     /// The run ended; closing counters for cross-checking.
     RunFinished {
         /// Total groups formed.

@@ -23,17 +23,22 @@
 //!   costs.
 //! * [`FifoResource`] — a serially-shared resource timeline for modeling a
 //!   congested central link where needed.
+//! * [`FaultPlan`] — the fault-injection vocabulary (crash, stall, delayed
+//!   signals, late join) applied by both execution substrates; see
+//!   DESIGN.md §11.
 //!
 //! Calibration against the paper's Table 1 (device throughput, link
 //! bandwidth) is documented in EXPERIMENTS.md.
 
 mod events;
+mod fault;
 mod hetero;
 mod network;
 mod resource;
 mod time;
 
 pub use events::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use hetero::{
     GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet, UniformFleet,
 };

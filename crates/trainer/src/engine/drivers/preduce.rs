@@ -4,12 +4,15 @@
 //! thread from [`partial_reduce::runtime`]).
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use partial_reduce::runtime::spawn_with_sink;
+use partial_reduce::runtime::{
+    spawn_with_options, spawn_with_sink, LivenessPolicy, RuntimeOptions,
+};
 use partial_reduce::{
     AggregationMode, Controller, ControllerConfig, NullSink, TraceEvent, TraceSink,
 };
-use preduce_simnet::{EventQueue, SimTime};
+use preduce_simnet::{EventQueue, FaultKind, FaultPlan, SimTime};
 use preduce_tensor::Tensor;
 
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
@@ -51,9 +54,36 @@ pub fn run_preduce(h: SimHarness, cfg: ControllerConfig) -> RunResult {
 /// # Panics
 /// Panics if the controller config disagrees with the harness size.
 pub fn run_preduce_traced(
+    h: SimHarness,
+    cfg: ControllerConfig,
+    sink: Arc<dyn TraceSink>,
+) -> RunResult {
+    run_preduce_chaos(h, cfg, sink, FaultPlan::none())
+}
+
+/// [`run_preduce_traced`] under a [`FaultPlan`] (DESIGN.md §11), applied
+/// deterministically in virtual time:
+///
+/// * **Crash** fires at the doomed worker's iteration boundary: the
+///   worker is evicted ([`TraceEvent::WorkerEvicted`], justified by the
+///   preceding [`TraceEvent::FaultInjected`]) and routed through the
+///   ordinary departure path, so queued-signal purging and scheduling
+///   repair behave exactly as for a voluntary departure.
+/// * **Stall** multiplies the worker's compute time from its start
+///   iteration on.
+/// * **DelaySignals** adds virtual latency to every ready signal.
+/// * **LateJoin** postpones the worker's first local update.
+///
+/// The empty plan reproduces [`run_preduce_traced`] bit-for-bit: every
+/// fault accessor degrades to `+ 0.0` / `× 1.0`.
+///
+/// # Panics
+/// Panics if the controller config disagrees with the harness size.
+pub fn run_preduce_chaos(
     mut h: SimHarness,
     cfg: ControllerConfig,
     sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
 ) -> RunResult {
     assert_eq!(
         cfg.num_workers,
@@ -66,7 +96,27 @@ pub fn run_preduce_traced(
         AggregationMode::Dynamic { .. } => format!("P-Reduce DYN (P={p})"),
     };
     let dynamic = matches!(cfg.mode, AggregationMode::Dynamic { .. });
+    let mut active = h.num_workers();
     let mut controller = Controller::with_sink(cfg, sink);
+
+    // Persistent perturbations (stall/delay/latejoin) are narrated up
+    // front; crashes are narrated at the iteration where they fire.
+    if controller.sink().enabled() {
+        for spec in &faults.faults {
+            if let FaultKind::Crash { .. } = spec.kind {
+                continue;
+            }
+            let iteration = match spec.kind {
+                FaultKind::Stall { from_iteration, .. } => from_iteration,
+                _ => 0,
+            };
+            controller.sink().record(TraceEvent::FaultInjected {
+                worker: spec.worker,
+                fault: spec.kind.label(),
+                iteration,
+            });
+        }
+    }
 
     let signal = h.network.signal_time();
 
@@ -78,8 +128,11 @@ pub fn run_preduce_traced(
     let mut total_groups = 0u64;
 
     for w in 0..h.num_workers() {
-        let ct = h.compute_time(w, SimTime::ZERO);
-        queue.schedule(SimTime::new(ct), Event::Ready(w));
+        let ct = h.compute_time(w, SimTime::ZERO) * faults.stall_factor(w, 1);
+        queue.schedule(
+            SimTime::new(faults.start_delay(w) + ct + faults.signal_delay(w)),
+            Event::Ready(w),
+        );
     }
 
     let mut now = SimTime::ZERO;
@@ -90,7 +143,34 @@ pub fn run_preduce_traced(
                 // Lines 2–4 of Algorithm 2: the local update completes as
                 // the worker becomes ready.
                 h.workers[w].local_update(&mut h.rng);
-                controller.push_ready(w, h.workers[w].iteration);
+                let crashed = faults
+                    .crash_at(w)
+                    .is_some_and(|at| h.workers[w].iteration >= at);
+                if crashed {
+                    // Fail-stop at the iteration boundary: the signal is
+                    // never sent, and in virtual time the death is
+                    // detected immediately (the threaded substrate pays
+                    // real heartbeat silence instead). A departure can
+                    // unblock a frozen-avoidance deferral, so group
+                    // formation still runs below.
+                    active -= 1;
+                    if controller.sink().enabled() {
+                        controller.sink().record(TraceEvent::FaultInjected {
+                            worker: w,
+                            fault: FaultKind::Crash {
+                                at_iteration: h.workers[w].iteration,
+                            }
+                            .label(),
+                            iteration: h.workers[w].iteration,
+                        });
+                        controller
+                            .sink()
+                            .record(TraceEvent::WorkerEvicted { worker: w, active });
+                    }
+                    controller.mark_left(w);
+                } else {
+                    controller.push_ready(w, h.workers[w].iteration);
+                }
                 // The ready signal and group notification each cost one
                 // network latency; then the group collective runs.
                 while let Some(d) = controller.try_form_group() {
@@ -143,11 +223,14 @@ pub fn run_preduce_traced(
                 if h.record_update(t, dur) {
                     break;
                 }
-                // Members immediately start their next iteration.
+                // Members immediately start their next iteration (a
+                // stalled member computes slower; a laggy control link
+                // delays the resulting ready signal).
                 for &m in &group {
                     last_free[m] = t;
-                    let ct = h.compute_time(m, t);
-                    queue.schedule(t + ct, Event::Ready(m));
+                    let ct =
+                        h.compute_time(m, t) * faults.stall_factor(m, h.workers[m].iteration + 1);
+                    queue.schedule(t + ct + faults.signal_delay(m), Event::Ready(m));
                 }
             }
         }
@@ -173,10 +256,33 @@ pub fn run_preduce_traced(
 // Threaded projection
 // ---------------------------------------------------------------------------
 
+/// Heartbeat period for chaos runs (fault plan present): well under the
+/// eviction budget so healthy workers are never misjudged.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(10);
+
+/// Liveness policy for chaos runs: a worker silent for ~200 ms is dead.
+/// Generous against scheduler jitter (heartbeats arrive every 10 ms from
+/// a dedicated thread) yet quick enough for tests and benches.
+pub fn chaos_liveness() -> LivenessPolicy {
+    LivenessPolicy::new(Duration::from_millis(25), 8)
+}
+
+/// One wall-clock "compute step" a stall multiplies when the substrate
+/// injected no explicit straggler delay (real local updates are too fast
+/// for a multiplicative stall to be observable otherwise).
+const STALL_UNIT: Duration = Duration::from_millis(1);
+
 /// Threaded partial reduce: every worker runs its iteration budget of
 /// local update + `reduce` calls against the real controller thread; the
 /// drain protocol issues singleton assignments at shutdown so no worker
 /// hangs.
+///
+/// When the substrate carries a [`FaultPlan`], the controller is spawned
+/// with the chaos [`LivenessPolicy`], every worker heartbeats, and the
+/// plan is applied for real: a crashed worker drops its handle without a
+/// `Leaving` signal (the controller must notice via heartbeat silence),
+/// stalls and signal delays become sleeps, and a late joiner starts its
+/// loop late (heartbeating from spawn so it is not misjudged as dead).
 ///
 /// # Panics
 /// Panics if the controller config disagrees with the fleet size, or if a
@@ -191,14 +297,95 @@ pub(crate) fn threaded_preduce(
         "controller config sized for a different fleet"
     );
     let fleet = build_fleet(config);
-    let (handle, reducers) = spawn_with_sink(controller, sub.sink());
+    let chaos = !sub.faults().is_empty();
+    let (handle, reducers) = if chaos {
+        spawn_with_options(
+            controller,
+            RuntimeOptions {
+                sink: sub.sink(),
+                liveness: Some(chaos_liveness()),
+            },
+        )
+    } else {
+        spawn_with_sink(controller, sub.sink())
+    };
+    let sink = sub.sink();
 
-    let out = sub.run_spmd(fleet.workers, reducers, |mut ctx, mut w, mut r| {
+    let out = sub.run_spmd(fleet.workers, reducers, move |mut ctx, mut w, mut r| {
+        let narrate = |kind: &FaultKind, iteration: u64| {
+            if sink.enabled() {
+                sink.record(TraceEvent::FaultInjected {
+                    worker: ctx.rank,
+                    fault: kind.label(),
+                    iteration,
+                });
+            }
+        };
+        if chaos {
+            // Heartbeat from the very start — before any late-join sleep —
+            // so a slow or late worker is never misjudged as dead.
+            r.start_heartbeat(HEARTBEAT_EVERY);
+        }
+        let start_delay = ctx.faults.start_delay(ctx.rank);
+        if start_delay > 0.0 {
+            narrate(
+                &FaultKind::LateJoin {
+                    seconds: start_delay,
+                },
+                0,
+            );
+            std::thread::sleep(Duration::from_secs_f64(start_delay));
+        }
+        let signal_delay = ctx.faults.signal_delay(ctx.rank);
+        if signal_delay > 0.0 {
+            narrate(
+                &FaultKind::DelaySignals {
+                    seconds: signal_delay,
+                },
+                0,
+            );
+        }
+        let crash_at = ctx.faults.crash_at(ctx.rank);
+        let mut stall_narrated = false;
         for _ in 0..ctx.iters {
             if !ctx.delay.is_zero() {
                 std::thread::sleep(ctx.delay);
             }
+            let stall = ctx.faults.stall_factor(ctx.rank, w.iteration + 1);
+            if stall > 1.0 {
+                if !stall_narrated {
+                    stall_narrated = true;
+                    narrate(
+                        &FaultKind::Stall {
+                            factor: stall,
+                            from_iteration: w.iteration + 1,
+                        },
+                        w.iteration + 1,
+                    );
+                }
+                let base = if ctx.delay.is_zero() {
+                    STALL_UNIT
+                } else {
+                    ctx.delay
+                };
+                std::thread::sleep(base.mul_f64(stall - 1.0));
+            }
             w.local_update(&mut ctx.rng);
+            if crash_at.is_some_and(|at| w.iteration >= at) {
+                // Fail-stop: no Leaving, no more heartbeats. The handle
+                // drops here; the controller detects the silence.
+                narrate(
+                    &FaultKind::Crash {
+                        at_iteration: w.iteration,
+                    },
+                    w.iteration,
+                );
+                r.crash();
+                return (w.params, w.iteration);
+            }
+            if signal_delay > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(signal_delay));
+            }
             let iteration = w.iteration;
             let mut flat = w.params.clone().into_vec();
             let outcome = must("partial reduce", r.reduce(&mut flat, iteration));

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use partial_reduce::TraceSink;
+use preduce_simnet::FaultPlan;
 
 pub use drivers::{driver_for, StrategyDriver};
 pub use substrate::{Backend, SimSubstrate, Substrate, ThreadedSubstrate};
@@ -63,10 +64,32 @@ pub fn run(
     backend: Backend,
     sink: Arc<dyn TraceSink>,
 ) -> EngineRun {
+    run_with_faults(strategy, config, backend, sink, FaultPlan::none())
+}
+
+/// Like [`run`], but the run executes under a [`FaultPlan`] (DESIGN.md
+/// §11): crashes, stalls, delayed signals, and late joins, applied with
+/// the same semantics by both substrates. The empty plan is exactly
+/// [`run`]. Fault plans are honored by the P-Reduce drivers — the
+/// strategy whose controller is built to absorb them; the synchronous
+/// baselines would simply deadlock on a crashed member, so they ignore
+/// the plan (documented in EXPERIMENTS.md).
+///
+/// # Panics
+/// Panics if the config is invalid or a worker/controller thread panics.
+pub fn run_with_faults(
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    backend: Backend,
+    sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
+) -> EngineRun {
     let driver = driver_for(strategy);
     match backend {
         Backend::Sim => {
-            let substrate = SimSubstrate::new(config).with_sink(sink);
+            let substrate = SimSubstrate::new(config)
+                .with_sink(sink)
+                .with_faults(faults);
             EngineRun {
                 result: driver.drive_sim(substrate),
                 iterations: None,
@@ -75,7 +98,9 @@ pub fn run(
         }
         Backend::Threaded => {
             let iters = config.threaded_iters.unwrap_or(DEFAULT_THREADED_ITERS);
-            let substrate = ThreadedSubstrate::new(config, iters).with_sink(sink);
+            let substrate = ThreadedSubstrate::new(config, iters)
+                .with_sink(sink)
+                .with_faults(faults);
             let report = driver.drive_threaded(&substrate);
             let updates: u64 = report.iterations.iter().sum();
             let mut stats = BTreeMap::new();
@@ -83,6 +108,7 @@ pub fn run(
                 stats.insert("groups".into(), c.groups_formed as f64);
                 stats.insert("repairs".into(), c.repairs as f64);
                 stats.insert("singletons".into(), c.singletons as f64);
+                stats.insert("evictions".into(), c.evictions as f64);
             }
             EngineRun {
                 result: RunResult {

@@ -18,6 +18,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use partial_reduce::{NullSink, TraceSink};
+use preduce_simnet::FaultPlan;
 use preduce_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -83,6 +84,7 @@ pub trait Substrate {
 pub struct SimSubstrate {
     harness: SimHarness,
     sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
 }
 
 impl SimSubstrate {
@@ -94,6 +96,7 @@ impl SimSubstrate {
         SimSubstrate {
             harness: SimHarness::new(config),
             sink: Arc::new(NullSink),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -102,6 +105,19 @@ impl SimSubstrate {
     pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = sink;
         self
+    }
+
+    /// Injects a fault plan (DESIGN.md §11): crashes, stalls, signal
+    /// delays, and late joins applied deterministically in virtual time.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan this run executes under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Consumes the substrate into its scheduler handle and sink: a sim
@@ -132,6 +148,7 @@ pub struct ThreadedSubstrate {
     iters: u64,
     delays: Vec<Duration>,
     sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
 }
 
 impl ThreadedSubstrate {
@@ -148,6 +165,7 @@ impl ThreadedSubstrate {
             iters,
             delays: Vec::new(),
             sink: Arc::new(NullSink),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -156,6 +174,21 @@ impl ThreadedSubstrate {
     pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = sink;
         self
+    }
+
+    /// Injects a fault plan (DESIGN.md §11). Wall-clock analogue of
+    /// [`SimSubstrate::with_faults`]: crashes become real fail-stops
+    /// detected by the controller's liveness policy; stalls, signal
+    /// delays, and late joins become real sleeps.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan this run executes under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Injects controlled heterogeneity: `delays[rank]` is an artificial
@@ -217,6 +250,7 @@ impl ThreadedSubstrate {
                     iters: self.iters,
                     delay: self.delays.get(w.rank).copied().unwrap_or(Duration::ZERO),
                     rng: StdRng::seed_from_u64(worker_thread_seed(self.config.seed, w.rank)),
+                    faults: self.faults.clone(),
                 };
                 let body = Arc::clone(&body);
                 thread::spawn(move || body(ctx, w, r))
@@ -278,6 +312,9 @@ pub(crate) struct WorkerCtx {
     pub delay: Duration,
     /// This worker's private RNG (batch draws).
     pub rng: StdRng,
+    /// The run's fault plan; drivers that understand iteration-level
+    /// faults (the P-Reduce body) query it by `rank`.
+    pub faults: FaultPlan,
 }
 
 /// What an SPMD run returns: wall time plus each worker's final model and

@@ -41,6 +41,7 @@ pub use config::{ExperimentConfig, HeteroSpec};
 pub use engine::{Backend, EngineRun};
 pub use experiment::{run_experiment, run_experiment_traced};
 pub use metrics::{RunResult, TracePoint};
+pub use preduce_simnet::{FaultKind, FaultPlan, FaultSpec};
 pub use strategy::{NoControllerConfig, Strategy, StrategyFamily};
 pub use threaded::{
     train_threaded_allreduce, train_threaded_preduce, train_threaded_preduce_traced, ThreadedReport,

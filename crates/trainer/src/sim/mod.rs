@@ -12,7 +12,7 @@
 //! `run_*` re-exports below preserve the pre-engine call sites.
 
 pub use crate::engine::drivers::gossip::{run_ad_psgd, run_d_psgd};
-pub use crate::engine::drivers::preduce::{run_preduce, run_preduce_traced};
+pub use crate::engine::drivers::preduce::{run_preduce, run_preduce_chaos, run_preduce_traced};
 pub use crate::engine::drivers::ps::{run_ps_asp, run_ps_hete, run_ps_ssp};
 pub use crate::engine::drivers::sync::{run_allreduce, run_eager_reduce, run_ps_bk, run_ps_bsp};
 pub use crate::worker::average_params;
