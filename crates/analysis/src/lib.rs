@@ -79,6 +79,7 @@ fn lock_scope(path: &str) -> bool {
     path == "crates/trainer/src/engine/drivers/ps.rs"
         || path == "crates/trainer/src/engine/drivers/sync.rs"
         || path == "crates/comm/src/tcp.rs"
+        || path == "crates/comm/src/reactor.rs"
         || path == "crates/core/src/trace.rs"
 }
 
@@ -246,6 +247,8 @@ mod tests {
         assert!(!panic_scope("crates/models/src/dense.rs"));
         assert!(!index_scope("crates/trainer/src/engine/drivers/sync.rs"));
         assert!(lock_scope("crates/core/src/trace.rs"));
+        assert!(lock_scope("crates/comm/src/reactor.rs"));
+        assert!(!lock_scope("crates/comm/src/mesh.rs"));
         assert!(!lock_scope("crates/core/src/controller.rs"));
         assert!(!weights_scope("crates/core/src/weights.rs"));
         assert!(weights_scope("crates/trainer/src/engine/setup.rs"));

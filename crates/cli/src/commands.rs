@@ -1,9 +1,12 @@
-//! CLI subcommands: experiment runs, spectral analysis, and catalog
-//! listing.
+//! CLI subcommands: experiment runs, spectral analysis, catalog listing,
+//! and the multi-process fleet roles (`controller` / `worker`).
 
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
+use partial_reduce::runtime::{LivenessPolicy, RuntimeOptions};
 use partial_reduce::{
     expected_sync_matrix, spectral_gap, AggregationMode, Controller, ControllerConfig,
     InvariantChecker, JsonlSink, NullSink, TraceSink,
@@ -11,6 +14,7 @@ use partial_reduce::{
 use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
 use preduce_models::zoo;
 use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
+use preduce_trainer::engine::process;
 use preduce_trainer::{engine, Backend, ExperimentConfig, FaultPlan, Strategy};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -72,6 +76,11 @@ impl From<ArgError> for CliError {
 pub enum Command {
     /// `preduce run …` — one experiment under virtual time.
     Run,
+    /// `preduce controller …` — the controller role of a multi-process
+    /// P-Reduce fleet: bind, accept, serve.
+    Controller,
+    /// `preduce worker …` — one worker process of a multi-process fleet.
+    Worker,
     /// `preduce spectral …` — simulate group formation, report ρ and ρ̄.
     Spectral,
     /// `preduce trace --check trace.jsonl` — replay a recorded trace
@@ -90,6 +99,8 @@ impl Command {
     pub fn from_name(name: &str) -> Result<Self, CliError> {
         match name {
             "run" => Ok(Command::Run),
+            "controller" => Ok(Command::Controller),
+            "worker" => Ok(Command::Worker),
             "spectral" => Ok(Command::Spectral),
             "trace" => Ok(Command::Trace),
             "lint" => Ok(Command::Lint),
@@ -111,6 +122,11 @@ USAGE:
                    [--backend sim|threaded] [--iters K]
                    [--config experiment.json] [--trace-out trace.jsonl]
                    [--fault-plan SPEC]
+  preduce controller --listen ADDR [--workers N] [--p P] [--dynamic true]
+                   [--liveness-ms MS] [--miss-threshold K]
+                   [--trace-out trace.jsonl] [--config experiment.json]
+  preduce worker   --connect ADDR --rank R [--workers N] [--iters K]
+                   [--seed SEED] [--config experiment.json]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
   preduce lint     [--root PATH]
@@ -137,6 +153,19 @@ FAULT INJECTION:
   latejoin:W+S (W starts S seconds late). Example:
   --fault-plan \"crash:3@40,stall:5x4@10\". Honored by the p-reduce
   strategy on both backends; other strategies ignore the plan.
+
+MULTI-PROCESS FLEETS (DESIGN.md section 12):
+  `controller` binds ADDR (use port 0 to let the OS choose; the chosen
+  address is printed as `listening on HOST:PORT`), accepts exactly
+  --workers process handshakes, and serves P-Reduce until every worker
+  departs. `worker` rebuilds the same deterministic replica fleet from
+  the shared config (same --workers/--seed/--model on every process),
+  dials the controller, and runs --iters local-update + reduce rounds;
+  group averages flow worker-to-worker over a TCP star-reduce, never
+  through the controller. Grouping policy (--p, --dynamic) is
+  controller-side; heartbeat liveness defaults on (--liveness-ms 0
+  disables it). Each worker prints one final
+  `worker rank=R iterations=K accuracy=A degraded=D` line.
 
 TRACING:
   `run --trace-out FILE` records every P-Reduce control-plane decision as
@@ -302,6 +331,84 @@ pub fn run_command(
                     if result.converged { "" } else { "  (hit cap)" },
                 );
             }
+        }
+        Command::Controller => {
+            let config = config_from_args(args)?;
+            let p: usize = args.get_or("p", 3)?;
+            let dynamic: bool = args.get_or("dynamic", false)?;
+            let listen = args.get("listen").unwrap_or("127.0.0.1:0").to_string();
+            let controller_cfg =
+                Strategy::preduce_controller_config(p, dynamic, config.num_workers);
+            let liveness_ms: u64 = args.get_or("liveness-ms", 100)?;
+            let miss: u64 = args.get_or("miss-threshold", 5)?;
+            let liveness = if liveness_ms == 0 {
+                None
+            } else {
+                Some(LivenessPolicy::new(
+                    Duration::from_millis(liveness_ms),
+                    miss.max(1),
+                ))
+            };
+            let sink: Arc<dyn TraceSink> = match args.get("trace-out") {
+                Some(path) => Arc::new(
+                    JsonlSink::create(path)
+                        .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?,
+                ),
+                None => Arc::new(NullSink),
+            };
+            let report = process::run_controller(
+                controller_cfg,
+                &listen,
+                RuntimeOptions {
+                    sink: sink.clone(),
+                    liveness,
+                },
+                |addr| {
+                    // The e2e harness (and any launcher) parses this line
+                    // to learn the port when --listen ends in :0.
+                    let _ = writeln!(out, "listening on {addr}");
+                    let _ = out.flush();
+                },
+            )
+            .map_err(|e| CliError::Internal(format!("controller: {e}")))?;
+            sink.flush();
+            let s = report.stats;
+            let _ = writeln!(
+                out,
+                "controller done: workers={} groups={} repairs={} singletons={} evictions={}",
+                report.workers, s.groups_formed, s.repairs, s.singletons, s.evictions
+            );
+        }
+        Command::Worker => {
+            let connect = args.get("connect").ok_or_else(|| {
+                CliError::Unknown(
+                    "worker invocation (usage: preduce worker --connect ADDR --rank R)".to_string(),
+                )
+            })?;
+            let addr: SocketAddr = connect
+                .parse()
+                .map_err(|_| CliError::Unknown(format!("controller address `{connect}`")))?;
+            let rank_s = args.get("rank").ok_or_else(|| {
+                CliError::Unknown(
+                    "worker invocation (usage: preduce worker --connect ADDR --rank R)".to_string(),
+                )
+            })?;
+            let rank: usize = rank_s.parse().map_err(|_| {
+                CliError::Args(ArgError::BadValue {
+                    flag: "rank".into(),
+                    value: rank_s.into(),
+                    expected: "usize",
+                })
+            })?;
+            let config = config_from_args(args)?;
+            let iters: u64 = args.get_or("iters", engine::DEFAULT_THREADED_ITERS)?;
+            let report = process::run_worker(&config, addr, rank, iters, Arc::new(NullSink))
+                .map_err(|e| CliError::Internal(format!("worker {rank}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "worker rank={} iterations={} accuracy={:.4} degraded={}",
+                report.rank, report.iterations, report.accuracy, report.degraded
+            );
         }
         Command::Lint => {
             let root = match args.get("root") {
@@ -717,6 +824,57 @@ mod tests {
         let mut out = Vec::new();
         let r = run_command(command, &args, &mut out);
         assert!(matches!(r, Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn controller_and_worker_subcommands_parse() {
+        assert_eq!(
+            Command::from_name("controller").unwrap(),
+            Command::Controller
+        );
+        assert_eq!(Command::from_name("worker").unwrap(), Command::Worker);
+        let (_, out) = run(&["help"]);
+        assert!(out.contains("preduce controller"), "{out}");
+        assert!(out.contains("preduce worker"), "{out}");
+    }
+
+    #[test]
+    fn worker_without_connect_is_an_error() {
+        let (r, out) = run(&["worker", "--rank", "0"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+    }
+
+    #[test]
+    fn worker_without_rank_is_an_error() {
+        let (r, out) = run(&["worker", "--connect", "127.0.0.1:1"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+    }
+
+    #[test]
+    fn worker_with_unparseable_rank_is_an_error() {
+        let (r, out) = run(&["worker", "--connect", "127.0.0.1:1", "--rank", "zero"]);
+        assert!(matches!(r, Err(CliError::Args(_))), "{out}");
+    }
+
+    #[test]
+    fn worker_with_bad_address_is_an_error() {
+        let (r, out) = run(&["worker", "--connect", "nowhere", "--rank", "0"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+    }
+
+    #[test]
+    fn worker_rank_outside_fleet_is_internal_error() {
+        // The rank check fires before dialing, so no controller is needed.
+        let (r, out) = run(&[
+            "worker",
+            "--connect",
+            "127.0.0.1:1",
+            "--rank",
+            "9",
+            "--workers",
+            "2",
+        ]);
+        assert!(matches!(r, Err(CliError::Internal(_))), "{out}");
     }
 
     #[test]

@@ -54,6 +54,32 @@ pub struct GroupAssignment {
     pub new_iteration: u64,
 }
 
+/// The controller's reply to a fleet of worker *processes* once all of
+/// them have joined: every rank's data-plane listener address, indexed
+/// by rank. Workers dial each other at these addresses for group
+/// weighted averages (the controller itself never touches model data).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetRoster {
+    /// Data-plane listener address per rank.
+    pub data_addrs: Vec<String>,
+}
+
+/// One event from the controller's signal plane: either a decoded
+/// worker signal or the discovery that a worker's connection is gone
+/// (socket EOF, hard error, or a desynchronized frame stream). The
+/// in-process channel transport never emits `Disconnected` — channel
+/// peers vanish silently — so only heartbeat accounting covers them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// A worker signal arrived.
+    Signal(WorkerSignal),
+    /// The worker's control connection is gone.
+    Disconnected {
+        /// The rank whose connection dropped.
+        worker: usize,
+    },
+}
+
 /// Controller-side transport abstraction: the threaded runtime works over
 /// any implementation — in-process channels ([`ControllerLink`]) or the
 /// TCP message queue of the paper's prototype
@@ -70,6 +96,23 @@ pub trait ControlPlane: Send {
         }
         Ok(())
     }
+}
+
+/// A control plane that can surface signals in batches plus connection
+/// lifecycle events. The serving loop (`partial_reduce::runtime`'s
+/// fleet server) prefers this over one-at-a-time [`ControlPlane`]
+/// receives: under a signal storm one batch receive replaces hundreds
+/// of queue round-trips, and `Disconnected` events let it evict a
+/// SIGKILLed process immediately instead of waiting out the heartbeat
+/// budget.
+pub trait BatchControlPlane: ControlPlane {
+    /// Blocks up to `timeout` for at least one event, then drains
+    /// whatever else is immediately available, up to `max` events.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`] when nothing arrived within `timeout`;
+    /// [`CommError::Disconnected`] when the transport is gone entirely.
+    fn recv_events(&mut self, max: usize, timeout: Duration) -> Result<Vec<ControlEvent>>;
 }
 
 /// Worker-side transport abstraction; see [`ControlPlane`].
@@ -138,6 +181,18 @@ impl<C: ControlPlane> ControlPlane for ObservedControlPlane<C> {
     fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
         self.observer.on_assignment(worker, &assignment);
         self.inner.send_assignment(worker, assignment)
+    }
+}
+
+impl<C: BatchControlPlane> BatchControlPlane for ObservedControlPlane<C> {
+    fn recv_events(&mut self, max: usize, timeout: Duration) -> Result<Vec<ControlEvent>> {
+        let events = self.inner.recv_events(max, timeout)?;
+        for event in &events {
+            if let ControlEvent::Signal(signal) = event {
+                self.observer.on_signal(signal);
+            }
+        }
+        Ok(events)
     }
 }
 
@@ -238,6 +293,20 @@ impl ControlPlane for ControllerLink {
 
     fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
         ControllerLink::send_assignment(self, worker, assignment)
+    }
+}
+
+impl BatchControlPlane for ControllerLink {
+    fn recv_events(&mut self, max: usize, timeout: Duration) -> Result<Vec<ControlEvent>> {
+        let first = ControllerLink::recv_signal(self, timeout)?;
+        let mut events = vec![ControlEvent::Signal(first)];
+        while events.len() < max {
+            match self.try_recv_signal() {
+                Some(signal) => events.push(ControlEvent::Signal(signal)),
+                None => break,
+            }
+        }
+        Ok(events)
     }
 }
 
@@ -418,6 +487,25 @@ mod tests {
                 iteration: 3
             }
         );
+    }
+
+    #[test]
+    fn batch_recv_drains_queued_signals() {
+        let (mut ctl, workers) = control_links(4);
+        for w in 0..4usize {
+            workers[w].send_ready(w as u64).unwrap();
+        }
+        let events = ctl.recv_events(3, T).unwrap();
+        assert_eq!(events.len(), 3, "bounded by max");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, ControlEvent::Signal(WorkerSignal::Ready { .. }))));
+        let rest = ctl.recv_events(64, T).unwrap();
+        assert_eq!(rest.len(), 1, "remainder on the next call");
+        assert!(matches!(
+            ctl.recv_events(64, Duration::from_millis(10)),
+            Err(CommError::Timeout { .. })
+        ));
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub enum CommError {
         /// Length received from a peer.
         actual: usize,
     },
+    /// A control frame failed to decode: an oversized length prefix or
+    /// a payload that is not valid JSON for the expected message type.
+    /// Decode paths return this instead of panicking; the connection
+    /// that produced it must be dropped (the stream is desynchronized).
+    MalformedFrame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
     /// A TCP connect did not succeed within the retry policy's budget.
     /// Carries the real OS error text instead of the old
     /// `Disconnected { peer: usize::MAX }` sentinel.
@@ -60,6 +68,9 @@ impl fmt::Display for CommError {
                 write!(f, "timed out waiting for tag {tag} from peer {peer}")
             }
             CommError::InvalidGroup(msg) => write!(f, "invalid group: {msg}"),
+            CommError::MalformedFrame { detail } => {
+                write!(f, "malformed control frame: {detail}")
+            }
             CommError::PayloadMismatch { expected, actual } => write!(
                 f,
                 "payload length mismatch in collective: {expected} vs {actual}"
@@ -98,5 +109,10 @@ mod tests {
         assert!(e.to_string().contains("127.0.0.1:9"));
         assert!(e.to_string().contains("5 attempt(s)"));
         assert!(e.to_string().contains("refused"));
+        let m = CommError::MalformedFrame {
+            detail: "oversized control frame (9999999 bytes)".into(),
+        };
+        assert!(m.to_string().contains("malformed control frame"));
+        assert!(m.to_string().contains("9999999"));
     }
 }

@@ -15,12 +15,18 @@
 //! * a [`control`] channel pair for the few-bytes worker↔controller
 //!   signaling traffic, behind a [`control::ControlPlane`] abstraction
 //!   with two transports: in-process channels and the paper prototype's
-//!   TCP message queue ([`tcp`]).
+//!   TCP message queue ([`tcp`]), whose controller side is served by the
+//!   sharded non-blocking [`reactor`];
+//! * a multi-process data plane ([`mesh`]): workers in separate OS
+//!   processes dial each other's ephemeral listeners to run the group
+//!   weighted average, behind the [`mesh::GroupAverager`] abstraction
+//!   that also covers the in-process [`Endpoint`] collectives.
 //!
-//! Everything is in-process: transports are `crossbeam` channels, and a
-//! "worker" is a thread. The collective *semantics* (who averages what,
-//! when) are identical to a networked deployment, which is what the
-//! reproduction's claims rest on.
+//! The default deployment is in-process: transports are `crossbeam`
+//! channels, and a "worker" is a thread. The collective *semantics* (who
+//! averages what, when) are identical to a networked deployment, which
+//! is what the reproduction's claims rest on — and the [`reactor`] +
+//! [`mesh`] pair carries the same semantics across real OS processes.
 
 // Comms hot paths must not panic on recoverable conditions: fallible
 // operations propagate `CommError` or document their panic with a
@@ -32,6 +38,9 @@ pub mod collectives;
 pub mod control;
 mod endpoint;
 mod error;
+pub mod frame;
+pub mod mesh;
+pub mod reactor;
 pub mod tcp;
 
 pub use endpoint::{CommWorld, Endpoint, Message};

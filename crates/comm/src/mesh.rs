@@ -1,0 +1,474 @@
+//! The multi-process data plane: group weighted averages between worker
+//! *processes*.
+//!
+//! In-process fleets run their group collective over [`Endpoint`]
+//! channels ([`crate::collectives::weighted_average`]). Worker processes
+//! have no shared memory, so each binds an ephemeral data listener
+//! ([`MeshEndpoint::bind`]), announces it in the control-plane hello,
+//! and receives the full [`crate::control::FleetRoster`] once the fleet
+//! is assembled. A group reduce then runs star-shaped: the first member
+//! of the assignment (`group[0]`) is the leader; every other member
+//! dials the leader's listener, sends its parameters, and reads back
+//! the weighted average. The controller never touches this plane — it
+//! only names the group (paper §4: model data never flows through the
+//! message queue).
+//!
+//! The [`GroupAverager`] trait abstracts over both planes so the
+//! runtime's `PartialReducer` is substrate-agnostic.
+//!
+//! Wire format (binary, not JSON — payloads are whole parameter
+//! vectors): request `[base_tag u64 BE][rank u32 BE][len u32 BE][len ×
+//! f32 LE]`, response `[base_tag u64 BE][len u32 BE][len × f32 LE]`,
+//! where `len` counts elements. The `base_tag` check rejects frames
+//! from a stale or misdirected reduce.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::collectives;
+use crate::endpoint::Endpoint;
+use crate::error::CommError;
+use crate::Result;
+
+/// Overall budget for one group reduce on the mesh (slowest member
+/// connect + transfer both ways).
+pub const DATA_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Largest accepted data payload, in elements (256M floats = 1 GiB);
+/// anything larger indicates a corrupt length field.
+const MAX_ELEMS: u32 = 1 << 28;
+
+/// A group weighted average over some transport: the in-process
+/// [`Endpoint`] collective or the process-level [`MeshEndpoint`] star.
+/// `weights` aligns with `group`; on return `data` holds the group's
+/// weighted average on every member.
+pub trait GroupAverager: Send {
+    /// Runs the weighted average for `group` under `base_tag`.
+    ///
+    /// # Errors
+    /// Transport-specific [`CommError`]s; on error `data` may hold the
+    /// member's own (possibly pre-scaled) parameters, and the caller is
+    /// expected to degrade to its local model.
+    fn group_weighted_average(
+        &mut self,
+        group: &[usize],
+        base_tag: u64,
+        data: &mut [f32],
+        weights: &[f32],
+    ) -> Result<()>;
+}
+
+impl GroupAverager for Endpoint {
+    fn group_weighted_average(
+        &mut self,
+        group: &[usize],
+        base_tag: u64,
+        data: &mut [f32],
+        weights: &[f32],
+    ) -> Result<()> {
+        collectives::weighted_average(self, group, base_tag, data, weights)
+    }
+}
+
+/// One worker process's data-plane endpoint: an ephemeral listener for
+/// reduces it leads, plus the roster of every peer's listener for
+/// reduces it joins.
+#[derive(Debug)]
+pub struct MeshEndpoint {
+    rank: usize,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    roster: Vec<SocketAddr>,
+    io_timeout: Duration,
+}
+
+fn gone(peer: usize) -> CommError {
+    CommError::Disconnected { peer }
+}
+
+fn write_bytes(stream: &mut TcpStream, bytes: &[u8], peer: usize) -> Result<()> {
+    stream.write_all(bytes).map_err(|_| gone(peer))
+}
+
+fn read_bytes(stream: &mut TcpStream, buf: &mut [u8], peer: usize) -> Result<()> {
+    stream.read_exact(buf).map_err(|_| gone(peer))
+}
+
+fn floats_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for x in data {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_floats(bytes: &[u8], out: &mut [f32]) -> Result<()> {
+    if bytes.len() != out.len() * 4 {
+        return Err(CommError::PayloadMismatch {
+            expected: out.len() * 4,
+            actual: bytes.len(),
+        });
+    }
+    for (chunk, slot) in bytes.chunks_exact(4).zip(out.iter_mut()) {
+        let arr: [u8; 4] = chunk.try_into().map_err(|_| CommError::MalformedFrame {
+            detail: "short float chunk in data frame".into(),
+        })?;
+        *slot = f32::from_le_bytes(arr);
+    }
+    Ok(())
+}
+
+/// Applies blocking mode plus read/write timeouts to a data socket.
+fn configure_data(stream: &TcpStream, timeout: Duration, peer: usize) -> Result<()> {
+    stream.set_nonblocking(false).map_err(|_| gone(peer))?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|_| stream.set_write_timeout(Some(timeout)))
+        .map_err(|_| gone(peer))
+}
+
+impl MeshEndpoint {
+    /// Binds an ephemeral data listener for `rank` on `addr` (use port
+    /// 0 — the chosen address travels to peers via the fleet roster).
+    ///
+    /// # Errors
+    /// [`CommError::Disconnected`] if the listener cannot come up.
+    pub fn bind(rank: usize, addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(|_| gone(rank))?;
+        let local_addr = listener.local_addr().map_err(|_| gone(rank))?;
+        // The accept loop polls non-blocking under a deadline so a
+        // reduce cannot hang on a member that died before dialing in.
+        listener.set_nonblocking(true).map_err(|_| gone(rank))?;
+        Ok(MeshEndpoint {
+            rank,
+            listener,
+            local_addr,
+            roster: Vec::new(),
+            io_timeout: DATA_TIMEOUT,
+        })
+    }
+
+    /// The bound listener address to announce in the control-plane
+    /// hello.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Overrides the per-reduce I/O budget (tests use short budgets).
+    pub fn set_io_timeout(&mut self, timeout: Duration) {
+        self.io_timeout = timeout;
+    }
+
+    /// Installs the fleet roster (every rank's data address, from the
+    /// controller's [`crate::control::FleetRoster`]).
+    ///
+    /// # Errors
+    /// [`CommError::InvalidGroup`] if an address does not parse.
+    pub fn set_roster(&mut self, data_addrs: &[String]) -> Result<()> {
+        let mut roster = Vec::with_capacity(data_addrs.len());
+        for (rank, addr) in data_addrs.iter().enumerate() {
+            let parsed = addr.parse::<SocketAddr>().map_err(|_| {
+                CommError::InvalidGroup(format!("unparseable data address for rank {rank}: {addr}"))
+            })?;
+            roster.push(parsed);
+        }
+        self.roster = roster;
+        Ok(())
+    }
+
+    fn accept_one(&self, deadline: Instant) -> Result<TcpStream> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    configure_data(&stream, self.io_timeout, self.rank)?;
+                    return Ok(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout {
+                            peer: usize::MAX,
+                            tag: 0,
+                        });
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(gone(self.rank)),
+            }
+        }
+    }
+
+    /// Leader role: collect every member's parameters, compute the
+    /// weighted average, return it to each member, adopt it locally.
+    fn lead(
+        &mut self,
+        group: &[usize],
+        base_tag: u64,
+        data: &mut [f32],
+        weights: &[f32],
+    ) -> Result<()> {
+        let deadline = Instant::now() + self.io_timeout;
+        // Contribution per group position; own slot filled from `data`.
+        let mut contributions: Vec<Option<Vec<f32>>> = vec![None; group.len()];
+        let mut replies: Vec<(TcpStream, usize)> = Vec::with_capacity(group.len() - 1);
+        let own = group.iter().position(|&g| g == self.rank).ok_or_else(|| {
+            CommError::InvalidGroup(format!("leader rank {} not in group {group:?}", self.rank))
+        })?;
+        if let Some(slot) = contributions.get_mut(own) {
+            *slot = Some(data.to_vec());
+        }
+        while replies.len() + 1 < group.len() {
+            let mut stream = self.accept_one(deadline)?;
+            let mut tag_buf = [0u8; 8];
+            read_bytes(&mut stream, &mut tag_buf, self.rank)?;
+            let tag = u64::from_be_bytes(tag_buf);
+            if tag != base_tag {
+                return Err(CommError::InvalidGroup(format!(
+                    "data frame for tag {tag} arrived during reduce {base_tag}"
+                )));
+            }
+            let mut rank_buf = [0u8; 4];
+            read_bytes(&mut stream, &mut rank_buf, self.rank)?;
+            let sender = u32::from_be_bytes(rank_buf) as usize;
+            let mut len_buf = [0u8; 4];
+            read_bytes(&mut stream, &mut len_buf, sender)?;
+            let len = u32::from_be_bytes(len_buf);
+            if len >= MAX_ELEMS {
+                return Err(CommError::MalformedFrame {
+                    detail: format!("oversized data frame ({len} elements)"),
+                });
+            }
+            if len as usize != data.len() {
+                return Err(CommError::PayloadMismatch {
+                    expected: data.len(),
+                    actual: len as usize,
+                });
+            }
+            let pos = group.iter().position(|&g| g == sender).ok_or_else(|| {
+                CommError::InvalidGroup(format!("rank {sender} dialed into group {group:?}"))
+            })?;
+            let slot = contributions
+                .get_mut(pos)
+                .ok_or_else(|| CommError::InvalidGroup(format!("position {pos} out of group")))?;
+            if slot.is_some() {
+                return Err(CommError::InvalidGroup(format!(
+                    "duplicate contribution from rank {sender}"
+                )));
+            }
+            let mut payload = vec![0u8; len as usize * 4];
+            read_bytes(&mut stream, &mut payload, sender)?;
+            let mut floats = vec![0f32; len as usize];
+            bytes_to_floats(&payload, &mut floats)?;
+            *slot = Some(floats);
+            replies.push((stream, sender));
+        }
+
+        let mut result = vec![0f32; data.len()];
+        for (contribution, &w) in contributions.iter().zip(weights.iter()) {
+            let Some(c) = contribution else {
+                return Err(CommError::InvalidGroup(
+                    "missing contribution after collection".into(),
+                ));
+            };
+            for (r, x) in result.iter_mut().zip(c.iter()) {
+                *r += w * x;
+            }
+        }
+
+        let payload = floats_to_bytes(&result);
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&base_tag.to_be_bytes());
+        frame.extend_from_slice(&(result.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        for (mut stream, member) in replies {
+            write_bytes(&mut stream, &frame, member)?;
+        }
+        data.copy_from_slice(&result);
+        Ok(())
+    }
+
+    /// Member role: send parameters to the leader, read back the
+    /// average.
+    fn join(&mut self, leader: usize, base_tag: u64, data: &mut [f32]) -> Result<()> {
+        let addr =
+            self.roster.get(leader).copied().ok_or_else(|| {
+                CommError::InvalidGroup(format!("no roster entry for rank {leader}"))
+            })?;
+        let mut stream =
+            TcpStream::connect_timeout(&addr, self.io_timeout).map_err(|_| gone(leader))?;
+        configure_data(&stream, self.io_timeout, leader)?;
+        let payload = floats_to_bytes(data);
+        let mut frame = Vec::with_capacity(16 + payload.len());
+        frame.extend_from_slice(&base_tag.to_be_bytes());
+        frame.extend_from_slice(&(self.rank as u32).to_be_bytes());
+        frame.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        write_bytes(&mut stream, &frame, leader)?;
+
+        let mut tag_buf = [0u8; 8];
+        read_bytes(&mut stream, &mut tag_buf, leader)?;
+        let tag = u64::from_be_bytes(tag_buf);
+        if tag != base_tag {
+            return Err(CommError::InvalidGroup(format!(
+                "response for tag {tag} during reduce {base_tag}"
+            )));
+        }
+        let mut len_buf = [0u8; 4];
+        read_bytes(&mut stream, &mut len_buf, leader)?;
+        let len = u32::from_be_bytes(len_buf);
+        if len as usize != data.len() {
+            return Err(CommError::PayloadMismatch {
+                expected: data.len(),
+                actual: len as usize,
+            });
+        }
+        let mut payload = vec![0u8; len as usize * 4];
+        read_bytes(&mut stream, &mut payload, leader)?;
+        bytes_to_floats(&payload, data)
+    }
+}
+
+impl GroupAverager for MeshEndpoint {
+    fn group_weighted_average(
+        &mut self,
+        group: &[usize],
+        base_tag: u64,
+        data: &mut [f32],
+        weights: &[f32],
+    ) -> Result<()> {
+        if group.is_empty() || weights.len() != group.len() {
+            return Err(CommError::InvalidGroup(format!(
+                "group of {} with {} weights",
+                group.len(),
+                weights.len()
+            )));
+        }
+        let Some(&leader) = group.first() else {
+            return Err(CommError::InvalidGroup("empty group".into()));
+        };
+        if group.len() == 1 {
+            // Singleton flush: the weighted average of one member.
+            let w = weights.first().copied().unwrap_or(1.0);
+            for d in data.iter_mut() {
+                *d *= w;
+            }
+            return Ok(());
+        }
+        if leader == self.rank {
+            self.lead(group, base_tag, data, weights)
+        } else if group.contains(&self.rank) {
+            self.join(leader, base_tag, data)
+        } else {
+            Err(CommError::InvalidGroup(format!(
+                "rank {} not in group {group:?}",
+                self.rank
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> (Vec<MeshEndpoint>, Vec<String>) {
+        let eps: Vec<MeshEndpoint> = (0..n)
+            .map(|r| MeshEndpoint::bind(r, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<String> = eps.iter().map(|e| e.local_addr().to_string()).collect();
+        (eps, addrs)
+    }
+
+    #[test]
+    fn star_reduce_matches_weighted_average() {
+        let (mut eps, addrs) = fleet(3);
+        for ep in &mut eps {
+            ep.set_roster(&addrs).unwrap();
+        }
+        let group = vec![1usize, 0, 2];
+        let weights = vec![0.5f32, 0.25, 0.25];
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let group = group.clone();
+                let weights = weights.clone();
+                thread::spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 4];
+                    ep.group_weighted_average(&group, 7, &mut data, &weights)
+                        .unwrap();
+                    data
+                })
+            })
+            .collect();
+        // Expected: 0.5*w1 + 0.25*w0 + 0.25*w2 = 0.5*2 + 0.25*1 + 0.25*3 = 2.0
+        for h in handles {
+            let data = h.join().unwrap();
+            for x in data {
+                assert!((x - 2.0).abs() < 1e-6, "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn member_not_in_group_is_rejected() {
+        let (mut eps, addrs) = fleet(2);
+        let ep = &mut eps[1];
+        ep.set_roster(&addrs).unwrap();
+        let mut data = vec![1.0f32];
+        let r = ep.group_weighted_average(&[0, 2], 0, &mut data, &[0.5, 0.5]);
+        assert!(matches!(r, Err(CommError::InvalidGroup(_))), "{r:?}");
+    }
+
+    #[test]
+    fn singleton_flush_scales_in_place() {
+        let (mut eps, addrs) = fleet(1);
+        eps[0].set_roster(&addrs).unwrap();
+        let mut data = vec![2.0f32, 4.0];
+        eps[0]
+            .group_weighted_average(&[0], 3, &mut data, &[1.0])
+            .unwrap();
+        assert_eq!(data, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn dead_member_times_out_the_leader() {
+        let (mut eps, addrs) = fleet(2);
+        let mut leader = eps.remove(0);
+        leader.set_roster(&addrs).unwrap();
+        leader.set_io_timeout(Duration::from_millis(100));
+        // Member never dials in.
+        let mut data = vec![1.0f32; 2];
+        let r = leader.group_weighted_average(&[0, 1], 5, &mut data, &[0.5, 0.5]);
+        assert!(
+            matches!(r, Err(CommError::Timeout { .. })),
+            "leader must not hang: {r:?}"
+        );
+    }
+
+    #[test]
+    fn payload_length_mismatch_is_typed() {
+        let (mut eps, addrs) = fleet(2);
+        for ep in &mut eps {
+            ep.set_roster(&addrs).unwrap();
+            ep.set_io_timeout(Duration::from_secs(2));
+        }
+        let mut member = eps.pop().unwrap();
+        let mut leader = eps.pop().unwrap();
+        let m = thread::spawn(move || {
+            let mut data = vec![1.0f32; 3]; // leader expects 2
+            member.group_weighted_average(&[0, 1], 9, &mut data, &[0.5, 0.5])
+        });
+        let mut data = vec![1.0f32; 2];
+        let r = leader.group_weighted_average(&[0, 1], 9, &mut data, &[0.5, 0.5]);
+        assert!(matches!(r, Err(CommError::PayloadMismatch { .. })), "{r:?}");
+        let _ = m.join().unwrap();
+    }
+}

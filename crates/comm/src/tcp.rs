@@ -9,10 +9,12 @@
 //! server).
 //!
 //! Topology: the controller binds a listener; each worker dials in and
-//! introduces itself with a `Hello { rank }` frame. One reader thread per
-//! worker socket funnels decoded signals into a single queue, so the
-//! controller side exposes the same [`ControlPlane`] interface as the
-//! in-process channels.
+//! introduces itself with a `Hello { rank }` frame. The controller side
+//! is served by the sharded non-blocking reactor of [`crate::reactor`]
+//! — a fixed pool of poller threads instead of one blocking thread per
+//! socket — and exposes the same [`ControlPlane`] interface as the
+//! in-process channels, plus batched ingestion via
+//! [`BatchControlPlane`].
 //!
 //! Hardening (DESIGN.md §11): connects retry with exponential backoff
 //! under a deadline and fail with the typed
@@ -21,35 +23,37 @@
 //! workers can stream [`WorkerSignal::Heartbeat`] frames so the runtime
 //! can turn silence into a detected departure.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
-use crate::control::{ControlPlane, GroupAssignment, WorkerControlPlane, WorkerSignal};
+use crate::control::{
+    BatchControlPlane, ControlEvent, ControlPlane, FleetRoster, GroupAssignment,
+    WorkerControlPlane, WorkerSignal,
+};
 use crate::error::CommError;
+use crate::frame::{self, MAX_FRAME};
+use crate::reactor::{self, ReactorConfig};
 use crate::Result;
-
-/// Maximum accepted frame size: control messages are tiny; anything close
-/// to this indicates protocol corruption.
-const MAX_FRAME: u32 = 1 << 20;
 
 /// Read timeout on every connected control-plane socket. Reader threads
 /// wake at this period on idle sockets; liveness decisions happen in the
 /// runtime (heartbeat accounting), not down here.
-const READ_TIMEOUT: Duration = Duration::from_millis(500);
+pub(crate) const READ_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Write timeout on every connected control-plane socket. A peer that
 /// cannot drain a few-byte frame for this long is treated as gone.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How long the controller waits for a connected worker's `Hello`.
-const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+pub(crate) const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Consecutive read timeouts tolerated *inside* a frame before the peer
 /// is declared gone. Idle timeouts (between frames) are unbounded.
@@ -79,26 +83,36 @@ impl Default for RetryPolicy {
     }
 }
 
-/// The worker's first frame after connecting.
+/// The worker's first frame after connecting. `data_addr` is the
+/// worker's data-plane listener address, present only in multi-process
+/// deployments (see [`crate::reactor::accept_fleet`]); in-process TCP
+/// runs leave it unset and the field is invisible on the wire to older
+/// decoders (`serde(default)` + skip-if-none).
 #[derive(Debug, Serialize, Deserialize)]
-struct Hello {
-    rank: usize,
+pub(crate) struct Hello {
+    pub(crate) rank: usize,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub(crate) data_addr: Option<String>,
 }
 
-fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T, peer: usize) -> Result<()> {
-    let payload = serde_json::to_vec(msg)
-        .map_err(|_| CommError::InvalidGroup("unserializable control message".into()))?;
-    let len = payload.len() as u32;
-    debug_assert!(len < MAX_FRAME);
+pub(crate) fn write_frame<T: Serialize>(
+    stream: &mut TcpStream,
+    msg: &T,
+    peer: usize,
+) -> Result<()> {
+    let bytes = frame::encode(msg)?;
     stream
-        .write_all(&len.to_be_bytes())
-        .and_then(|_| stream.write_all(&payload))
+        .write_all(&bytes)
         .map_err(|_| CommError::Disconnected { peer })
 }
 
 /// Serializes one whole frame onto a shared socket under its writer
 /// mutex (heartbeat thread and worker loop share the write half).
-fn locked_write<T: Serialize>(writer: &Mutex<TcpStream>, msg: &T, peer: usize) -> Result<()> {
+pub(crate) fn locked_write<T: Serialize>(
+    writer: &Mutex<TcpStream>,
+    msg: &T,
+    peer: usize,
+) -> Result<()> {
     write_frame(&mut writer.lock(), msg, peer) // lint: allow(lock-discipline) the per-socket writer mutex exists precisely to serialize whole frames onto one socket; nothing else is ever held with it
 }
 
@@ -107,7 +121,12 @@ fn locked_write<T: Serialize>(writer: &Mutex<TcpStream>, msg: &T, peer: usize) -
 /// (`Timeout`, retryable — when `idle_ok`), a bounded number of stalls
 /// mid-frame (then `Disconnected`), and a real EOF/socket error
 /// (`Disconnected`).
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], peer: usize, idle_ok: bool) -> Result<()> {
+pub(crate) fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    peer: usize,
+    idle_ok: bool,
+) -> Result<()> {
     let mut filled = 0usize;
     let mut stalls = 0u32;
     while filled < buf.len() {
@@ -140,25 +159,25 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], peer: usize, idle_ok: bool)
 
 /// Reads one length-prefixed frame. An idle socket (no frame started
 /// before the read timeout) returns `Timeout`; a frame cut off mid-way
-/// returns `Disconnected`.
-fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream, peer: usize) -> Result<T> {
+/// returns `Disconnected`; a corrupt prefix or payload returns the
+/// typed [`CommError::MalformedFrame`].
+pub(crate) fn read_frame<T: DeserializeOwned>(stream: &mut TcpStream, peer: usize) -> Result<T> {
     let mut len_buf = [0u8; 4];
     read_full(stream, &mut len_buf, peer, true)?;
     let len = u32::from_be_bytes(len_buf);
     if len >= MAX_FRAME {
-        return Err(CommError::InvalidGroup(format!(
-            "oversized control frame ({len} bytes)"
-        )));
+        return Err(CommError::MalformedFrame {
+            detail: format!("oversized control frame ({len} bytes)"),
+        });
     }
     let mut payload = vec![0u8; len as usize];
     read_full(stream, &mut payload, peer, false)?;
-    serde_json::from_slice(&payload)
-        .map_err(|_| CommError::InvalidGroup("malformed control frame".into()))
+    frame::decode(&payload)
 }
 
 /// Applies the standard control-plane socket configuration: no Nagle
 /// delay, plus read/write timeouts so no operation blocks forever.
-fn configure(stream: &TcpStream, peer: usize) -> Result<()> {
+pub(crate) fn configure(stream: &TcpStream, peer: usize) -> Result<()> {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(READ_TIMEOUT))
@@ -166,13 +185,61 @@ fn configure(stream: &TcpStream, peer: usize) -> Result<()> {
         .map_err(|_| CommError::Disconnected { peer })
 }
 
-/// Controller side of the TCP message queue.
+/// Controller side of the TCP message queue, served by the sharded
+/// reactor: shard threads deliver *batches* of [`ControlEvent`]s over
+/// one channel; this link buffers a partially consumed batch so the
+/// one-at-a-time [`ControlPlane`] interface still works.
 #[derive(Debug)]
 pub struct TcpControllerLink {
-    signals: Receiver<WorkerSignal>,
+    events: Receiver<Vec<ControlEvent>>,
+    /// Front of the current partially consumed batch.
+    pending: VecDeque<ControlEvent>,
     /// Write half per worker, shared with nothing else (reads happen on
-    /// the reader threads' clones).
+    /// the reactor shards' clones).
     writers: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+impl TcpControllerLink {
+    /// Assembles the link from the reactor's event channel and the
+    /// per-worker write halves.
+    pub(crate) fn from_reactor(
+        events: Receiver<Vec<ControlEvent>>,
+        writers: Vec<Arc<Mutex<TcpStream>>>,
+    ) -> Self {
+        TcpControllerLink {
+            events,
+            pending: VecDeque::new(),
+            writers,
+        }
+    }
+
+    /// Sends the fleet roster to every connected worker (multi-process
+    /// deployments only; see [`reactor::accept_fleet`]).
+    pub(crate) fn broadcast_roster(&mut self, roster: &FleetRoster) -> Result<()> {
+        for (rank, writer) in self.writers.iter().enumerate() {
+            locked_write(writer, roster, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Pulls the next event, consulting the buffered batch first.
+    fn next_event(&mut self, timeout: Duration) -> Result<ControlEvent> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(ev);
+        }
+        let batch = self.events.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout {
+                peer: usize::MAX,
+                tag: 0,
+            },
+            RecvTimeoutError::Disconnected => CommError::Disconnected { peer: usize::MAX },
+        })?;
+        self.pending.extend(batch);
+        self.pending.pop_front().ok_or(CommError::Timeout {
+            peer: usize::MAX,
+            tag: 0,
+        })
+    }
 }
 
 /// Binds a controller listener on `addr` (use port 0 for an ephemeral
@@ -194,94 +261,28 @@ pub fn bind_controller(addr: &str) -> (TcpListener, SocketAddr) {
     (listener, local)
 }
 
-/// Accepts exactly `n` workers on `listener`, spawning one reader thread
-/// per connection. Returns once every rank 0..n has said hello.
+/// Accepts exactly `n` workers on `listener` and hands their sockets to
+/// the sharded reactor. Returns once every rank 0..n has said hello.
 ///
 /// # Errors
 /// Fails if a connection breaks during the handshake or a rank is
 /// duplicated/out of range.
 pub fn accept_workers(listener: &TcpListener, n: usize) -> Result<TcpControllerLink> {
-    assert!(n > 0, "need at least one worker");
-    let (tx, rx) = unbounded::<WorkerSignal>();
-    let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
-
-    for conn in 0..n {
-        let (mut stream, _) = listener
-            .accept()
-            .map_err(|_| CommError::Disconnected { peer: conn })?;
-        configure(&stream, conn)?;
-        // The handshake gets a generous read timeout; reader threads
-        // drop back to the short idle period afterwards.
-        stream
-            .set_read_timeout(Some(HELLO_TIMEOUT))
-            .map_err(|_| CommError::Disconnected { peer: conn })?;
-        let hello: Hello = read_frame(&mut stream, conn)?;
-        if hello.rank >= n {
-            return Err(CommError::InvalidRank {
-                rank: hello.rank,
-                world: n,
-            });
-        }
-        let slot = writers.get_mut(hello.rank).ok_or(CommError::InvalidRank {
-            rank: hello.rank,
-            world: n,
-        })?;
-        if slot.is_some() {
-            return Err(CommError::InvalidGroup(format!(
-                "duplicate hello from rank {}",
-                hello.rank
-            )));
-        }
-        stream
-            .set_read_timeout(Some(READ_TIMEOUT))
-            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
-        let reader = stream
-            .try_clone()
-            .map_err(|_| CommError::Disconnected { peer: hello.rank })?;
-        *slot = Some(Arc::new(Mutex::new(stream)));
-
-        // Reader thread: decode signals until the socket closes. Idle
-        // timeouts just re-arm the read — liveness is judged upstream
-        // from heartbeat arrival times, not socket state.
-        let tx = tx.clone();
-        let rank = hello.rank;
-        thread::Builder::new()
-            .name(format!("preduce-tcp-reader-{rank}"))
-            .spawn(move || {
-                let mut reader = reader;
-                loop {
-                    match read_frame::<WorkerSignal>(&mut reader, rank) {
-                        Ok(signal) => {
-                            if tx.send(signal).is_err() {
-                                break;
-                            }
-                        }
-                        Err(CommError::Timeout { .. }) => continue,
-                        Err(_) => break,
-                    }
-                }
-            })
-            .map_err(|_| CommError::Disconnected { peer: rank })?;
-    }
-
-    // Range and duplicate checks above guarantee all n slots were filled.
-    let writers: Vec<Arc<Mutex<TcpStream>>> = writers.into_iter().flatten().collect();
-    debug_assert_eq!(writers.len(), n, "every rank said hello");
-    Ok(TcpControllerLink {
-        signals: rx,
-        writers,
-    })
+    reactor::accept_reactor(listener, n, ReactorConfig::default()).map(|(link, _members)| link)
 }
 
 impl ControlPlane for TcpControllerLink {
     fn recv_signal(&mut self, timeout: Duration) -> Result<WorkerSignal> {
-        self.signals.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => CommError::Timeout {
-                peer: usize::MAX,
-                tag: 0,
-            },
-            RecvTimeoutError::Disconnected => CommError::Disconnected { peer: usize::MAX },
-        })
+        // Classic interface: disconnects are invisible here (a vanished
+        // peer is just silence, as with the per-thread readers of old);
+        // callers that care use `recv_events`.
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.next_event(deadline.saturating_duration_since(Instant::now()))? {
+                ControlEvent::Signal(signal) => return Ok(signal),
+                ControlEvent::Disconnected { .. } => continue,
+            }
+        }
     }
 
     fn send_assignment(&mut self, worker: usize, assignment: GroupAssignment) -> Result<()> {
@@ -290,6 +291,24 @@ impl ControlPlane for TcpControllerLink {
             world: self.writers.len(),
         })?;
         locked_write(writer, &assignment, worker)
+    }
+}
+
+impl BatchControlPlane for TcpControllerLink {
+    fn recv_events(&mut self, max: usize, timeout: Duration) -> Result<Vec<ControlEvent>> {
+        let first = self.next_event(timeout)?;
+        let mut events = vec![first];
+        while events.len() < max {
+            if let Some(ev) = self.pending.pop_front() {
+                events.push(ev);
+                continue;
+            }
+            match self.events.try_recv() {
+                Ok(batch) => self.pending.extend(batch),
+                Err(_) => break,
+            }
+        }
+        Ok(events)
     }
 }
 
@@ -324,13 +343,55 @@ impl TcpWorkerLink {
     /// attempt count, and the last OS error once the budget is
     /// exhausted; other variants if the handshake fails.
     pub fn connect_with(addr: SocketAddr, rank: usize, policy: RetryPolicy) -> Result<Self> {
+        Self::dial(addr, rank, policy, None)
+    }
+
+    /// Dials the controller of a multi-process fleet: the hello carries
+    /// this worker's data-plane listener address, and the controller
+    /// replies with the fleet roster (every rank's data address) once
+    /// all workers have joined — see [`crate::reactor::accept_fleet`].
+    ///
+    /// # Errors
+    /// [`CommError::ConnectFailed`] once the retry budget is exhausted;
+    /// other variants if the handshake or the roster read fails.
+    pub fn connect_fleet(
+        addr: SocketAddr,
+        rank: usize,
+        data_addr: String,
+        policy: RetryPolicy,
+    ) -> Result<(Self, crate::control::FleetRoster)> {
+        let mut link = Self::dial(addr, rank, policy, Some(data_addr))?;
+        // The roster only arrives after the *last* worker joins; give
+        // slow fleets the same generous budget as the hello.
+        link.stream
+            .set_read_timeout(Some(HELLO_TIMEOUT))
+            .map_err(|_| CommError::Disconnected { peer: rank })?;
+        let roster: crate::control::FleetRoster = loop {
+            match read_frame(&mut link.stream, rank) {
+                Ok(r) => break r,
+                Err(CommError::Timeout { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        link.stream
+            .set_read_timeout(Some(READ_TIMEOUT))
+            .map_err(|_| CommError::Disconnected { peer: rank })?;
+        Ok((link, roster))
+    }
+
+    fn dial(
+        addr: SocketAddr,
+        rank: usize,
+        policy: RetryPolicy,
+        data_addr: Option<String>,
+    ) -> Result<Self> {
         let start = Instant::now();
         let mut backoff = policy.initial_backoff;
         let mut attempts = 0u32;
         let last_error = loop {
             attempts += 1;
             match TcpStream::connect(addr) {
-                Ok(stream) => return Self::handshake(stream, rank),
+                Ok(stream) => return Self::handshake(stream, rank, data_addr),
                 Err(e) => {
                     if attempts >= policy.max_attempts.max(1)
                         || start.elapsed() + backoff > policy.deadline
@@ -349,13 +410,13 @@ impl TcpWorkerLink {
         })
     }
 
-    fn handshake(stream: TcpStream, rank: usize) -> Result<Self> {
+    fn handshake(stream: TcpStream, rank: usize, data_addr: Option<String>) -> Result<Self> {
         configure(&stream, rank)?;
         let writer = stream
             .try_clone()
             .map_err(|_| CommError::Disconnected { peer: rank })?;
         let writer = Arc::new(Mutex::new(writer));
-        locked_write(&writer, &Hello { rank }, rank)?;
+        locked_write(&writer, &Hello { rank, data_addr }, rank)?;
         Ok(TcpWorkerLink {
             rank,
             stream,

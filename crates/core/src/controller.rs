@@ -362,6 +362,31 @@ impl Controller {
         true
     }
 
+    /// Batched ready-signal ingestion for serving transports. Remote
+    /// processes are untrusted input: they may send out-of-range ranks
+    /// or re-signal while already queued (e.g. retrying after a degraded
+    /// reduce), and a serving controller must not panic on that — so,
+    /// unlike [`Controller::push_ready`] whose panics encode in-process
+    /// driver bugs, malformed entries are *skipped*. Signals from
+    /// departed workers are rejected through the ordinary
+    /// [`TraceEvent::SignalRejected`] path. Returns how many signals
+    /// entered the queue.
+    pub fn ingest_ready(&mut self, signals: &[(usize, u64)]) -> usize {
+        let mut accepted = 0;
+        for &(worker, iteration) in signals {
+            if worker >= self.config.num_workers {
+                continue;
+            }
+            if self.queue.iter().any(|s| s.worker == worker) {
+                continue;
+            }
+            if self.push_ready(worker, iteration) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Attempts to form a group (controller lines 3–5 of Algorithm 2):
     /// pops `P` signals FIFO, applies the group filter, generates weights,
     /// and returns the decision. Returns `None` while fewer than `P`
@@ -613,6 +638,23 @@ mod tests {
         assert_eq!(c.effective_window(), 4); // ⌈7/2⌉
         let c = ControllerConfig::constant(8, 5);
         assert_eq!(c.effective_window(), 2);
+    }
+
+    #[test]
+    fn ingest_ready_skips_malformed_remote_input() {
+        let mut c = Controller::new(ControllerConfig::constant(4, 2));
+        c.mark_left(3);
+        let accepted = c.ingest_ready(&[
+            (0, 1), // fine
+            (9, 1), // out of range: skipped, no panic
+            (0, 2), // duplicate pending: skipped, no panic
+            (3, 1), // departed: rejected through the ordinary path
+            (1, 1), // fine
+        ]);
+        assert_eq!(accepted, 2);
+        assert_eq!(c.pending(), 2);
+        let d = c.try_form_group().unwrap();
+        assert_eq!(d.group, vec![0, 1]);
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //! * departed workers never appear in later groups, and their queued
 //!   signals are purged on departure;
 //! * an eviction ([`TraceEvent::WorkerEvicted`]) is *justified*: it is
-//!   preceded by heartbeat silence ([`TraceEvent::HeartbeatMissed`]) or an
-//!   injected fault ([`TraceEvent::FaultInjected`]) for that worker, it
+//!   preceded by heartbeat silence ([`TraceEvent::HeartbeatMissed`]), an
+//!   injected fault ([`TraceEvent::FaultInjected`]), or a dropped control
+//!   connection ([`TraceEvent::ProcessDisconnected`]) for that worker, it
 //!   carries the post-eviction active count, and it is resolved by the
 //!   worker's ordinary departure event — never by silently vanishing;
+//! * process lifecycle is consistent: at most one
+//!   [`TraceEvent::ProcessJoined`] per rank, and a
+//!   [`TraceEvent::ProcessDisconnected`] only for a rank that joined and
+//!   has not yet departed;
 //! * closing counters ([`TraceEvent::RunFinished`]) match the replayed
 //!   tallies.
 //!
@@ -131,6 +136,10 @@ struct Replay<'a> {
     faulted: BTreeMap<usize, ()>,
     /// Workers whose heartbeat silence was narrated (justifies eviction).
     missed: BTreeMap<usize, ()>,
+    /// Worker processes that completed the fleet handshake.
+    joined: BTreeMap<usize, ()>,
+    /// Workers whose control connection dropped (justifies eviction).
+    disconnected: BTreeMap<usize, ()>,
     /// Evicted workers awaiting their departure event.
     evicted_pending: BTreeMap<usize, ()>,
     /// Replica of the controller's group history database.
@@ -160,6 +169,8 @@ impl<'a> Replay<'a> {
             in_flight: BTreeMap::new(),
             faulted: BTreeMap::new(),
             missed: BTreeMap::new(),
+            joined: BTreeMap::new(),
+            disconnected: BTreeMap::new(),
             evicted_pending: BTreeMap::new(),
             history: None,
             expected_sequence: 0,
@@ -325,6 +336,48 @@ impl<'a> Replay<'a> {
                         }
                     }
                     self.faulted.insert(*worker, ());
+                }
+                TraceEvent::ProcessJoined { worker, .. } => {
+                    self.require_started(i);
+                    if let Some(cfg) = &self.config {
+                        if *worker >= cfg.num_workers {
+                            self.fail(
+                                i,
+                                format!(
+                                    "out-of-range worker {worker} joined \
+                                     the fleet (N = {})",
+                                    cfg.num_workers
+                                ),
+                            );
+                        }
+                    }
+                    if self.joined.insert(*worker, ()).is_some() {
+                        self.fail(i, format!("worker {worker} joined the fleet twice"));
+                    }
+                }
+                TraceEvent::ProcessDisconnected { worker } => {
+                    self.require_started(i);
+                    if !self.joined.contains_key(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "disconnect reported for worker {worker} \
+                                 that never joined the fleet"
+                            ),
+                        );
+                    }
+                    if self.departed.contains_key(worker) {
+                        self.fail(
+                            i,
+                            format!(
+                                "disconnect reported for worker {worker} \
+                                 after it already departed"
+                            ),
+                        );
+                    }
+                    if self.disconnected.insert(*worker, ()).is_some() {
+                        self.fail(i, format!("worker {worker} disconnected twice"));
+                    }
                 }
                 TraceEvent::HeartbeatMissed { worker, misses } => {
                     self.require_started(i);
@@ -730,8 +783,9 @@ impl<'a> Replay<'a> {
         }
     }
 
-    /// An eviction must be justified (prior silence or an injected fault),
-    /// must target a still-active worker, and must carry the post-eviction
+    /// An eviction must be justified (prior silence, an injected fault,
+    /// or a dropped control connection), must target a still-active
+    /// worker, and must carry the post-eviction
     /// active count. The replayed `active` is *not* decremented here: the
     /// eviction routes through the ordinary departure path, so the
     /// worker's [`TraceEvent::WorkerLeft`] — carrying the same count —
@@ -747,12 +801,15 @@ impl<'a> Replay<'a> {
         if self.evicted_pending.insert(worker, ()).is_some() {
             self.fail(index, format!("worker {worker} evicted twice"));
         }
-        if !self.missed.contains_key(&worker) && !self.faulted.contains_key(&worker) {
+        if !self.missed.contains_key(&worker)
+            && !self.faulted.contains_key(&worker)
+            && !self.disconnected.contains_key(&worker)
+        {
             self.fail(
                 index,
                 format!(
-                    "worker {worker} evicted without prior HeartbeatMissed \
-                     or FaultInjected justification"
+                    "worker {worker} evicted without prior HeartbeatMissed, \
+                     FaultInjected, or ProcessDisconnected justification"
                 ),
             );
         }
@@ -1141,6 +1198,104 @@ mod tests {
                 .violations
                 .iter()
                 .any(|v| v.message.contains("evicted worker 2 appears")),
+            "{report}"
+        );
+    }
+
+    /// A well-formed process-fleet narrative: join, disconnect, eviction
+    /// justified by the dropped connection, then ordinary departure.
+    fn fleet_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::ProcessJoined {
+                worker: 2,
+                addr: "127.0.0.1:4242".to_string(),
+            },
+            TraceEvent::ProcessDisconnected { worker: 2 },
+            TraceEvent::WorkerEvicted {
+                worker: 2,
+                active: 3,
+            },
+            TraceEvent::WorkerLeft {
+                worker: 2,
+                active: 3,
+                purged_signal: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn disconnect_justifies_eviction() {
+        let report = InvariantChecker::check(&fleet_trace());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn disconnect_without_join_is_caught() {
+        let mut events = fleet_trace();
+        events.remove(1); // drop the ProcessJoined
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("never joined")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn duplicate_join_is_caught() {
+        let mut events = fleet_trace();
+        events.insert(
+            2,
+            TraceEvent::ProcessJoined {
+                worker: 2,
+                addr: "127.0.0.1:4243".to_string(),
+            },
+        );
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("joined the fleet twice")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn disconnect_after_departure_is_caught() {
+        let mut events = fleet_trace();
+        events.push(TraceEvent::ProcessDisconnected { worker: 2 });
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("after it already departed")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_join_is_caught() {
+        let mut events = fleet_trace();
+        events.insert(
+            1,
+            TraceEvent::ProcessJoined {
+                worker: 9,
+                addr: "127.0.0.1:9999".to_string(),
+            },
+        );
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("out-of-range worker 9 joined")),
             "{report}"
         );
     }

@@ -21,12 +21,13 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use preduce_comm::collectives::{weighted_average, TAG_STRIDE};
+use preduce_comm::collectives::TAG_STRIDE;
 use preduce_comm::control::{
-    control_links, ControlPlane, GroupAssignment, ObservedControlPlane, WorkerControlPlane,
-    WorkerSignal,
+    control_links, BatchControlPlane, ControlEvent, ControlPlane, GroupAssignment,
+    ObservedControlPlane, WorkerControlPlane, WorkerSignal,
 };
-use preduce_comm::{CommError, CommWorld, Endpoint};
+use preduce_comm::mesh::GroupAverager;
+use preduce_comm::{CommError, CommWorld};
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::trace::{NullSink, SinkObserver, TraceEvent, TraceSink};
@@ -149,7 +150,7 @@ pub struct ReduceOutcome {
 /// prototype's TCP message queue ([`spawn_tcp`]).
 pub struct PartialReducer {
     link: Box<dyn WorkerControlPlane>,
-    endpoint: Endpoint,
+    averager: Box<dyn GroupAverager>,
     timeout: Duration,
     finished: bool,
     sink: Arc<dyn TraceSink>,
@@ -164,6 +165,25 @@ impl std::fmt::Debug for PartialReducer {
 }
 
 impl PartialReducer {
+    /// Assembles a reducer from an explicit control link and data-plane
+    /// averager — the multi-process deployment path, where both halves
+    /// dial remote addresses instead of being minted by a `spawn_*`
+    /// constructor in the controller's own process.
+    pub fn from_parts(
+        link: Box<dyn WorkerControlPlane>,
+        averager: Box<dyn GroupAverager>,
+        sink: Arc<dyn TraceSink>,
+    ) -> Self {
+        PartialReducer {
+            link,
+            averager,
+            timeout: Duration::from_secs(30),
+            finished: false,
+            sink,
+            stop_heartbeat: None,
+        }
+    }
+
     /// This worker's rank.
     pub fn rank(&self) -> usize {
         self.link.rank()
@@ -197,7 +217,8 @@ impl PartialReducer {
             new_iteration,
         } = self.link.recv_assignment(self.timeout)?;
         if group.len() > 1 {
-            weighted_average(&mut self.endpoint, &group, base_tag, params, &weights)?;
+            self.averager
+                .group_weighted_average(&group, base_tag, params, &weights)?;
         }
         if self.sink.enabled() {
             self.sink.record(TraceEvent::ReduceCompleted {
@@ -330,13 +351,8 @@ pub fn spawn_with_options(
     let reducers = worker_links
         .into_iter()
         .zip(endpoints)
-        .map(|(link, endpoint)| PartialReducer {
-            link: Box::new(link) as Box<dyn WorkerControlPlane>,
-            endpoint,
-            timeout: Duration::from_secs(30),
-            finished: false,
-            sink: sink.clone(),
-            stop_heartbeat: None,
+        .map(|(link, endpoint)| {
+            PartialReducer::from_parts(Box::new(link), Box::new(endpoint), sink.clone())
         })
         .collect();
 
@@ -426,13 +442,8 @@ pub fn spawn_tcp_with_options(
     let reducers = worker_links
         .into_iter()
         .zip(endpoints)
-        .map(|(link, endpoint)| PartialReducer {
-            link: Box::new(link) as Box<dyn WorkerControlPlane>,
-            endpoint,
-            timeout: Duration::from_secs(30),
-            finished: false,
-            sink: sink.clone(),
-            stop_heartbeat: None,
+        .map(|(link, endpoint)| {
+            PartialReducer::from_parts(Box::new(link), Box::new(endpoint), sink.clone())
         })
         .collect();
 
@@ -604,6 +615,238 @@ fn controller_loop<C: ControlPlane>(
         }
     }
     stats(&controller, singletons, evictions)
+}
+
+/// Largest ready-signal batch ingested per reactor scan. Bounds the time
+/// the serving loop spends away from the liveness sweep during a storm.
+const INGEST_BATCH: usize = 1024;
+
+/// Runs the controller *serving loop* for a fleet of remote worker
+/// processes — the multi-process counterpart of the private loop behind
+/// [`spawn`]. The caller owns process bring-up (bind, accept, handshake;
+/// see `preduce_comm::reactor::accept_fleet`) and hands over the batch
+/// control plane plus the fleet membership established at accept time.
+///
+/// Differences from the in-process loop:
+/// - one [`TraceEvent::ProcessJoined`] is narrated per `joined` entry
+///   before any signal is consumed, so a replayed trace proves the
+///   handshake preceded participation;
+/// - ready signals are ingested in batches ([`BatchControlPlane`] +
+///   [`Controller::ingest_ready`]) so a signal storm costs one queue-scan
+///   per reactor wakeup instead of one per signal;
+/// - a transport-reported [`ControlEvent::Disconnected`] (socket EOF or
+///   error — proof of death, unlike mere silence) narrates
+///   [`TraceEvent::ProcessDisconnected`] and evicts immediately through
+///   the ordinary departure path.
+///
+/// Returns once every worker departed (voluntarily or by eviction), or
+/// on terminal transport failure. Unlike the in-process loop, a failed
+/// *send* is not terminal here: writing to a freshly dead socket races
+/// the reactor's [`ControlEvent::Disconnected`] for the same worker, so
+/// the loop keeps serving and lets the disconnect event evict through
+/// the ordinary path (live members of an unannounced group time out,
+/// degrade, and re-signal). Total control-plane silence past the idle
+/// deadline remains the terminal backstop.
+///
+/// # Panics
+/// Panics if the config is invalid.
+pub fn serve_fleet<C: BatchControlPlane>(
+    config: ControllerConfig,
+    mut link: C,
+    joined: &[(usize, String)],
+    opts: RuntimeOptions,
+) -> ControllerStats {
+    config.validate();
+    let RuntimeOptions { sink, liveness } = opts;
+    let n = config.num_workers;
+    let p = config.group_size;
+    let mut controller = Controller::with_sink(config, sink);
+    if controller.sink().enabled() {
+        for (worker, addr) in joined {
+            controller.sink().record(TraceEvent::ProcessJoined {
+                worker: *worker,
+                addr: addr.clone(),
+            });
+        }
+    }
+    let mut active = n;
+    let mut singletons = 0u64;
+    let mut evictions = 0u64;
+    let mut pending_drain: Vec<(usize, u64)> = Vec::new();
+    let mut ready_batch: Vec<(usize, u64)> = Vec::new();
+
+    let mut last_seen: Vec<Instant> = vec![Instant::now(); n];
+    let mut reported_misses: Vec<u64> = vec![0; n];
+    let mut last_activity = Instant::now();
+    let recv_timeout = match liveness {
+        Some(policy) => policy.heartbeat_interval.min(IDLE_DEADLINE),
+        None => IDLE_DEADLINE,
+    };
+
+    while active > 0 {
+        let events = match link.recv_events(INGEST_BATCH, recv_timeout) {
+            Ok(events) => {
+                last_activity = Instant::now();
+                events
+            }
+            Err(CommError::Timeout { .. }) if last_activity.elapsed() < IDLE_DEADLINE => Vec::new(),
+            Err(_) => break,
+        };
+        for event in events {
+            match event {
+                ControlEvent::Signal(WorkerSignal::Ready { worker, iteration }) => {
+                    note_heard(&mut last_seen, &mut reported_misses, worker);
+                    if active < p {
+                        if worker < n && !controller.has_left(worker) {
+                            pending_drain.push((worker, iteration));
+                        }
+                    } else {
+                        ready_batch.push((worker, iteration));
+                    }
+                }
+                ControlEvent::Signal(WorkerSignal::Leaving { worker }) => {
+                    // Flush queued readys first: they arrived before the
+                    // departure and must be scheduled under the old fleet.
+                    let _ = ingest_and_drain(&mut controller, &mut link, &mut ready_batch);
+                    note_heard(&mut last_seen, &mut reported_misses, worker);
+                    if worker < n && !controller.has_left(worker) {
+                        active -= 1;
+                        controller.mark_left(worker);
+                        if active >= p {
+                            let _ = drain_groups(&mut controller, &mut link);
+                        }
+                    }
+                }
+                ControlEvent::Signal(WorkerSignal::Heartbeat { worker }) => {
+                    note_heard(&mut last_seen, &mut reported_misses, worker);
+                }
+                ControlEvent::Disconnected { worker } => {
+                    let _ = ingest_and_drain(&mut controller, &mut link, &mut ready_batch);
+                    // A socket closing after the worker already departed
+                    // is the normal teardown of a finished peer — only a
+                    // *live* worker's disconnect is a death.
+                    if worker < n && !controller.has_left(worker) {
+                        evictions += 1;
+                        active -= 1;
+                        if controller.sink().enabled() {
+                            controller
+                                .sink()
+                                .record(TraceEvent::ProcessDisconnected { worker });
+                            controller
+                                .sink()
+                                .record(TraceEvent::WorkerEvicted { worker, active });
+                        }
+                        controller.mark_left(worker);
+                        if active >= p {
+                            let _ = drain_groups(&mut controller, &mut link);
+                        }
+                    }
+                }
+            }
+        }
+        let _ = ingest_and_drain(&mut controller, &mut link, &mut ready_batch);
+        // Liveness sweep: identical policy to the in-process loop —
+        // disconnects catch dead sockets, the sweep catches hung-but-
+        // connected workers whose kernel still answers keepalives.
+        if let Some(policy) = liveness {
+            let now = Instant::now();
+            for worker in 0..n {
+                if controller.has_left(worker) {
+                    continue;
+                }
+                let silent = match last_seen.get(worker) {
+                    Some(seen) => now.duration_since(*seen),
+                    None => continue,
+                };
+                let misses =
+                    (silent.as_micros() / policy.heartbeat_interval.as_micros().max(1)) as u64;
+                if misses == 0 {
+                    continue;
+                }
+                let reported = match reported_misses.get_mut(worker) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                if misses > *reported {
+                    *reported = misses;
+                    if controller.sink().enabled() {
+                        controller
+                            .sink()
+                            .record(TraceEvent::HeartbeatMissed { worker, misses });
+                    }
+                }
+                if misses >= policy.miss_threshold {
+                    evictions += 1;
+                    active -= 1;
+                    if controller.sink().enabled() {
+                        controller
+                            .sink()
+                            .record(TraceEvent::WorkerEvicted { worker, active });
+                    }
+                    controller.mark_left(worker);
+                }
+            }
+            if active >= p {
+                let _ = drain_groups(&mut controller, &mut link);
+            }
+        }
+        // Fleet below P: flush queued and drain-pending workers as
+        // singletons so stragglers keep making progress alone.
+        if active < p {
+            let mut flush: Vec<(usize, u64)> = controller.drain_pending();
+            flush.append(&mut pending_drain);
+            for (worker, iteration) in flush.drain(..) {
+                if controller.has_left(worker) {
+                    continue;
+                }
+                singletons += 1;
+                if controller.sink().enabled() {
+                    controller
+                        .sink()
+                        .record(TraceEvent::SingletonIssued { worker, iteration });
+                }
+                let assignment = GroupAssignment {
+                    group: vec![worker],
+                    weights: crate::weights::singleton_weights(),
+                    base_tag: 0,
+                    new_iteration: iteration,
+                };
+                // A failed singleton send means this socket just died;
+                // its Disconnected event will follow and evict.
+                let _ = link.send_assignment(worker, assignment);
+            }
+        }
+    }
+    stats(&controller, singletons, evictions)
+}
+
+/// Marks `worker` as heard-from for the liveness sweep.
+fn note_heard(last_seen: &mut [Instant], reported_misses: &mut [u64], worker: usize) {
+    if let Some(seen) = last_seen.get_mut(worker) {
+        *seen = Instant::now();
+    }
+    if let Some(misses) = reported_misses.get_mut(worker) {
+        *misses = 0;
+    }
+}
+
+/// Ingests a batch of ready signals and forms every fillable group.
+/// `Err(())` means the transport died mid-announcement.
+fn ingest_and_drain<C: ControlPlane>(
+    controller: &mut Controller,
+    link: &mut C,
+    batch: &mut Vec<(usize, u64)>,
+) -> Result<(), ()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let accepted = controller.ingest_ready(batch);
+    batch.clear();
+    if accepted > 0 {
+        drain_groups(controller, link)
+    } else {
+        Ok(())
+    }
 }
 
 fn drain_groups<C: ControlPlane>(controller: &mut Controller, link: &mut C) -> Result<(), ()> {
@@ -1030,6 +1273,73 @@ mod tests {
         let stats = handle.join();
         assert_eq!(stats.evictions, 1, "stats: {stats:?}");
         assert_eq!(stats.singletons, 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn serve_fleet_runs_channel_fleet_and_traces_joins() {
+        use crate::invariants::InvariantChecker;
+        use crate::trace::RingSink;
+
+        let sink = Arc::new(RingSink::new(65536));
+        let cfg = ControllerConfig::constant(4, 2);
+        let (ctl_link, worker_links) = control_links(4);
+        let ctl_link =
+            ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
+        let joined: Vec<(usize, String)> = (0..4).map(|r| (r, format!("proc-{r}"))).collect();
+        let serve_sink = sink.clone();
+        let server = thread::spawn(move || {
+            serve_fleet(
+                cfg,
+                ctl_link,
+                &joined,
+                RuntimeOptions {
+                    sink: serve_sink,
+                    liveness: None,
+                },
+            )
+        });
+
+        let endpoints = CommWorld::new(4).into_endpoints();
+        let threads: Vec<_> = worker_links
+            .into_iter()
+            .zip(endpoints)
+            .enumerate()
+            .map(|(rank, (link, endpoint))| {
+                let sink = sink.clone();
+                thread::spawn(move || {
+                    let mut r =
+                        PartialReducer::from_parts(Box::new(link), Box::new(endpoint), sink);
+                    let mut params = vec![rank as f32; 3];
+                    let mut iteration = 0u64;
+                    for _ in 0..10 {
+                        for v in &mut params {
+                            *v += 1.0;
+                        }
+                        iteration += 1;
+                        let out = r.reduce(&mut params, iteration).unwrap();
+                        iteration = out.new_iteration;
+                    }
+                    r.finish().unwrap();
+                    params
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let stats = server.join().unwrap();
+        assert!(stats.groups_formed > 0, "stats: {stats:?}");
+        // Pairwise averaging conserves the fleet mean: (0+1+2+3)/4 = 1.5,
+        // plus 10 increments per worker.
+        let mean: f32 = results.iter().map(|r| r[0]).sum::<f32>() / 4.0;
+        assert!((mean - 11.5).abs() < 1e-3, "fleet mean drifted: {mean}");
+
+        let events = sink.snapshot();
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProcessJoined { .. }))
+            .count();
+        assert_eq!(joins, 4, "one join per fleet member");
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

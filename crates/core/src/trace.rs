@@ -138,6 +138,24 @@ pub enum TraceEvent {
         /// The worker's iteration when the fault took effect.
         iteration: u64,
     },
+    /// A worker process completed the control-plane handshake of a
+    /// multi-process fleet (see `preduce controller`). Emitted once per
+    /// rank, before any of that worker's signals.
+    ProcessJoined {
+        /// Worker rank.
+        worker: usize,
+        /// Peer address of the worker's control connection.
+        addr: String,
+    },
+    /// A worker process's control connection dropped — socket EOF, a
+    /// hard error, or a desynchronized frame stream. The serving loop
+    /// routes this through [`TraceEvent::WorkerEvicted`] immediately
+    /// (no need to wait out the heartbeat budget: a closed socket is
+    /// proof of death, unlike silence).
+    ProcessDisconnected {
+        /// Worker rank.
+        worker: usize,
+    },
     /// The liveness monitor missed a heartbeat window for a worker.
     HeartbeatMissed {
         /// Worker rank.

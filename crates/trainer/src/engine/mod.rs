@@ -9,6 +9,7 @@
 //! the given [`TraceSink`] from both substrates.
 
 pub mod drivers;
+pub mod process;
 pub mod setup;
 pub mod substrate;
 
