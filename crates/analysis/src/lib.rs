@@ -53,10 +53,13 @@ impl fmt::Display for Finding {
 }
 
 /// Whether the panic-path pass covers this file (control plane, comms,
-/// engine, CLI).
+/// engine, CLI, and the tensor kernel layer — every collective and
+/// model-average path funnels through the kernels, so a panic there
+/// strands a group just like a comms panic).
 fn panic_scope(path: &str) -> bool {
     path == "crates/core/src/controller.rs"
         || path == "crates/core/src/runtime.rs"
+        || path == "crates/tensor/src/kernels.rs"
         || path.starts_with("crates/comm/src/")
         || path.starts_with("crates/trainer/src/engine/")
         || path.starts_with("crates/cli/src/")
@@ -244,7 +247,12 @@ mod tests {
         assert!(panic_scope("crates/comm/src/tcp.rs"));
         assert!(panic_scope("crates/trainer/src/engine/drivers/ps.rs"));
         assert!(panic_scope("crates/cli/src/commands.rs"));
+        assert!(panic_scope("crates/tensor/src/kernels.rs"));
+        assert!(!panic_scope("crates/tensor/src/matmul.rs"));
         assert!(!panic_scope("crates/models/src/dense.rs"));
+        // The kernels index under loop bounds by design (DESIGN.md §13);
+        // the stricter unchecked-index sub-rule stays off there.
+        assert!(!index_scope("crates/tensor/src/kernels.rs"));
         assert!(!index_scope("crates/trainer/src/engine/drivers/sync.rs"));
         assert!(lock_scope("crates/core/src/trace.rs"));
         assert!(lock_scope("crates/comm/src/reactor.rs"));

@@ -1,0 +1,302 @@
+//! Kernel-layer bench: blocked/SIMD GEMM vs the scalar reference, the
+//! fused weighted-sum kernel vs the axpy chain it replaced, and the
+//! chunked group-average pipeline vs the monolithic star on a real TCP
+//! mesh (DESIGN.md §13).
+//!
+//! Three sections seed `BENCH_kernels.json` (written to the current
+//! directory — run from the workspace root):
+//!
+//! * **gemm** — GFLOP/s by square shape for all three contraction
+//!   layouts (`A·B`, `A·Bᵀ`, `Aᵀ·B`), scalar reference vs the blocked
+//!   dispatching kernel. Both paths produce bitwise-identical outputs
+//!   (asserted here before timing);
+//! * **weighted_sum** — effective model bandwidth (GB/s of model bytes
+//!   folded into the accumulator) for the fused multi-model kernel vs a
+//!   per-model axpy sweep, by group size and model length;
+//! * **group_average_tcp** — wall time of one group weighted average
+//!   over loopback [`MeshEndpoint`]s, monolithic star
+//!   (`chunk = usize::MAX`) vs the chunked overlap pipeline, by model
+//!   size and group size.
+//!
+//! Run: `cargo run --release -p preduce-bench --bin kernels`
+//! (set `PREDUCE_QUICK=1` for smaller shapes and fewer rounds)
+
+use std::thread;
+use std::time::Instant;
+
+use preduce_bench::configs::quick_mode;
+use preduce_comm::mesh::{GroupAverager, MeshEndpoint};
+use preduce_tensor::kernels;
+use serde::Serialize;
+
+/// Deterministic xorshift fill in roughly [-1, 1] (no RNG dependency).
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, after one warmup call.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct GemmShape {
+    dim: usize,
+    reference_gflops: f64,
+    blocked_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct GemmVariant {
+    variant: &'static str,
+    shapes: Vec<GemmShape>,
+}
+
+/// One GEMM layout benchmarked across square shapes. `reference` and
+/// `optimized` both compute C(m×n); outputs are asserted bitwise equal.
+fn bench_gemm_variant(
+    variant: &'static str,
+    dims: &[usize],
+    reference: fn(usize, usize, usize, &[f32], &[f32], &mut [f32]),
+    optimized: fn(usize, usize, usize, &[f32], &[f32], &mut [f32]),
+) -> GemmVariant {
+    let mut shapes = Vec::new();
+    for &s in dims {
+        let a = fill(s as u64 + 1, s * s);
+        let b = fill(s as u64 + 2, s * s);
+        let mut c_ref = vec![0f32; s * s];
+        let mut c_opt = vec![0f32; s * s];
+        reference(s, s, s, &a, &b, &mut c_ref);
+        optimized(s, s, s, &a, &b, &mut c_opt);
+        for (x, y) in c_ref.iter().zip(c_opt.iter()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{variant} at dim {s}: blocked kernel diverged from reference"
+            );
+        }
+        let flops = 2.0 * (s * s * s) as f64;
+        // Scale repetitions so each measurement runs ~0.5 GFLOP.
+        let reps = ((5e8 / flops) as usize).clamp(1, 200);
+        let t_ref = best_secs(reps.min(20), || {
+            c_ref.iter_mut().for_each(|v| *v = 0.0);
+            reference(s, s, s, &a, &b, &mut c_ref);
+        });
+        let t_opt = best_secs(reps, || {
+            c_opt.iter_mut().for_each(|v| *v = 0.0);
+            optimized(s, s, s, &a, &b, &mut c_opt);
+        });
+        shapes.push(GemmShape {
+            dim: s,
+            reference_gflops: flops / t_ref / 1e9,
+            blocked_gflops: flops / t_opt / 1e9,
+            speedup: t_ref / t_opt,
+        });
+        let last = shapes.last().expect("just pushed");
+        println!(
+            "  {variant} dim {s}: reference {:.1} GFLOP/s, blocked {:.1} GFLOP/s ({:.2}x)",
+            last.reference_gflops, last.blocked_gflops, last.speedup
+        );
+    }
+    GemmVariant { variant, shapes }
+}
+
+#[derive(Serialize)]
+struct WeightedSumShape {
+    models: usize,
+    len: usize,
+    axpy_chain_gbps: f64,
+    fused_gbps: f64,
+    speedup: f64,
+}
+
+fn bench_weighted_sum(cases: &[(usize, usize)]) -> Vec<WeightedSumShape> {
+    let mut out = Vec::new();
+    for &(p, len) in cases {
+        let models: Vec<Vec<f32>> = (0..p).map(|j| fill(j as u64 + 1, len)).collect();
+        let slices: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+        // lint: allow(weight-stochasticity) kernel-throughput inputs, not a reduce weight row — deliberately non-uniform so the fused kernel cannot shortcut
+        let weights: Vec<f32> = (0..p).map(|j| 1.0 / (j + 1) as f32).collect();
+        let mut acc = vec![0f32; len];
+        let reps = (200_000_000 / (p * len)).clamp(2, 50);
+        let t_chain = best_secs(reps, || {
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            for (m, &w) in slices.iter().zip(weights.iter()) {
+                kernels::axpy(&mut acc, w, m);
+            }
+        });
+        let t_fused = best_secs(reps, || {
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            kernels::weighted_sum_acc(&mut acc, &slices, &weights);
+        });
+        let bytes = (p * len * 4) as f64;
+        out.push(WeightedSumShape {
+            models: p,
+            len,
+            axpy_chain_gbps: bytes / t_chain / 1e9,
+            fused_gbps: bytes / t_fused / 1e9,
+            speedup: t_chain / t_fused,
+        });
+        let last = out.last().expect("just pushed");
+        println!(
+            "  weighted_sum P={p} len={len}: chain {:.1} GB/s, fused {:.1} GB/s ({:.2}x)",
+            last.axpy_chain_gbps, last.fused_gbps, last.speedup
+        );
+    }
+    out
+}
+
+#[derive(Serialize)]
+struct GroupAverageShape {
+    elems: usize,
+    group_size: usize,
+    chunk_elems: usize,
+    monolithic_ms: f64,
+    chunked_ms: f64,
+    speedup: f64,
+}
+
+/// One full group weighted average over loopback TCP; returns the wall
+/// time observed at the leader (connect + stream + reduce + reply).
+fn tcp_round(n: usize, elems: usize, chunk: usize, tag: u64) -> f64 {
+    let mut eps: Vec<MeshEndpoint> = (0..n)
+        .map(|r| MeshEndpoint::bind(r, "127.0.0.1:0").expect("bind mesh endpoint"))
+        .collect();
+    let addrs: Vec<String> = eps.iter().map(|e| e.local_addr().to_string()).collect();
+    for ep in &mut eps {
+        ep.set_roster(&addrs).expect("roster");
+        ep.set_chunk_elems(chunk);
+    }
+    let group: Vec<usize> = (0..n).collect();
+    let weights = partial_reduce::constant_weights(n);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|mut ep| {
+            let group = group.clone();
+            let weights = weights.clone();
+            thread::spawn(move || {
+                let mut data = fill(ep.rank() as u64 + 1, elems);
+                let t = Instant::now();
+                ep.group_weighted_average(&group, tag, &mut data, &weights)
+                    .expect("group average");
+                t.elapsed().as_secs_f64()
+            })
+        })
+        .collect();
+    // The leader (rank 0) finishes last: its elapsed time covers the
+    // whole reduce.
+    let times: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("mesh thread"))
+        .collect();
+    times.into_iter().fold(0.0, f64::max)
+}
+
+fn bench_group_average(cases: &[(usize, usize)], rounds: usize) -> Vec<GroupAverageShape> {
+    let chunk = preduce_comm::collectives::PIPELINE_CHUNK;
+    let mut out = Vec::new();
+    for &(n, elems) in cases {
+        let mut mono = f64::INFINITY;
+        let mut chunked = f64::INFINITY;
+        for r in 0..rounds + 1 {
+            let t_mono = tcp_round(n, elems, usize::MAX, 100 + r as u64);
+            let t_chunk = tcp_round(n, elems, chunk, 200 + r as u64);
+            if r == 0 {
+                continue; // warmup (page-in, listener setup)
+            }
+            mono = mono.min(t_mono);
+            chunked = chunked.min(t_chunk);
+        }
+        out.push(GroupAverageShape {
+            elems,
+            group_size: n,
+            chunk_elems: chunk,
+            monolithic_ms: mono * 1e3,
+            chunked_ms: chunked * 1e3,
+            speedup: mono / chunked,
+        });
+        let last = out.last().expect("just pushed");
+        println!(
+            "  group_average_tcp P={n} elems={elems}: monolithic {:.1} ms, chunked {:.1} ms ({:.2}x)",
+            last.monolithic_ms, last.chunked_ms, last.speedup
+        );
+    }
+    out
+}
+
+#[derive(Serialize)]
+struct KernelsBench {
+    bench: &'static str,
+    generated_by: &'static str,
+    runs: usize,
+    gemm: Vec<GemmVariant>,
+    weighted_sum: Vec<WeightedSumShape>,
+    group_average_tcp: Vec<GroupAverageShape>,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let dims: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let ws_cases: &[(usize, usize)] = if quick {
+        &[(4, 1 << 18), (8, 1 << 18)]
+    } else {
+        &[(4, 1 << 20), (8, 1 << 20), (16, 1 << 22)]
+    };
+    let ga_cases: &[(usize, usize)] = if quick {
+        &[(4, 1 << 20)]
+    } else {
+        &[(4, 1 << 20), (8, 1 << 20), (4, 1 << 22)]
+    };
+    let ga_rounds = if quick { 2 } else { 3 };
+    println!("kernel bench (quick mode = {quick})");
+
+    let gemm = vec![
+        bench_gemm_variant("gemm", dims, kernels::gemm_reference, kernels::gemm),
+        bench_gemm_variant(
+            "gemm_a_bt",
+            dims,
+            kernels::gemm_a_bt_reference,
+            kernels::gemm_a_bt,
+        ),
+        bench_gemm_variant(
+            "gemm_at_b",
+            dims,
+            kernels::gemm_at_b_reference,
+            kernels::gemm_at_b,
+        ),
+    ];
+    let weighted_sum = bench_weighted_sum(ws_cases);
+    let group_average_tcp = bench_group_average(ga_cases, ga_rounds);
+
+    let out = KernelsBench {
+        bench: "kernels",
+        generated_by: "cargo run --release -p preduce-bench --bin kernels",
+        runs: 1,
+        gemm,
+        weighted_sum,
+        group_average_tcp,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("bench report serializes");
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -9,7 +9,15 @@
 //!
 //! Tag discipline: each logical collective must use a caller-unique
 //! `base_tag`; internal steps consume `base_tag + step`. Callers should
-//! space base tags by at least [`TAG_STRIDE`].
+//! space base tags by at least [`TAG_STRIDE`]. The chunked pipeline
+//! ([`chunked_weighted_average`]) spends `2·(p−1)` tags per segment and
+//! sizes its segments so the whole run fits inside one stride.
+//!
+//! Hot-path sends go through the endpoint's reclaimed-buffer pool
+//! ([`Endpoint::send_from_slice`] / [`Endpoint::recycle`]): each
+//! received chunk is folded into the accumulator and its buffer
+//! recycled into the next send, so steady-state ring traffic performs
+//! no per-step allocation.
 
 use crate::endpoint::Endpoint;
 use crate::error::CommError;
@@ -74,11 +82,7 @@ pub fn ring_allreduce(
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + p - s - 1) % p;
         let tag = base_tag + s as u64;
-        ep.send(
-            next,
-            tag,
-            data[chunk_range(data.len(), p, send_idx)].to_vec(),
-        )?;
+        ep.send_from_slice(next, tag, &data[chunk_range(data.len(), p, send_idx)])?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -90,6 +94,7 @@ pub fn ring_allreduce(
         for (d, x) in data[range].iter_mut().zip(incoming.iter()) {
             *d += x;
         }
+        ep.recycle(incoming);
     }
 
     // Phase 2: all-gather. Position i starts owning the complete chunk
@@ -98,11 +103,7 @@ pub fn ring_allreduce(
         let send_idx = (me + 1 + p - s) % p;
         let recv_idx = (me + p - s) % p;
         let tag = base_tag + (p - 1 + s) as u64;
-        ep.send(
-            next,
-            tag,
-            data[chunk_range(data.len(), p, send_idx)].to_vec(),
-        )?;
+        ep.send_from_slice(next, tag, &data[chunk_range(data.len(), p, send_idx)])?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -112,6 +113,7 @@ pub fn ring_allreduce(
             });
         }
         data[range].copy_from_slice(&incoming);
+        ep.recycle(incoming);
     }
     Ok(())
 }
@@ -151,6 +153,94 @@ pub fn weighted_average(
     ring_allreduce(ep, group, base_tag, data)
 }
 
+/// Default segment size, in elements, of the chunked group-average
+/// pipeline (64Ki floats = 256 KiB per segment): large enough to
+/// amortize per-message overhead, small enough that a segment's
+/// reduction runs out of cache while the next segment is in flight.
+pub const PIPELINE_CHUNK: usize = 1 << 16;
+
+/// Chunked weighted model average: [`weighted_average`] restructured as
+/// a pipeline of per-segment reduce-scatter → all-gather rounds over
+/// [`PIPELINE_CHUNK`]-element segments.
+///
+/// Ring steps never barrier, so once a rank finishes segment `c` it
+/// starts segment `c + 1` immediately while its neighbors drain `c` —
+/// with messages bounded by the segment size the whole group marches in
+/// a wave, overlapping the reduction arithmetic of one segment with the
+/// transport of the next and keeping per-rank scratch (the endpoint's
+/// buffer pool) at segment granularity instead of whole-model
+/// granularity.
+///
+/// Accumulation order per element is fixed by that element's owning
+/// ring position within its segment — deterministic for a given
+/// `(group, data length, chunk size)`, like the monolithic ring.
+pub fn chunked_weighted_average(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+    weights: &[f32],
+) -> Result<()> {
+    chunked_weighted_average_with(ep, group, base_tag, data, weights, PIPELINE_CHUNK)
+}
+
+/// [`chunked_weighted_average`] with an explicit segment size (the
+/// kernel bench sweeps this; `usize::MAX` degenerates to one monolithic
+/// segment).
+///
+/// Every member must pass the same `chunk_elems`. Each segment consumes
+/// `2·(p−1)` tags starting at `base_tag`; if the segment count would
+/// overflow the [`TAG_STRIDE`] budget, the segment size is grown (for
+/// all members identically) until it fits.
+///
+/// # Panics
+/// Panics if `chunk_elems == 0` or `weights.len() != group.len()`.
+pub fn chunked_weighted_average_with(
+    ep: &mut Endpoint,
+    group: &[usize],
+    base_tag: u64,
+    data: &mut [f32],
+    weights: &[f32],
+    chunk_elems: usize,
+) -> Result<()> {
+    assert!(chunk_elems > 0, "segment size must be positive");
+    assert_eq!(
+        weights.len(),
+        group.len(),
+        "one weight per group member required"
+    );
+    let me = position_in_group(ep, group)?;
+    let Some(&w) = weights.get(me) else {
+        return Err(CommError::InvalidGroup(format!(
+            "member position {me} outside weight row of {}",
+            weights.len()
+        )));
+    };
+    for d in data.iter_mut() {
+        *d *= w;
+    }
+    let p = group.len();
+    if p == 1 {
+        return Ok(());
+    }
+    // Tag budget: grow the segment so all segments fit in TAG_STRIDE.
+    let stride = 2 * (p as u64 - 1);
+    let max_segments = (TAG_STRIDE / stride).max(1) as usize;
+    let chunk = chunk_elems.max(data.len().div_ceil(max_segments.max(1)));
+    let mut seg = 0u64;
+    let mut start = 0usize;
+    while start < data.len() {
+        let end = data.len().min(start.saturating_add(chunk));
+        let tag = base_tag + seg * stride;
+        let segment = &mut data[start..end];
+        reduce_scatter(ep, group, tag, segment)?;
+        all_gather(ep, group, tag + (p as u64 - 1), segment)?;
+        start = end;
+        seg += 1;
+    }
+    Ok(())
+}
+
 /// Broadcast `data` from `group[root_pos]` to every member, in place.
 ///
 /// Uses a simple linear fan-out from the root: fine for the few-member
@@ -175,7 +265,7 @@ pub fn broadcast(
     if me == root_pos {
         for (pos, &r) in group.iter().enumerate() {
             if pos != root_pos {
-                ep.send(r, base_tag, data.clone())?;
+                ep.send_from_slice(r, base_tag, data)?;
             }
         }
     } else {
@@ -232,8 +322,8 @@ pub fn ring_exchange(
     }
     let next = group[(me + 1) % p];
     let prev = group[(me + p - 1) % p];
-    ep.send(prev, base_tag, data.to_vec())?;
-    ep.send(next, base_tag + 1, data.to_vec())?;
+    ep.send_from_slice(prev, base_tag, data)?;
+    ep.send_from_slice(next, base_tag + 1, data)?;
     let right = ep.recv(next, base_tag)?;
     let left = ep.recv(prev, base_tag + 1)?;
     for neighbor in [&left, &right] {
@@ -389,6 +479,78 @@ mod tests {
     }
 
     #[test]
+    fn chunked_weighted_average_matches_monolithic() {
+        // Integer-valued floats: the sum is exact under any accumulation
+        // order, so chunked and monolithic must agree bitwise.
+        let results = run_world(3, |rank, ep| {
+            let mono: Vec<f32> = (0..23).map(|i| (i * (rank + 1)) as f32).collect();
+            let mut chunked = mono.clone();
+            let mut mono = mono;
+            let w = [3.0, 2.0, 1.0];
+            weighted_average(ep, &[0, 1, 2], 0, &mut mono, &w).unwrap();
+            // Segment size 5 splits 23 elements into 5 segments.
+            chunked_weighted_average_with(ep, &[0, 1, 2], TAG_STRIDE, &mut chunked, &w, 5).unwrap();
+            (mono, chunked)
+        });
+        for (mono, chunked) in results {
+            for (a, b) in mono.iter().zip(chunked.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_weighted_average_default_segments() {
+        let results = run_world(2, |rank, ep| {
+            let mut data = vec![(rank * 4) as f32; 9];
+            chunked_weighted_average(ep, &[0, 1], 0, &mut data, &[0.5, 0.5]).unwrap();
+            data
+        });
+        for r in results {
+            for v in r {
+                assert!((v - 2.0).abs() < 1e-6); // (0 + 4) / 2
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_weighted_average_singleton_scales() {
+        let mut eps = CommWorld::new(1).into_endpoints();
+        let mut e0 = eps.remove(0);
+        let mut data = vec![2.0, 6.0];
+        chunked_weighted_average_with(&mut e0, &[0], 0, &mut data, &[0.5], 1).unwrap();
+        assert_eq!(data, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn chunked_weighted_average_is_deterministic() {
+        let run = || {
+            run_world(3, |rank, ep| {
+                // Non-representable fractions make ordering observable.
+                let mut data: Vec<f32> = (0..17)
+                    .map(|i| 0.1 + (i as f32) * 0.3 + rank as f32 * 0.7)
+                    .collect();
+                let w = [0.3f32, 0.4, 0.3];
+                chunked_weighted_average_with(ep, &[0, 1, 2], 0, &mut data, &w, 4).unwrap();
+                data
+            })
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // All members agree on the result.
+        for r in &a[1..] {
+            for (x, y) in a[0].iter().zip(r.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn broadcast_distributes_root_data() {
         let results = run_world(3, |rank, ep| {
             let mut data = if rank == 2 {
@@ -515,11 +677,7 @@ pub fn reduce_scatter(
         let send_idx = (me + p - 1 - s) % p;
         let recv_idx = (me + 2 * p - 2 - s) % p;
         let tag = base_tag + s as u64;
-        ep.send(
-            next,
-            tag,
-            data[chunk_range(data.len(), p, send_idx)].to_vec(),
-        )?;
+        ep.send_from_slice(next, tag, &data[chunk_range(data.len(), p, send_idx)])?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -531,6 +689,7 @@ pub fn reduce_scatter(
         for (d, x) in data[range].iter_mut().zip(incoming.iter()) {
             *d += x;
         }
+        ep.recycle(incoming);
     }
     Ok(chunk_range(data.len(), p, me))
 }
@@ -555,11 +714,7 @@ pub fn all_gather(
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + p - s - 1) % p;
         let tag = base_tag + s as u64;
-        ep.send(
-            next,
-            tag,
-            data[chunk_range(data.len(), p, send_idx)].to_vec(),
-        )?;
+        ep.send_from_slice(next, tag, &data[chunk_range(data.len(), p, send_idx)])?;
         let incoming = ep.recv(prev, tag)?;
         let range = chunk_range(data.len(), p, recv_idx);
         if incoming.len() != range.len() {
@@ -569,6 +724,7 @@ pub fn all_gather(
             });
         }
         data[range].copy_from_slice(&incoming);
+        ep.recycle(incoming);
     }
     Ok(())
 }
@@ -601,7 +757,7 @@ pub fn gather(
         }
         Ok(Some(out))
     } else {
-        ep.send(group[root_pos], base_tag + me as u64, data.to_vec())?;
+        ep.send_from_slice(group[root_pos], base_tag + me as u64, data)?;
         Ok(None)
     }
 }

@@ -10,6 +10,12 @@ use crate::Result;
 /// a multi-second wait means a peer thread died or the caller deadlocked.
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Cap on reclaimed payload buffers held for reuse by
+/// [`Endpoint::send_from_slice`]. Ring collectives have at most one
+/// in-flight send per step, so a handful is plenty; the cap keeps a
+/// burst of large stashed payloads from pinning memory.
+const POOL_LIMIT: usize = 8;
+
 /// A tagged point-to-point message carrying a flat `f32` payload.
 #[derive(Debug, Clone)]
 pub struct Message {
@@ -52,6 +58,7 @@ impl CommWorld {
                 senders: senders.clone(),
                 receiver: rx,
                 stash: VecDeque::new(),
+                pool: Vec::new(),
                 timeout: RECV_TIMEOUT,
             })
             .collect();
@@ -77,6 +84,10 @@ pub struct Endpoint {
     receiver: Receiver<Message>,
     /// Messages received but not yet requested (out-of-order arrivals).
     stash: VecDeque<Message>,
+    /// Reclaimed payload buffers ([`Endpoint::recycle`]) reused by
+    /// [`Endpoint::send_from_slice`] so steady-state collectives don't
+    /// allocate per step.
+    pool: Vec<Vec<f32>>,
     timeout: Duration,
 }
 
@@ -111,6 +122,33 @@ impl Endpoint {
                 payload,
             })
             .map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    /// Sends a copy of `src` to rank `to`, reusing a reclaimed payload
+    /// buffer when one is pooled (see [`Endpoint::recycle`]). Collectives
+    /// use this instead of `send(..., slice.to_vec())` so their per-step
+    /// chunk traffic stops allocating once the pool is warm.
+    pub fn send_from_slice(&mut self, to: usize, tag: u64, src: &[f32]) -> Result<()> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src);
+        self.send(to, tag, buf)
+    }
+
+    /// Returns a consumed payload buffer to the reuse pool (bounded; the
+    /// buffer is dropped once the pool is full). Collectives recycle each
+    /// received chunk after folding it into their accumulator, so the
+    /// buffers a peer sent become this rank's next send buffers.
+    pub fn recycle(&mut self, mut buf: Vec<f32>) {
+        if self.pool.len() < POOL_LIMIT {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of pooled (reusable) payload buffers.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
     }
 
     /// Receives the message with the given source and tag, stashing any
@@ -213,6 +251,31 @@ mod tests {
             e0.recv(1, 0),
             Err(CommError::Timeout { peer: 1, tag: 0 })
         ));
+    }
+
+    #[test]
+    fn send_from_slice_reuses_recycled_buffers() {
+        let mut eps = CommWorld::new(1).into_endpoints();
+        let mut e0 = eps.pop().unwrap();
+        // Warm the pool with a received buffer, then send from a slice:
+        // the pooled buffer must be consumed (pool drains to 0).
+        e0.send(0, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let got = e0.recv(0, 1).unwrap();
+        e0.recycle(got);
+        assert_eq!(e0.pooled(), 1);
+        e0.send_from_slice(0, 2, &[4.0, 5.0]).unwrap();
+        assert_eq!(e0.pooled(), 0);
+        assert_eq!(e0.recv(0, 2).unwrap(), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn recycle_pool_is_bounded() {
+        let mut eps = CommWorld::new(1).into_endpoints();
+        let mut e0 = eps.pop().unwrap();
+        for _ in 0..32 {
+            e0.recycle(Vec::with_capacity(16));
+        }
+        assert!(e0.pooled() <= 8, "pool must stay bounded");
     }
 
     #[test]

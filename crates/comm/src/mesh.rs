@@ -8,10 +8,20 @@
 //! and receives the full [`crate::control::FleetRoster`] once the fleet
 //! is assembled. A group reduce then runs star-shaped: the first member
 //! of the assignment (`group[0]`) is the leader; every other member
-//! dials the leader's listener, sends its parameters, and reads back
+//! dials the leader's listener, streams its parameters, and reads back
 //! the weighted average. The controller never touches this plane — it
 //! only names the group (paper §4: model data never flows through the
 //! message queue).
+//!
+//! The leader reduces as a *chunked overlap pipeline* (DESIGN.md §13):
+//! it walks the model in [`collectives::PIPELINE_CHUNK`]-element
+//! segments, folding each member's segment bytes into the accumulator
+//! while the members' later segments are still in flight on their
+//! sockets. TCP is a byte stream, so chunking is invisible on the wire
+//! and purely a leader-local strategy ([`MeshEndpoint::set_chunk_elems`]
+//! tunes it; `usize::MAX` recovers the monolithic star). Accumulation
+//! stays in group-position order per element, so every segment size
+//! produces bitwise-identical averages.
 //!
 //! The [`GroupAverager`] trait abstracts over both planes so the
 //! runtime's `PartialReducer` is substrate-agnostic.
@@ -68,7 +78,7 @@ impl GroupAverager for Endpoint {
         data: &mut [f32],
         weights: &[f32],
     ) -> Result<()> {
-        collectives::weighted_average(self, group, base_tag, data, weights)
+        collectives::chunked_weighted_average(self, group, base_tag, data, weights)
     }
 }
 
@@ -82,6 +92,9 @@ pub struct MeshEndpoint {
     local_addr: SocketAddr,
     roster: Vec<SocketAddr>,
     io_timeout: Duration,
+    /// Elements per pipeline segment for the leader's chunked reduce
+    /// ([`MeshEndpoint::set_chunk_elems`]).
+    chunk_elems: usize,
 }
 
 fn gone(peer: usize) -> CommError {
@@ -94,14 +107,6 @@ fn write_bytes(stream: &mut TcpStream, bytes: &[u8], peer: usize) -> Result<()> 
 
 fn read_bytes(stream: &mut TcpStream, buf: &mut [u8], peer: usize) -> Result<()> {
     stream.read_exact(buf).map_err(|_| gone(peer))
-}
-
-fn floats_to_bytes(data: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * 4);
-    for x in data {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-    out
 }
 
 fn bytes_to_floats(bytes: &[u8], out: &mut [f32]) -> Result<()> {
@@ -148,6 +153,7 @@ impl MeshEndpoint {
             local_addr,
             roster: Vec::new(),
             io_timeout: DATA_TIMEOUT,
+            chunk_elems: collectives::PIPELINE_CHUNK,
         })
     }
 
@@ -165,6 +171,20 @@ impl MeshEndpoint {
     /// Overrides the per-reduce I/O budget (tests use short budgets).
     pub fn set_io_timeout(&mut self, timeout: Duration) {
         self.io_timeout = timeout;
+    }
+
+    /// Overrides the pipeline segment size in elements (default
+    /// [`collectives::PIPELINE_CHUNK`]). `usize::MAX` degenerates to the
+    /// monolithic star — one segment spanning the whole model — which the
+    /// kernel bench uses as its baseline. The knob is leader-local: the
+    /// wire bytes are identical at any segment size, so members need no
+    /// coordination.
+    ///
+    /// # Panics
+    /// Panics if `chunk_elems == 0`.
+    pub fn set_chunk_elems(&mut self, chunk_elems: usize) {
+        assert!(chunk_elems > 0, "segment size must be positive");
+        self.chunk_elems = chunk_elems;
     }
 
     /// Installs the fleet roster (every rank's data address, from the
@@ -206,8 +226,22 @@ impl MeshEndpoint {
         }
     }
 
-    /// Leader role: collect every member's parameters, compute the
-    /// weighted average, return it to each member, adopt it locally.
+    /// Leader role, run as a chunked overlap pipeline.
+    ///
+    /// Phase 1 accepts every member's connection and validates its
+    /// header only. Phase 2 walks the model in `chunk_elems`-element
+    /// segments: for each segment it reads each member's bytes in
+    /// group-position order and folds them into the accumulator —
+    /// so the reduction arithmetic of segment `c` overlaps the
+    /// transport of segments `c+1, c+2, …`, which the members have
+    /// already written into their sockets. Phase 3 streams the averaged
+    /// model back. Peak scratch is one segment plus the result buffer
+    /// (`O(N + chunk)` instead of the monolithic collector's `O(P·N)`).
+    ///
+    /// Per element, contributions accumulate in group-position order
+    /// starting from zero regardless of segment size, so any
+    /// `chunk_elems` produces bitwise-identical results (the monolithic
+    /// star is the `usize::MAX` special case).
     fn lead(
         &mut self,
         group: &[usize],
@@ -216,16 +250,14 @@ impl MeshEndpoint {
         weights: &[f32],
     ) -> Result<()> {
         let deadline = Instant::now() + self.io_timeout;
-        // Contribution per group position; own slot filled from `data`.
-        let mut contributions: Vec<Option<Vec<f32>>> = vec![None; group.len()];
-        let mut replies: Vec<(TcpStream, usize)> = Vec::with_capacity(group.len() - 1);
         let own = group.iter().position(|&g| g == self.rank).ok_or_else(|| {
             CommError::InvalidGroup(format!("leader rank {} not in group {group:?}", self.rank))
         })?;
-        if let Some(slot) = contributions.get_mut(own) {
-            *slot = Some(data.to_vec());
-        }
-        while replies.len() + 1 < group.len() {
+
+        // Phase 1: accept and identify every member (headers only).
+        let mut streams: Vec<Option<(TcpStream, usize)>> = (0..group.len()).map(|_| None).collect();
+        let mut connected = 0usize;
+        while connected + 1 < group.len() {
             let mut stream = self.accept_one(deadline)?;
             let mut tag_buf = [0u8; 8];
             read_bytes(&mut stream, &mut tag_buf, self.rank)?;
@@ -255,48 +287,79 @@ impl MeshEndpoint {
             let pos = group.iter().position(|&g| g == sender).ok_or_else(|| {
                 CommError::InvalidGroup(format!("rank {sender} dialed into group {group:?}"))
             })?;
-            let slot = contributions
+            let slot = streams
                 .get_mut(pos)
                 .ok_or_else(|| CommError::InvalidGroup(format!("position {pos} out of group")))?;
-            if slot.is_some() {
+            if pos == own || slot.is_some() {
                 return Err(CommError::InvalidGroup(format!(
                     "duplicate contribution from rank {sender}"
                 )));
             }
-            let mut payload = vec![0u8; len as usize * 4];
-            read_bytes(&mut stream, &mut payload, sender)?;
-            let mut floats = vec![0f32; len as usize];
-            bytes_to_floats(&payload, &mut floats)?;
-            *slot = Some(floats);
-            replies.push((stream, sender));
+            *slot = Some((stream, sender));
+            connected += 1;
         }
 
-        let mut result = vec![0f32; data.len()];
-        for (contribution, &w) in contributions.iter().zip(weights.iter()) {
-            let Some(c) = contribution else {
-                return Err(CommError::InvalidGroup(
-                    "missing contribution after collection".into(),
-                ));
-            };
-            for (r, x) in result.iter_mut().zip(c.iter()) {
-                *r += w * x;
+        // Phase 2: chunked reduce, contributions in group-position order.
+        let len = data.len();
+        let chunk = self.chunk_elems.min(len.max(1));
+        let mut result = vec![0f32; len];
+        let mut byte_buf = vec![0u8; chunk * 4];
+        let mut float_buf = vec![0f32; chunk];
+        let mut start = 0usize;
+        while start < len {
+            let end = len.min(start + chunk);
+            let n = end - start;
+            debug_assert!(n > 0 && n <= chunk, "segment bounds");
+            for (pos, &w) in weights.iter().enumerate() {
+                if pos == own {
+                    for (r, x) in result[start..end].iter_mut().zip(data[start..end].iter()) {
+                        *r += w * x;
+                    }
+                    continue;
+                }
+                let Some((stream, sender)) = streams.get_mut(pos).and_then(Option::as_mut) else {
+                    return Err(CommError::InvalidGroup(
+                        "missing contribution after collection".into(),
+                    ));
+                };
+                read_bytes(stream, &mut byte_buf[..n * 4], *sender)?;
+                bytes_to_floats(&byte_buf[..n * 4], &mut float_buf[..n])?;
+                for (r, x) in result[start..end].iter_mut().zip(float_buf[..n].iter()) {
+                    *r += w * x;
+                }
             }
+            start = end;
         }
 
-        let payload = floats_to_bytes(&result);
-        let mut frame = Vec::with_capacity(12 + payload.len());
-        frame.extend_from_slice(&base_tag.to_be_bytes());
-        frame.extend_from_slice(&(result.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&payload);
-        for (mut stream, member) in replies {
-            write_bytes(&mut stream, &frame, member)?;
+        // Phase 3: stream the average back, one member at a time.
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(&base_tag.to_be_bytes());
+        header.extend_from_slice(&(len as u32).to_be_bytes());
+        for entry in streams.iter_mut() {
+            let Some((stream, member)) = entry.as_mut() else {
+                continue;
+            };
+            write_bytes(stream, &header, *member)?;
+            let mut s = 0usize;
+            while s < len {
+                let e = len.min(s + chunk);
+                let nb = (e - s) * 4;
+                debug_assert!(nb <= byte_buf.len(), "segment bounds");
+                for (b, x) in byte_buf[..nb].chunks_exact_mut(4).zip(result[s..e].iter()) {
+                    b.copy_from_slice(&x.to_le_bytes());
+                }
+                write_bytes(stream, &byte_buf[..nb], *member)?;
+                s = e;
+            }
         }
         data.copy_from_slice(&result);
         Ok(())
     }
 
-    /// Member role: send parameters to the leader, read back the
-    /// average.
+    /// Member role: stream parameters to the leader, read back the
+    /// average. Payload bytes go out (and come back) in segment-size
+    /// batches — the wire bytes are identical to a single frame, the
+    /// batching only bounds the conversion scratch to one segment.
     fn join(&mut self, leader: usize, base_tag: u64, data: &mut [f32]) -> Result<()> {
         let addr =
             self.roster.get(leader).copied().ok_or_else(|| {
@@ -305,13 +368,26 @@ impl MeshEndpoint {
         let mut stream =
             TcpStream::connect_timeout(&addr, self.io_timeout).map_err(|_| gone(leader))?;
         configure_data(&stream, self.io_timeout, leader)?;
-        let payload = floats_to_bytes(data);
-        let mut frame = Vec::with_capacity(16 + payload.len());
-        frame.extend_from_slice(&base_tag.to_be_bytes());
-        frame.extend_from_slice(&(self.rank as u32).to_be_bytes());
-        frame.extend_from_slice(&(data.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&payload);
-        write_bytes(&mut stream, &frame, leader)?;
+        let len = data.len();
+        let chunk = self.chunk_elems.min(len.max(1));
+        let mut byte_buf = vec![0u8; chunk * 4];
+
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(&base_tag.to_be_bytes());
+        header.extend_from_slice(&(self.rank as u32).to_be_bytes());
+        header.extend_from_slice(&(len as u32).to_be_bytes());
+        write_bytes(&mut stream, &header, leader)?;
+        let mut s = 0usize;
+        while s < len {
+            let e = len.min(s + chunk);
+            let nb = (e - s) * 4;
+            debug_assert!(nb <= byte_buf.len(), "segment bounds");
+            for (b, x) in byte_buf[..nb].chunks_exact_mut(4).zip(data[s..e].iter()) {
+                b.copy_from_slice(&x.to_le_bytes());
+            }
+            write_bytes(&mut stream, &byte_buf[..nb], leader)?;
+            s = e;
+        }
 
         let mut tag_buf = [0u8; 8];
         read_bytes(&mut stream, &mut tag_buf, leader)?;
@@ -323,16 +399,23 @@ impl MeshEndpoint {
         }
         let mut len_buf = [0u8; 4];
         read_bytes(&mut stream, &mut len_buf, leader)?;
-        let len = u32::from_be_bytes(len_buf);
-        if len as usize != data.len() {
+        let got = u32::from_be_bytes(len_buf);
+        if got as usize != len {
             return Err(CommError::PayloadMismatch {
-                expected: data.len(),
-                actual: len as usize,
+                expected: len,
+                actual: got as usize,
             });
         }
-        let mut payload = vec![0u8; len as usize * 4];
-        read_bytes(&mut stream, &mut payload, leader)?;
-        bytes_to_floats(&payload, data)
+        let mut s = 0usize;
+        while s < len {
+            let e = len.min(s + chunk);
+            let nb = (e - s) * 4;
+            debug_assert!(nb <= byte_buf.len(), "segment bounds");
+            read_bytes(&mut stream, &mut byte_buf[..nb], leader)?;
+            bytes_to_floats(&byte_buf[..nb], &mut data[s..e])?;
+            s = e;
+        }
+        Ok(())
     }
 }
 
@@ -413,6 +496,67 @@ mod tests {
             let data = h.join().unwrap();
             for x in data {
                 assert!((x - 2.0).abs() < 1e-6, "{x}");
+            }
+        }
+    }
+
+    /// Runs one group average over a fresh fleet with the given segment
+    /// size on every endpoint; returns each rank's resulting vector.
+    fn run_group_average(n: usize, chunk_elems: usize, len: usize) -> Vec<Vec<f32>> {
+        let (mut eps, addrs) = fleet(n);
+        for ep in &mut eps {
+            ep.set_roster(&addrs).unwrap();
+            ep.set_chunk_elems(chunk_elems);
+        }
+        let group: Vec<usize> = (0..n).collect();
+        let weights = vec![1.0 / n as f32; n];
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let group = group.clone();
+                let weights = weights.clone();
+                thread::spawn(move || {
+                    // Non-representable values make ordering observable.
+                    let mut data: Vec<f32> = (0..len)
+                        .map(|i| 0.1 + i as f32 * 0.3 + ep.rank() as f32 * 0.7)
+                        .collect();
+                    ep.group_weighted_average(&group, 11, &mut data, &weights)
+                        .unwrap();
+                    data
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn chunked_star_is_bitwise_identical_to_monolithic() {
+        // 1003 elements with a 64-element segment: 16 segments, uneven
+        // tail. The monolithic star is chunk = usize::MAX.
+        let chunked = run_group_average(3, 64, 1003);
+        let mono = run_group_average(3, usize::MAX, 1003);
+        for (c, m) in chunked.iter().zip(mono.iter()) {
+            assert_eq!(c.len(), m.len());
+            for (a, b) in c.iter().zip(m.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // And every member agrees with the leader.
+        for r in &chunked[1..] {
+            for (a, b) in chunked[0].iter().zip(r.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_segments_still_average_correctly() {
+        // Segment of 1 element exercises the pipeline at maximum depth.
+        let results = run_group_average(2, 1, 7);
+        for r in results {
+            for (i, v) in r.iter().enumerate() {
+                let expect = (0.1 + i as f32 * 0.3) + 0.7 / 2.0;
+                assert!((v - expect).abs() < 1e-5, "idx {i}: {v} vs {expect}");
             }
         }
     }

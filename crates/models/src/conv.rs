@@ -6,7 +6,7 @@
 //! layer itself. This keeps a single activation type throughout while still
 //! supporting genuine CNN analogs in the model zoo.
 
-use preduce_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use preduce_tensor::{he_normal, kernels, matmul, matmul_a_bt, matmul_at_b, Tensor};
 use rand::Rng;
 
 use crate::layer::Layer;
@@ -256,12 +256,12 @@ impl Layer for Conv2d {
         // dW += gmatᵀ · col : [out_c, K]
         self.grad_weight.add_assign(&matmul_at_b(&gmat, &col));
         // db += column sums of gmat.
-        for r in 0..batch * positions {
-            let row = gmat.row(r);
-            for (g, &v) in self.grad_bias.as_mut_slice().iter_mut().zip(row.iter()) {
-                *g += v;
-            }
-        }
+        kernels::col_sums_acc(
+            self.grad_bias.as_mut_slice(),
+            gmat.as_slice(),
+            batch * positions,
+            self.out_c,
+        );
         // dcol = gmat · W : [batch*positions, K], then scatter back.
         let dcol = matmul(&gmat, &self.weight);
         self.col2im(&dcol, batch)

@@ -1,4 +1,4 @@
-use preduce_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use preduce_tensor::{he_normal, kernels, matmul, matmul_a_bt, matmul_at_b, Tensor};
 use rand::Rng;
 
 use crate::layer::Layer;
@@ -63,12 +63,12 @@ impl Layer for Dense {
         );
         let mut y = matmul(x, &self.weight);
         let batch = y.shape().dim(0);
-        for r in 0..batch {
-            let row = y.row_mut(r);
-            for (v, &b) in row.iter_mut().zip(self.bias.as_slice()) {
-                *v += b;
-            }
-        }
+        kernels::add_bias_rows(
+            y.as_mut_slice(),
+            batch,
+            self.out_features,
+            self.bias.as_slice(),
+        );
         self.input = Some(x.clone());
         y
     }
@@ -82,12 +82,12 @@ impl Layer for Dense {
         self.grad_weight.add_assign(&matmul_at_b(&input, grad));
         // db += column sums of g
         let batch = grad.shape().dim(0);
-        for r in 0..batch {
-            let row = grad.row(r);
-            for (g, &v) in self.grad_bias.as_mut_slice().iter_mut().zip(row.iter()) {
-                *g += v;
-            }
-        }
+        kernels::col_sums_acc(
+            self.grad_bias.as_mut_slice(),
+            grad.as_slice(),
+            batch,
+            self.out_features,
+        );
         // dx = g · Wᵀ
         matmul_a_bt(grad, &self.weight)
     }

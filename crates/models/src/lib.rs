@@ -37,7 +37,7 @@ pub use conv::Conv2d;
 pub use dense::Dense;
 pub use layer::Layer;
 pub use loss::{mse_loss, softmax_cross_entropy, LossOutput};
-pub use metrics::{accuracy, evaluate_accuracy, topk_accuracy};
+pub use metrics::{accuracy, evaluate_accuracy, evaluate_accuracy_parallel, topk_accuracy};
 pub use network::Network;
 pub use norm::{Dropout, LayerNorm};
 pub use optimizer::{LrSchedule, SgdConfig, SgdOptimizer};

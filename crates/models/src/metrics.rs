@@ -58,6 +58,75 @@ pub fn evaluate_accuracy(net: &mut Network, dataset: &Dataset, eval_batch: usize
     correct as f64 / n as f64
 }
 
+/// Data-parallel [`evaluate_accuracy`]: splits the dataset's evaluation
+/// batches across `threads` OS threads, each driving its own clone of
+/// `net`, and sums the per-thread *integer* correct counts. Integer
+/// addition is associative, so the result is exactly
+/// `evaluate_accuracy(&mut net.clone(), ..)` for any thread count — safe
+/// for golden-pinned trajectories.
+///
+/// (The roadmap names rayon for this; the workspace is dependency-frozen,
+/// so scoped `std::thread` does the same fork-join without a new crate.)
+///
+/// # Panics
+/// Panics if `eval_batch == 0` or `threads == 0`.
+pub fn evaluate_accuracy_parallel(
+    net: &Network,
+    dataset: &Dataset,
+    eval_batch: usize,
+    threads: usize,
+) -> f64 {
+    assert!(eval_batch > 0, "evaluation batch size must be positive");
+    assert!(threads > 0, "thread count must be positive");
+    let n = dataset.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let num_batches = n.div_ceil(eval_batch);
+    let threads = threads.min(num_batches);
+    if threads == 1 {
+        let mut local = net.clone();
+        return evaluate_accuracy(&mut local, dataset, eval_batch);
+    }
+    // Contiguous runs of whole eval batches per thread, so each thread
+    // gathers the same windows the sequential loop would.
+    let per_thread = num_batches.div_ceil(threads);
+    let correct: usize = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let first = t * per_thread;
+            let last = ((t + 1) * per_thread).min(num_batches);
+            if first >= last {
+                break;
+            }
+            let mut local = net.clone();
+            handles.push(scope.spawn(move || {
+                local.set_training(false);
+                let mut correct = 0usize;
+                for b in first..last {
+                    let start = b * eval_batch;
+                    let end = (start + eval_batch).min(n);
+                    let idx: Vec<usize> = (start..end).collect();
+                    let batch = dataset.gather(&idx);
+                    let logits = local.forward(&batch.features);
+                    let preds = argmax_rows(&logits);
+                    correct += preds
+                        .iter()
+                        .zip(batch.labels.iter())
+                        .filter(|(p, y)| p == y)
+                        .count();
+                }
+                correct
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .sum()
+    });
+    correct as f64 / n as f64
+}
+
 /// Fraction of rows whose label appears among the `k` highest logits —
 /// the top-k accuracy ImageNet evaluations report alongside top-1.
 ///
@@ -149,6 +218,24 @@ mod tests {
         assert_eq!(topk_accuracy(&logits, &[2], 3), 1.0);
         // k larger than classes clamps.
         assert_eq!(topk_accuracy(&logits, &[3], 99), 1.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_exactly_sequential() {
+        let net = NetworkSpec::mlp(4, &[8], 3).build(5);
+        let features =
+            Tensor::from_vec((0..168).map(|i| (i % 11) as f32 - 5.0).collect(), [42, 4]).unwrap();
+        let labels = (0..42).map(|i| i % 3).collect::<Vec<_>>();
+        let ds = Dataset::new(features, labels, 3);
+        let sequential = evaluate_accuracy(&mut net.clone(), &ds, 5);
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = evaluate_accuracy_parallel(&net, &ds, 5, threads);
+            assert_eq!(
+                sequential.to_bits(),
+                parallel.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,704 @@
+//! The kernel layer: blocked, SIMD-dispatched compute kernels with a
+//! *canonical accumulation order*.
+//!
+//! Every kernel in this module is paired with a scalar reference
+//! implementation (`*_reference`) that spells out the canonical order in
+//! the simplest possible loop. The optimized kernels tile loops for cache
+//! locality and instruction-level parallelism but are required to produce
+//! **bit-identical** results to their reference — property tests in
+//! `tests/properties.rs` enforce this, and the engine's sim goldens depend
+//! on it (a trajectory re-bless is a correctness event, not a perf event).
+//!
+//! # Canonical accumulation order
+//!
+//! For every output element, partial products are accumulated into a
+//! single `f32` accumulator in strictly increasing order of the shared
+//! (contraction) index. Blocked kernels may tile the independent output
+//! dimensions freely — distinct elements never share an accumulator — and
+//! may tile the contraction dimension only into *contiguous, in-order*
+//! panels whose partial sums resume from the stored value (storing and
+//! reloading an `f32` is exact, so resuming does not change the value).
+//! What is **not** allowed: multi-accumulator splits of one element's
+//! contraction (lane sums reassociate the reduction), `mul_add` (fuses
+//! the rounding step), and data-dependent skips (an `x != 0.0` test
+//! changes NaN/±0.0 propagation and puts an unpredictable branch in the
+//! hottest loop — the zero-skip the old scalar GEMM carried).
+//!
+//! The weighted-sum kernel accumulates models in slice order; the GEMM
+//! kernels accumulate over `p = 0..k` per output element. These match the
+//! orders of the pre-kernel-layer scalar code on finite inputs, which is
+//! why the sim trajectories survived the refactor without re-blessing.
+//!
+//! # SIMD dispatch
+//!
+//! The optimized bodies are instantiated three times by
+//! `define_kernel_impls!`: once at the build's baseline feature set and
+//! once each under `#[target_feature(enable = "avx2")]` and
+//! `#[target_feature(enable = "avx512f")]`, with the widest supported
+//! level selected at runtime via `is_x86_feature_detected!`. Wider
+//! vectors only widen the *element-lane* loops (distinct output elements
+//! per lane), never a single element's contraction, so all instantiations
+//! are bit-identical — and the property tests exercise exactly that claim
+//! on SIMD hosts, where the optimized path runs vectorized code against
+//! the baseline-compiled reference.
+//! FMA is deliberately **not** enabled: fused multiply-add skips the
+//! intermediate rounding and would change results.
+//!
+//! # Block sizes
+//!
+//! [`BLOCK_K`]` × `[`BLOCK_N`] is the panel of `B` kept hot across a tile
+//! of output rows (128 × 128 × 4 B = 64 KiB — comfortably inside a
+//! per-core L2), and [`BLOCK_M`] bounds the `C` working set of the
+//! dot-kernel tiles. `TILE_J`-wide register tiles of `C` stay live across
+//! a whole contraction panel, eliminating the per-`p` store/reload of the
+//! naive axpy loop. At the workspace's layer shapes (hidden dims ≤ 1024)
+//! the wins are that panel reuse plus the register tiles plus SIMD width.
+
+/// Rows of `A`/`C` per macro-tile.
+pub const BLOCK_M: usize = 64;
+/// Columns of `B`/`C` per macro-tile.
+pub const BLOCK_N: usize = 128;
+/// Contraction-panel depth per macro-tile.
+pub const BLOCK_K: usize = 128;
+/// Element block for the fused vector kernels (16 KiB: L1-resident).
+pub const VEC_BLOCK: usize = 4096;
+/// Width of the register tile of `C` held across a contraction panel
+/// (32 × f32 = four 8-lane vectors: enough independent add chains to
+/// hide FP latency without spilling).
+const TILE_J: usize = 32;
+
+fn check_gemm_dims(rows: usize, inner: usize, cols: usize, a: usize, b: usize, c: usize) {
+    assert!(
+        a == rows * inner && b == inner * cols && c == rows * cols,
+        "gemm buffer sizes {a}/{b}/{c} disagree with dims {rows}x{inner}x{cols}"
+    );
+}
+
+/// Instantiates the optimized kernel bodies under an optional feature
+/// attribute. The bodies are written once; `scalar` carries the build's
+/// baseline features, `avx2` recompiles the same loops with 8-lane
+/// vectors. Identical source ⇒ identical accumulation order ⇒ identical
+/// bits (see the module docs for why lane width cannot change results).
+macro_rules! define_kernel_impls {
+    ($mod_name:ident $(, #[$feat:meta])?) => {
+        mod $mod_name {
+            use super::{BLOCK_K, BLOCK_N, TILE_J, VEC_BLOCK};
+
+            $(#[$feat])?
+            pub(super) fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+                // `p`-panels advance in order so each element's accumulation
+                // stays sequential in `p`; `j`-panels partition independent
+                // outputs and keep a BLOCK_K×BLOCK_N panel of B hot in L2.
+                for pc in (0..k).step_by(BLOCK_K) {
+                    let kb = BLOCK_K.min(k - pc);
+                    for jc in (0..n).step_by(BLOCK_N) {
+                        let nb = BLOCK_N.min(n - jc);
+                        let mut i = 0;
+                        while i + 2 <= m {
+                            let a0 = &a[i * k + pc..i * k + pc + kb];
+                            let a1 = &a[(i + 1) * k + pc..(i + 1) * k + pc + kb];
+                            let (r0, rest) = c[i * n + jc..].split_at_mut(n);
+                            row_panel2(a0, a1, b, n, pc, jc, nb, &mut r0[..nb], &mut rest[..nb]);
+                            i += 2;
+                        }
+                        if i < m {
+                            let a_seg = &a[i * k + pc..i * k + pc + kb];
+                            row_panel(a_seg, b, n, pc, jc, nb, &mut c[i * n + jc..i * n + jc + nb]);
+                        }
+                    }
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn gemm_at_b(
+                k: usize,
+                m: usize,
+                n: usize,
+                a: &[f32],
+                b: &[f32],
+                c: &mut [f32],
+            ) {
+                // Pack each A panel transposed so the per-row segment reads
+                // contiguously, then reuse the gemm micro-kernel.
+                let mut packed = vec![0.0f32; BLOCK_K.min(k.max(1)) * m];
+                for pc in (0..k).step_by(BLOCK_K) {
+                    let kb = BLOCK_K.min(k - pc);
+                    // packed[i·kb + dp] = a[(pc+dp)·m + i]: the panel of Aᵀ.
+                    for dp in 0..kb {
+                        let a_row = &a[(pc + dp) * m..(pc + dp + 1) * m];
+                        for (i, &v) in a_row.iter().enumerate() {
+                            packed[i * kb + dp] = v;
+                        }
+                    }
+                    for jc in (0..n).step_by(BLOCK_N) {
+                        let nb = BLOCK_N.min(n - jc);
+                        let mut i = 0;
+                        while i + 2 <= m {
+                            let a0 = &packed[i * kb..(i + 1) * kb];
+                            let a1 = &packed[(i + 1) * kb..(i + 2) * kb];
+                            let (r0, rest) = c[i * n + jc..].split_at_mut(n);
+                            row_panel2(a0, a1, b, n, pc, jc, nb, &mut r0[..nb], &mut rest[..nb]);
+                            i += 2;
+                        }
+                        if i < m {
+                            let a_seg = &packed[i * kb..(i + 1) * kb];
+                            row_panel(a_seg, b, n, pc, jc, nb, &mut c[i * n + jc..i * n + jc + nb]);
+                        }
+                    }
+                }
+            }
+
+            /// One row of the gemm/gemm_at_b macro-kernel: `c_row[j] +=
+            /// Σ_dp a_seg[dp] · b[(pc+dp)·n + jc + j]` for `j < nb`. A
+            /// TILE_J-wide register tile of `C` stays live across the whole
+            /// panel — the lanes are *distinct* output elements, so each
+            /// element still owns a single accumulator walking `p` in
+            /// order; only the naive loop's per-`p` store/reload of `C` is
+            /// eliminated (a store/reload is exact anyway).
+            $(#[$feat])?
+            #[inline]
+            fn row_panel(
+                a_seg: &[f32],
+                b: &[f32],
+                n: usize,
+                pc: usize,
+                jc: usize,
+                nb: usize,
+                c_row: &mut [f32],
+            ) {
+                let mut j = 0;
+                while j + TILE_J <= nb {
+                    let mut acc = [0.0f32; TILE_J];
+                    acc.copy_from_slice(&c_row[j..j + TILE_J]);
+                    for (dp, &a_ip) in a_seg.iter().enumerate() {
+                        let b_row =
+                            &b[(pc + dp) * n + jc + j..(pc + dp) * n + jc + j + TILE_J];
+                        for (av, &bv) in acc.iter_mut().zip(b_row.iter()) {
+                            *av += a_ip * bv;
+                        }
+                    }
+                    c_row[j..j + TILE_J].copy_from_slice(&acc);
+                    j += TILE_J;
+                }
+                while j < nb {
+                    let mut acc = c_row[j];
+                    for (dp, &a_ip) in a_seg.iter().enumerate() {
+                        acc += a_ip * b[(pc + dp) * n + jc + j];
+                    }
+                    c_row[j] = acc;
+                    j += 1;
+                }
+            }
+
+            /// [`row_panel`] for two `C` rows at once: each `B` tile row is
+            /// loaded once and feeds both rows' register tiles, halving the
+            /// panel traffic. The rows are independent output elements, so
+            /// the canonical per-element order is unchanged.
+            #[allow(clippy::too_many_arguments)]
+            $(#[$feat])?
+            #[inline]
+            fn row_panel2(
+                a0: &[f32],
+                a1: &[f32],
+                b: &[f32],
+                n: usize,
+                pc: usize,
+                jc: usize,
+                nb: usize,
+                c0: &mut [f32],
+                c1: &mut [f32],
+            ) {
+                let mut j = 0;
+                while j + TILE_J <= nb {
+                    let mut acc0 = [0.0f32; TILE_J];
+                    let mut acc1 = [0.0f32; TILE_J];
+                    acc0.copy_from_slice(&c0[j..j + TILE_J]);
+                    acc1.copy_from_slice(&c1[j..j + TILE_J]);
+                    for dp in 0..a0.len() {
+                        let b_row =
+                            &b[(pc + dp) * n + jc + j..(pc + dp) * n + jc + j + TILE_J];
+                        let x0 = a0[dp];
+                        let x1 = a1[dp];
+                        for (av, &bv) in acc0.iter_mut().zip(b_row.iter()) {
+                            *av += x0 * bv;
+                        }
+                        for (av, &bv) in acc1.iter_mut().zip(b_row.iter()) {
+                            *av += x1 * bv;
+                        }
+                    }
+                    c0[j..j + TILE_J].copy_from_slice(&acc0);
+                    c1[j..j + TILE_J].copy_from_slice(&acc1);
+                    j += TILE_J;
+                }
+                while j < nb {
+                    let mut s0 = c0[j];
+                    let mut s1 = c1[j];
+                    for dp in 0..a0.len() {
+                        let bv = b[(pc + dp) * n + jc + j];
+                        s0 += a0[dp] * bv;
+                        s1 += a1[dp] * bv;
+                    }
+                    c0[j] = s0;
+                    c1[j] = s1;
+                    j += 1;
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn gemm_a_bt(
+                m: usize,
+                k: usize,
+                n: usize,
+                a: &[f32],
+                b: &[f32],
+                c: &mut [f32],
+            ) {
+                // Transpose-pack each BLOCK_N×BLOCK_K tile of B so the
+                // inner kernel reads it contiguously per `dp` — then all
+                // three GEMM variants share `row_panel`. Per-element `p`
+                // order is untouched by the re-layout.
+                let mut packed = vec![0.0f32; BLOCK_K.min(k.max(1)) * BLOCK_N.min(n.max(1))];
+                for pc in (0..k).step_by(BLOCK_K) {
+                    let kb = BLOCK_K.min(k - pc);
+                    for jc in (0..n).step_by(BLOCK_N) {
+                        let nb = BLOCK_N.min(n - jc);
+                        // packed[dp·nb + jj] = b[(jc+jj)·k + pc+dp].
+                        for jj in 0..nb {
+                            let b_row = &b[(jc + jj) * k + pc..(jc + jj) * k + pc + kb];
+                            for (dp, &v) in b_row.iter().enumerate() {
+                                packed[dp * nb + jj] = v;
+                            }
+                        }
+                        let mut i = 0;
+                        while i + 2 <= m {
+                            let a0 = &a[i * k + pc..i * k + pc + kb];
+                            let a1 = &a[(i + 1) * k + pc..(i + 1) * k + pc + kb];
+                            let (r0, rest) = c[i * n + jc..].split_at_mut(n);
+                            row_panel2(a0, a1, &packed, nb, 0, 0, nb, &mut r0[..nb], &mut rest[..nb]);
+                            i += 2;
+                        }
+                        if i < m {
+                            let a_seg = &a[i * k + pc..i * k + pc + kb];
+                            row_panel(a_seg, &packed, nb, 0, 0, nb, &mut c[i * n + jc..i * n + jc + nb]);
+                        }
+                    }
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn weighted_sum_acc(out: &mut [f32], models: &[&[f32]], weights: &[f32]) {
+                // Each VEC_BLOCK of `out` stays L1-resident while every
+                // model contributes to it, instead of re-streaming `out`
+                // once per model. Models are visited in slice order per
+                // element — bit-identical to the axpy chain it replaces.
+                let len = out.len();
+                for start in (0..len).step_by(VEC_BLOCK) {
+                    let end = (start + VEC_BLOCK).min(len);
+                    let ob = &mut out[start..end];
+                    for (model, &w) in models.iter().zip(weights.iter()) {
+                        for (o, &x) in ob.iter_mut().zip(model[start..end].iter()) {
+                            *o += w * x;
+                        }
+                    }
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+                for (a, &b) in y.iter_mut().zip(x.iter()) {
+                    *a += alpha * b;
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn scale(x: &mut [f32], alpha: f32) {
+                for v in x.iter_mut() {
+                    *v *= alpha;
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn add_bias_rows(y: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
+                for r in 0..rows {
+                    let row = &mut y[r * cols..(r + 1) * cols];
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v += b;
+                    }
+                }
+            }
+
+            $(#[$feat])?
+            pub(super) fn col_sums_acc(acc: &mut [f32], mat: &[f32], rows: usize, cols: usize) {
+                for r in 0..rows {
+                    let row = &mat[r * cols..(r + 1) * cols];
+                    for (a, &v) in acc.iter_mut().zip(row.iter()) {
+                        *a += v;
+                    }
+                }
+            }
+        }
+    };
+}
+
+define_kernel_impls!(scalar);
+#[cfg(target_arch = "x86_64")]
+define_kernel_impls!(avx2, #[target_feature(enable = "avx2")]);
+#[cfg(target_arch = "x86_64")]
+define_kernel_impls!(avx512, #[target_feature(enable = "avx512f")]);
+
+/// Dispatches a kernel body to the widest instantiation the CPU supports
+/// (detection results are cached by std), else the baseline one.
+macro_rules! dispatch {
+    ($f:ident($($arg:expr),* $(,)?)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the `avx512` instantiations only require the
+                // AVX-512F target feature, verified present just above.
+                unsafe { avx512::$f($($arg),*) }
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the `avx2` instantiations only require the AVX2
+                // target feature, verified present just above.
+                unsafe { avx2::$f($($arg),*) }
+            } else {
+                scalar::$f($($arg),*)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            scalar::$f($($arg),*)
+        }
+    }};
+}
+
+/// `C += A · B` over row-major slices (`A: m×k`, `B: k×n`, `C: m×n`),
+/// blocked for cache reuse. Canonical order: per element, `p = 0..k`.
+/// Bit-identical to [`gemm_reference`].
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_gemm_dims(m, k, n, a.len(), b.len(), c.len());
+    dispatch!(gemm(m, k, n, a, b, c))
+}
+
+/// `C += A · Bᵀ` over row-major slices (`A: m×k`, `B: n×k`, `C: m×n`).
+/// Canonical order: per element, `p = 0..k`. Bit-identical to
+/// [`gemm_a_bt_reference`].
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(
+        a.len() == m * k && b.len() == n * k && c.len() == m * n,
+        "gemm_a_bt buffer sizes disagree with dims {m}x{k}x{n}"
+    );
+    dispatch!(gemm_a_bt(m, k, n, a, b, c))
+}
+
+/// `C += Aᵀ · B` over row-major slices (`A: k×m`, `B: k×n`, `C: m×n`).
+/// Canonical order: per element, `p = 0..k`. Bit-identical to
+/// [`gemm_at_b_reference`].
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(
+        a.len() == k * m && b.len() == k * n && c.len() == m * n,
+        "gemm_at_b buffer sizes disagree with dims {k}x{m}x{n}"
+    );
+    dispatch!(gemm_at_b(k, m, n, a, b, c))
+}
+
+/// `out += Σ_j weights[j] · models[j]`, fused. Canonical order: per
+/// element, models in slice order — bit-identical to the chain of
+/// [`axpy`] calls it replaces ([`weighted_sum_reference`]).
+///
+/// # Panics
+/// Panics if `models` and `weights` disagree or any model length differs
+/// from `out`.
+pub fn weighted_sum_acc(out: &mut [f32], models: &[&[f32]], weights: &[f32]) {
+    assert!(
+        models.len() == weights.len(),
+        "one weight per model required"
+    );
+    for m in models {
+        assert!(m.len() == out.len(), "model/output length mismatch");
+    }
+    dispatch!(weighted_sum_acc(out, models, weights))
+}
+
+/// `y += alpha · x` over raw slices — the BLAS axpy kernel.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert!(y.len() == x.len(), "axpy length mismatch");
+    dispatch!(axpy(y, alpha, x))
+}
+
+/// `x *= alpha`, in place.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    dispatch!(scale(x, alpha))
+}
+
+/// Adds `bias` to every row of the row-major `rows × cols` matrix `y`
+/// (the dense/conv forward bias).
+///
+/// # Panics
+/// Panics if the buffer sizes disagree.
+pub fn add_bias_rows(y: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
+    assert!(
+        y.len() == rows * cols && bias.len() == cols,
+        "bias dims disagree with {rows}x{cols}"
+    );
+    dispatch!(add_bias_rows(y, rows, cols, bias))
+}
+
+/// `acc[j] += Σ_r mat[r, j]` for a row-major `rows × cols` matrix — the
+/// bias gradient of the dense/conv backward pass. Canonical order: rows
+/// in increasing order per column.
+///
+/// # Panics
+/// Panics if the buffer sizes disagree.
+pub fn col_sums_acc(acc: &mut [f32], mat: &[f32], rows: usize, cols: usize) {
+    assert!(
+        mat.len() == rows * cols && acc.len() == cols,
+        "column-sum dims disagree with {rows}x{cols}"
+    );
+    dispatch!(col_sums_acc(acc, mat, rows, cols))
+}
+
+/// `C += A · B` — the scalar reference spelling of [`gemm`]'s canonical
+/// order (the pre-kernel-layer loop, minus its data-dependent zero-skip).
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_gemm_dims(m, k, n, a.len(), b.len(), c.len());
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a[i * k..(i + 1) * k].iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_ip * bv;
+            }
+        }
+    }
+}
+
+/// `C += A · Bᵀ` — scalar reference for [`gemm_a_bt`] (the
+/// pre-kernel-layer dot-product loop).
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_a_bt_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(
+        a.len() == m * k && b.len() == n * k && c.len() == m * n,
+        "gemm_a_bt buffer sizes disagree with dims {m}x{k}x{n}"
+    );
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = *cv;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// `C += Aᵀ · B` — scalar reference for [`gemm_at_b`] (the
+/// pre-kernel-layer `p`-outermost loop, minus its zero-skip).
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_at_b_reference(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(
+        a.len() == k * m && b.len() == k * n && c.len() == m * n,
+        "gemm_at_b buffer sizes disagree with dims {k}x{m}x{n}"
+    );
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// `out += Σ_j weights[j] · models[j]` — scalar reference for
+/// [`weighted_sum_acc`]: one full [`axpy`] sweep per model, in order.
+///
+/// # Panics
+/// Panics if `models` and `weights` disagree or any model length differs
+/// from `out`.
+pub fn weighted_sum_reference(out: &mut [f32], models: &[&[f32]], weights: &[f32]) {
+    assert!(
+        models.len() == weights.len(),
+        "one weight per model required"
+    );
+    for (model, &w) in models.iter().zip(weights.iter()) {
+        assert!(model.len() == out.len(), "model/output length mismatch");
+        for (a, &b) in out.iter_mut().zip(model.iter()) {
+            *a += w * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random values without an RNG dependency.
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: element {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_bitwise_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 129, 63),
+            (64, 128, 128),
+            (65, 257, 130),
+            (8, 300, 100),
+        ] {
+            let a = fill(1 + m as u64, m * k);
+            let b = fill(2 + n as u64, k * n);
+            let mut c_opt = vec![0.0f32; m * n];
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c_opt);
+            gemm_reference(m, k, n, &a, &b, &mut c_ref);
+            assert_bits_eq(&c_opt, &c_ref, &format!("gemm {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_a_bt_matches_reference_bitwise_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 129, 66),
+            (64, 128, 128),
+            (65, 257, 131),
+            (16, 300, 3),
+        ] {
+            let a = fill(3 + m as u64, m * k);
+            let b = fill(4 + n as u64, n * k);
+            let mut c_opt = vec![0.0f32; m * n];
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_a_bt(m, k, n, &a, &b, &mut c_opt);
+            gemm_a_bt_reference(m, k, n, &a, &b, &mut c_ref);
+            assert_bits_eq(&c_opt, &c_ref, &format!("gemm_a_bt {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_at_b_matches_reference_bitwise_across_shapes() {
+        for &(k, m, n) in &[
+            (1, 1, 1),
+            (3, 2, 4),
+            (129, 5, 66),
+            (128, 64, 128),
+            (257, 65, 131),
+            (300, 16, 3),
+        ] {
+            let a = fill(5 + m as u64, k * m);
+            let b = fill(6 + n as u64, k * n);
+            let mut c_opt = vec![0.0f32; m * n];
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_at_b(k, m, n, &a, &b, &mut c_opt);
+            gemm_at_b_reference(k, m, n, &a, &b, &mut c_ref);
+            assert_bits_eq(&c_opt, &c_ref, &format!("gemm_at_b {k}x{m}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_small_known_values() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0f32; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn weighted_sum_matches_reference_bitwise() {
+        for &(models, len) in &[(1usize, 7usize), (2, 4096), (5, 10_001), (8, 4097)] {
+            let data: Vec<Vec<f32>> = (0..models).map(|j| fill(7 + j as u64, len)).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let weights: Vec<f32> = (0..models).map(|j| 1.0 / (j + 1) as f32).collect();
+            let mut fused = vec![0.0f32; len];
+            let mut chain = vec![0.0f32; len];
+            weighted_sum_acc(&mut fused, &refs, &weights);
+            weighted_sum_reference(&mut chain, &refs, &weights);
+            assert_bits_eq(&fused, &chain, &format!("weighted_sum {models}x{len}"));
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_match_definitions() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy(&mut y, -0.5, &[2.0, 3.0]);
+        assert_eq!(y, vec![0.0, -0.5]);
+        scale(&mut y, 2.0);
+        assert_eq!(y, vec![0.0, -1.0]);
+    }
+
+    #[test]
+    fn add_bias_rows_broadcasts() {
+        let mut y = vec![0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0];
+        add_bias_rows(&mut y, 2, 3, &[10.0, 20.0, 30.0]);
+        assert_eq!(y, vec![10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn col_sums_acc_accumulates() {
+        let mat = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut acc = vec![100.0f32, 200.0];
+        col_sums_acc(&mut acc, &mat, 3, 2);
+        assert_eq!(acc, vec![109.0, 212.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree with dims")]
+    fn gemm_rejects_bad_dims() {
+        let mut c = [0.0f32; 4];
+        gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per model")]
+    fn weighted_sum_rejects_weight_mismatch() {
+        let m = [0.0f32; 2];
+        let mut out = [0.0f32; 2];
+        weighted_sum_acc(&mut out, &[&m], &[0.5, 0.5]);
+    }
+}

@@ -17,13 +17,16 @@
 //!   panic with a descriptive message (the same contract as `ndarray`);
 //!   construction from untrusted dimensions goes through fallible
 //!   constructors returning [`TensorError`].
-//! * Kernels are written as straightforward loops over slices so that the
-//!   compiler can autovectorize; the GEMM uses a cache-blocked loop order
-//!   that is adequate for the model sizes in the experiments.
+//! * Hot-path numerics live in the [`kernels`] module: blocked GEMM,
+//!   fused weighted-sum, and axpy/scale kernels with runtime SIMD dispatch
+//!   and a *canonical accumulation order*, each paired with a scalar
+//!   reference implementation proven bit-identical by property tests. The
+//!   sim goldens elsewhere in the workspace rely on that bit-stability.
 
 mod eig;
 mod error;
 mod init;
+pub mod kernels;
 mod matmul;
 mod ops;
 mod shape;

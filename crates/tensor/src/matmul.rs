@@ -7,13 +7,16 @@
 //! * [`matmul_a_bt`]  — `C = A · Bᵀ`         (input gradients)
 //! * [`matmul_at_b`]  — `C = Aᵀ · B`         (weight gradients)
 //!
-//! The kernels use an `ikj` loop order (for `A·B`) so the inner loop streams
-//! both `B` and `C` rows contiguously, which autovectorizes well and is
-//! within a small factor of a tuned BLAS for the matrix sizes in this
-//! workspace (hidden dims ≤ 1024).
+//! All three are thin rank-2 wrappers over the blocked, SIMD-dispatched
+//! kernels in [`crate::kernels`], which carry the canonical accumulation
+//! order (per output element, `p = 0..k` into one accumulator) that the
+//! engine's bit-identical sim goldens rely on. The old scalar loops live
+//! on as `kernels::*_reference` and are proven bit-equal by the property
+//! tests in `tests/properties.rs`.
 
+use crate::kernels;
 use crate::shape::Shape;
-use crate::tensor::{axpy_slice, Tensor};
+use crate::tensor::Tensor;
 
 fn matrix_dims(t: &Tensor, op: &'static str) -> (usize, usize) {
     assert_eq!(
@@ -40,16 +43,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = Tensor::zeros(Shape::of([m, n]));
-    let (a_s, b_s, c_s) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let c_row = &mut c_s[i * n..(i + 1) * n];
-        let a_row = &a_s[i * k..(i + 1) * k];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip != 0.0 {
-                axpy_slice(c_row, a_ip, &b_s[p * n..(p + 1) * n]);
-            }
-        }
-    }
+    kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
     c
 }
 
@@ -68,20 +62,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = Tensor::zeros(Shape::of([m, n]));
-    let (a_s, b_s, c_s) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let a_row = &a_s[i * k..(i + 1) * k];
-        let c_row = &mut c_s[i * n..(i + 1) * n];
-        for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = &b_s[j * k..(j + 1) * k];
-            // Dot product of two contiguous rows: ideal for autovectorization.
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *c_ij = acc;
-        }
-    }
+    kernels::gemm_a_bt(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
     c
 }
 
@@ -100,18 +81,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = Tensor::zeros(Shape::of([m, n]));
-    let (a_s, b_s, c_s) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    // c[i,j] = sum_p a[p,i] * b[p,j]; iterate p outermost so both B and C
-    // rows stream contiguously.
-    for p in 0..k {
-        let a_row = &a_s[p * m..(p + 1) * m];
-        let b_row = &b_s[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi != 0.0 {
-                axpy_slice(&mut c_s[i * n..(i + 1) * n], a_pi, b_row);
-            }
-        }
-    }
+    kernels::gemm_at_b(k, m, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
     c
 }
 

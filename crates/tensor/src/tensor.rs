@@ -175,9 +175,7 @@ impl Tensor {
 
     /// `self *= scalar`.
     pub fn scale(&mut self, scalar: f32) {
-        for a in &mut self.data {
-            *a *= scalar;
-        }
+        crate::kernels::scale(&mut self.data, scalar);
     }
 
     /// `self += alpha * other` (the BLAS `axpy` kernel — the workhorse of
@@ -187,7 +185,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         self.assert_same_shape(other, "axpy");
-        axpy_slice(&mut self.data, alpha, &other.data);
+        crate::kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Returns `self + other` as a new tensor.
@@ -273,17 +271,6 @@ impl Tensor {
     /// True iff every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
-    }
-}
-
-/// `y += alpha * x` over raw slices.
-///
-/// # Panics
-/// Panics if the slices have different lengths.
-pub(crate) fn axpy_slice(y: &mut [f32], alpha: f32, x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "axpy length mismatch");
-    for (a, b) in y.iter_mut().zip(x.iter()) {
-        *a += alpha * b;
     }
 }
 

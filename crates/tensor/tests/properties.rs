@@ -1,10 +1,27 @@
-//! Property-based tests for the tensor kernel.
+//! Property-based tests for the tensor kernel, including the
+//! bit-equivalence contract between the blocked/SIMD kernels and their
+//! scalar reference paths (the canonical accumulation order of
+//! DESIGN.md §13 that the sim goldens depend on).
 
 use preduce_tensor::{
-    matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, symmetric_eigenvalues, JacobiOptions,
-    Shape, Tensor,
+    kernels, matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, symmetric_eigenvalues,
+    JacobiOptions, Shape, Tensor,
 };
 use proptest::prelude::*;
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        prop_assert!(
+            x.to_bits() == y.to_bits(),
+            "element {} differs bitwise: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| x)
@@ -176,6 +193,112 @@ proptest! {
         let orig = t.clone();
         let back = t.reshape([1, n]).unwrap().reshape([n]).unwrap();
         prop_assert_eq!(back, orig);
+    }
+
+    // ---- kernel-layer bit-equivalence (DESIGN.md §13) ----------------
+    //
+    // Dimensions deliberately straddle the kernel block sizes (BLOCK_M=64,
+    // BLOCK_N=128, BLOCK_K=128) so partial edge tiles, full tiles, and
+    // multi-panel contractions are all exercised. The contract is exact
+    // bitwise equality, not approximate: the blocked/SIMD path must follow
+    // the same canonical accumulation order as the scalar reference.
+
+    #[test]
+    fn blocked_gemm_matches_reference_bitwise(
+        m in 1usize..70,
+        k in 1usize..300,
+        n in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c_opt = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        kernels::gemm(m, k, n, &a, &b, &mut c_opt);
+        kernels::gemm_reference(m, k, n, &a, &b, &mut c_ref);
+        assert_bits_eq(&c_opt, &c_ref)?;
+    }
+
+    #[test]
+    fn blocked_gemm_a_bt_matches_reference_bitwise(
+        m in 1usize..70,
+        k in 1usize..300,
+        n in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c_opt = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        kernels::gemm_a_bt(m, k, n, &a, &b, &mut c_opt);
+        kernels::gemm_a_bt_reference(m, k, n, &a, &b, &mut c_ref);
+        assert_bits_eq(&c_opt, &c_ref)?;
+    }
+
+    #[test]
+    fn blocked_gemm_at_b_matches_reference_bitwise(
+        k in 1usize..300,
+        m in 1usize..70,
+        n in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c_opt = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        kernels::gemm_at_b(k, m, n, &a, &b, &mut c_opt);
+        kernels::gemm_at_b_reference(k, m, n, &a, &b, &mut c_ref);
+        assert_bits_eq(&c_opt, &c_ref)?;
+    }
+
+    #[test]
+    fn fused_weighted_sum_matches_axpy_chain_bitwise(
+        models in 1usize..9,
+        // Straddles VEC_BLOCK = 4096 so both the full-block and tail paths run.
+        len in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<Vec<f32>> = (0..models)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+        let weights: Vec<f32> = (0..models).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let mut fused = vec![0.0f32; len];
+        let mut chain = vec![0.0f32; len];
+        kernels::weighted_sum_acc(&mut fused, &refs, &weights);
+        kernels::weighted_sum_reference(&mut chain, &refs, &weights);
+        assert_bits_eq(&fused, &chain)?;
+    }
+
+    #[test]
+    fn matmul_wrapper_follows_canonical_order(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            [m, k],
+        ).unwrap();
+        let b = Tensor::from_vec(
+            (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            [k, n],
+        ).unwrap();
+        let c = matmul(&a, &b);
+        let mut c_ref = vec![0.0f32; m * n];
+        kernels::gemm_reference(m, k, n, a.as_slice(), b.as_slice(), &mut c_ref);
+        assert_bits_eq(c.as_slice(), &c_ref)?;
     }
 
     #[test]

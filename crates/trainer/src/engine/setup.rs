@@ -10,7 +10,7 @@
 //! are scored by the same evaluation routine.
 
 use preduce_data::{shard_dataset, BatchSampler, Dataset, ShardStrategy};
-use preduce_models::{evaluate_accuracy, Network};
+use preduce_models::{evaluate_accuracy_parallel, Network};
 use preduce_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -96,8 +96,21 @@ pub fn uniform_average(params: &[Tensor]) -> Tensor {
     weighted_model_average(&refs, &weights)
 }
 
+/// Threads used for data-parallel test evaluation. Capped so sim
+/// campaigns that evaluate every round don't oversubscribe the host.
+fn eval_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Test accuracy of the uniform-averaged model — the metric both
 /// substrates report at the end of a run.
+///
+/// Evaluation batches fan out across threads; the per-thread correct
+/// counts are integers, so the score is bit-identical to a sequential
+/// evaluation regardless of thread count (golden-safe).
 pub fn evaluate_uniform_average(
     config: &ExperimentConfig,
     test: &Dataset,
@@ -106,7 +119,7 @@ pub fn evaluate_uniform_average(
     let spec = config.model.spec(test.feature_dim(), test.num_classes());
     let mut net = spec.build(config.seed);
     net.set_param_vector(&uniform_average(params));
-    evaluate_accuracy(&mut net, test, EVAL_BATCH)
+    evaluate_accuracy_parallel(&net, test, EVAL_BATCH, eval_threads())
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ pub use crate::engine::drivers::sync::{run_allreduce, run_eager_reduce, run_ps_b
 pub use crate::worker::average_params;
 
 use preduce_data::Dataset;
-use preduce_models::{evaluate_accuracy, softmax_cross_entropy, Network};
+use preduce_models::{evaluate_accuracy_parallel, softmax_cross_entropy, Network};
 use preduce_simnet::{HeterogeneityModel, NetworkModel, SimTime};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -207,7 +207,17 @@ impl ConvergenceTracker {
     fn evaluate(&mut self, workers: &[WorkerState]) -> f64 {
         let avg = average_params(workers);
         self.eval_net.set_param_vector(&avg);
-        evaluate_accuracy(&mut self.eval_net, &self.test, EVAL_BATCH)
+        // Data-parallel over eval batches; integer correct counts make the
+        // score bit-identical to a sequential pass (golden-safe).
+        evaluate_accuracy_parallel(
+            &self.eval_net,
+            &self.test,
+            EVAL_BATCH,
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8),
+        )
     }
 
     /// `‖∇F(u_k)‖²` of the averaged model over the whole held-out set.

@@ -91,7 +91,10 @@ impl WorkerState {
 
 /// The elementwise weighted average `Σ w_i · params_i` of several workers'
 /// models — the aggregation step of a partial reduce, executed in-memory by
-/// the simulator.
+/// the simulator. Runs on the fused multi-accumulator kernel
+/// ([`preduce_tensor::kernels::weighted_sum_acc`]), which visits models in
+/// slice order per element and is therefore bit-identical to the axpy
+/// chain it replaced (the sim goldens pin this).
 ///
 /// # Panics
 /// Panics if inputs are empty, lengths differ, or weights don't match.
@@ -99,9 +102,8 @@ pub fn weighted_model_average(models: &[&Tensor], weights: &[f32]) -> Tensor {
     assert!(!models.is_empty(), "cannot average zero models");
     assert_eq!(models.len(), weights.len(), "one weight per model required");
     let mut out = Tensor::zeros([models[0].len()]);
-    for (m, &w) in models.iter().zip(weights.iter()) {
-        out.axpy(w, m);
-    }
+    let slices: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+    preduce_tensor::kernels::weighted_sum_acc(out.as_mut_slice(), &slices, weights);
     out
 }
 

