@@ -53,9 +53,11 @@ impl fmt::Display for Finding {
 }
 
 /// Whether the panic-path pass covers this file (control plane, comms,
-/// engine, CLI, and the tensor kernel layer — every collective and
+/// engine, CLI, the tensor kernel layer — every collective and
 /// model-average path funnels through the kernels, so a panic there
-/// strands a group just like a comms panic).
+/// strands a group just like a comms panic — and the checkpoint store,
+/// whose errors must surface as typed `CheckpointError`s, never panics:
+/// a crash during restore is exactly the moment durability matters).
 fn panic_scope(path: &str) -> bool {
     path == "crates/core/src/controller.rs"
         || path == "crates/core/src/runtime.rs"
@@ -63,6 +65,7 @@ fn panic_scope(path: &str) -> bool {
         || path.starts_with("crates/comm/src/")
         || path.starts_with("crates/trainer/src/engine/")
         || path.starts_with("crates/cli/src/")
+        || path.starts_with("crates/checkpoint/src/")
 }
 
 /// Whether the stricter unchecked-indexing sub-rule applies: the
@@ -77,13 +80,16 @@ fn index_scope(path: &str) -> bool {
 }
 
 /// Whether the lock-discipline pass covers this file (every file in the
-/// workspace that holds a `Mutex`/`Condvar`/`RwLock` today).
+/// workspace that holds a `Mutex`/`Condvar`/`RwLock` today, plus the
+/// checkpoint store so any future locking around snapshot files is
+/// born under the discipline rather than grandfathered in).
 fn lock_scope(path: &str) -> bool {
     path == "crates/trainer/src/engine/drivers/ps.rs"
         || path == "crates/trainer/src/engine/drivers/sync.rs"
         || path == "crates/comm/src/tcp.rs"
         || path == "crates/comm/src/reactor.rs"
         || path == "crates/core/src/trace.rs"
+        || path.starts_with("crates/checkpoint/src/")
 }
 
 /// Whether the weight-stochasticity pass covers this file: everywhere
@@ -248,6 +254,7 @@ mod tests {
         assert!(panic_scope("crates/trainer/src/engine/drivers/ps.rs"));
         assert!(panic_scope("crates/cli/src/commands.rs"));
         assert!(panic_scope("crates/tensor/src/kernels.rs"));
+        assert!(panic_scope("crates/checkpoint/src/lib.rs"));
         assert!(!panic_scope("crates/tensor/src/matmul.rs"));
         assert!(!panic_scope("crates/models/src/dense.rs"));
         // The kernels index under loop bounds by design (DESIGN.md §13);
@@ -256,6 +263,7 @@ mod tests {
         assert!(!index_scope("crates/trainer/src/engine/drivers/sync.rs"));
         assert!(lock_scope("crates/core/src/trace.rs"));
         assert!(lock_scope("crates/comm/src/reactor.rs"));
+        assert!(lock_scope("crates/checkpoint/src/lib.rs"));
         assert!(!lock_scope("crates/comm/src/mesh.rs"));
         assert!(!lock_scope("crates/core/src/controller.rs"));
         assert!(!weights_scope("crates/core/src/weights.rs"));

@@ -1,0 +1,636 @@
+//! `preduce-checkpoint` — versioned, atomically-written training
+//! snapshots (DESIGN.md §14).
+//!
+//! The elasticity substrate: a worker that crashes mid-run is replaced by
+//! a process that restores the latest on-disk snapshot of its model,
+//! optimizer state, and iteration counter, and the controller's
+//! group-history/roster database survives the same way. The on-disk
+//! format mirrors `comm::frame` — a fixed header, a length-prefixed JSON
+//! payload, and a checksum trailer — so the two byte formats in the
+//! workspace share one idiom:
+//!
+//! ```text
+//! magic (8)  | version (u32 BE) | payload len (u32 BE) | payload | fnv1a64 (u64 BE)
+//! ```
+//!
+//! The checksum covers version + length + payload, so a torn or bit-rotted
+//! file is detected before deserialization is attempted. Writes are atomic
+//! by construction: the bytes land in a `.tmp` sibling which is fsynced
+//! and then renamed over the target, so a reader never observes a partial
+//! snapshot — it sees either the previous complete one or the new one.
+//!
+//! Every failure mode is a typed [`CheckpointError`]; this crate sits in
+//! the `preduce-analysis` panic-path scope and must never panic on any
+//! input, including adversarial bytes.
+
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// Leading magic identifying a preduce checkpoint file.
+pub const MAGIC: [u8; 8] = *b"PRDCKPT1";
+
+/// Current on-disk format version. Bump on any layout change; readers
+/// refuse other versions with [`CheckpointError::VersionSkew`] rather
+/// than guessing.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + payload length.
+pub const HEADER_LEN: usize = 8 + 4 + 4;
+
+/// Checksum trailer size (FNV-1a, 64-bit, big-endian).
+pub const TRAILER_LEN: usize = 8;
+
+/// Upper bound on the JSON payload (256 MiB): a million-parameter model
+/// serializes to a few tens of MiB, so anything near this bound is a
+/// corrupted length prefix, not a legitimate snapshot.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// Everything that can go wrong saving or restoring a snapshot. No
+/// variant is ever reported by panicking: corrupt bytes, short files,
+/// version skew, and I/O failures all surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure, annotated with the path involved.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying I/O error rendered as text.
+        detail: String,
+    },
+    /// The requested snapshot does not exist.
+    Missing {
+        /// The absent path.
+        path: String,
+    },
+    /// The file does not start with [`MAGIC`] — not a checkpoint at all.
+    BadMagic {
+        /// The first 8 bytes found instead.
+        found: [u8; 8],
+    },
+    /// The file was written by a different format version.
+    VersionSkew {
+        /// Version recorded in the file.
+        found: u32,
+        /// The version this reader supports.
+        supported: u32,
+    },
+    /// The file ends before the length prefix says it should.
+    Truncated {
+        /// Bytes the header + payload + trailer require.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The checksum trailer disagrees with the recomputed digest.
+    ChecksumMismatch {
+        /// Digest stored in the trailer.
+        stored: u64,
+        /// Digest recomputed over the bytes.
+        computed: u64,
+    },
+    /// The payload or its contents fail validation (bad JSON, mismatched
+    /// vector lengths, a snapshot for the wrong rank…).
+    Malformed {
+        /// What exactly is wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => write!(f, "checkpoint I/O on {path}: {detail}"),
+            CheckpointError::Missing { path } => write!(f, "no snapshot at {path}"),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint file (magic {found:02x?})")
+            }
+            CheckpointError::VersionSkew { found, supported } => write!(
+                f,
+                "checkpoint format version {found} (this build reads {supported})"
+            ),
+            CheckpointError::Truncated { needed, got } => {
+                write!(f, "truncated checkpoint: need {needed} bytes, have {got}")
+            }
+            CheckpointError::Oversized { len, max } => {
+                write!(f, "checkpoint payload length {len} exceeds the {max} cap")
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Malformed { detail } => write!(f, "malformed checkpoint: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CheckpointError>;
+
+/// FNV-1a, 64-bit — the dependency-free digest guarding snapshot bytes.
+/// Not cryptographic; it detects torn writes and bit rot, which is the
+/// contract (an adversary with write access to the checkpoint dir can do
+/// worse than flip bits).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes `value` into the framed, checksummed byte format.
+///
+/// # Errors
+/// [`CheckpointError::Malformed`] if the value does not serialize (e.g. a
+/// NaN loss — JSON cannot carry it), [`CheckpointError::Oversized`] if the
+/// payload exceeds [`MAX_PAYLOAD`].
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    let payload = serde_json::to_vec(value).map_err(|e| CheckpointError::Malformed {
+        detail: format!("serialize: {e}"),
+    })?;
+    if payload.len() > MAX_PAYLOAD {
+        return Err(CheckpointError::Oversized {
+            len: payload.len(),
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&payload);
+    let digest = fnv1a64(&bytes[8..]);
+    bytes.extend_from_slice(&digest.to_be_bytes());
+    Ok(bytes)
+}
+
+/// Decodes a framed snapshot, verifying magic, version, length, and
+/// checksum before touching serde. Never panics; a file of arbitrary
+/// bytes resolves to a typed error.
+///
+/// # Errors
+/// Every [`CheckpointError`] format variant, per its documentation.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CheckpointError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(CheckpointError::BadMagic { found });
+    }
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_be_bytes(word);
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionSkew {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    word.copy_from_slice(&bytes[12..16]);
+    let len = u32::from_be_bytes(word) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(CheckpointError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let needed = HEADER_LEN + len + TRAILER_LEN;
+    if bytes.len() < needed {
+        return Err(CheckpointError::Truncated {
+            needed,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > needed {
+        return Err(CheckpointError::Malformed {
+            detail: format!("{} trailing bytes after the frame", bytes.len() - needed),
+        });
+    }
+    let mut trailer = [0u8; 8];
+    trailer.copy_from_slice(&bytes[needed - TRAILER_LEN..]);
+    let stored = u64::from_be_bytes(trailer);
+    let computed = fnv1a64(&bytes[8..needed - TRAILER_LEN]);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    serde_json::from_slice(&bytes[HEADER_LEN..HEADER_LEN + len]).map_err(|e| {
+        CheckpointError::Malformed {
+            detail: format!("deserialize: {e}"),
+        }
+    })
+}
+
+/// One worker's restorable state: the flat model, the SGD momentum
+/// buffer and step counter, and the local iteration counters.
+///
+/// Deliberately *not* snapshotted: the data shard (reconstructed
+/// deterministically from the experiment seed), the network architecture
+/// (ditto), and the RNG cursor — a restored worker resumes its shard from
+/// a fresh draw, which perturbs batch order but not correctness (the
+/// paper's convergence guarantees never depend on batch order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSnapshot {
+    /// Worker rank the snapshot belongs to.
+    pub rank: usize,
+    /// Local iteration counter `k_i` at snapshot time.
+    pub iteration: u64,
+    /// Local updates applied so far.
+    pub updates_applied: u64,
+    /// Optimizer steps taken (drives the LR schedule).
+    pub opt_steps: u64,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+    /// SGD momentum buffer, same layout as `params`.
+    pub velocity: Vec<f32>,
+}
+
+impl WorkerSnapshot {
+    /// Internal consistency: a non-empty model whose momentum buffer has
+    /// the same layout.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Malformed`] describing the inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.params.is_empty() {
+            return Err(CheckpointError::Malformed {
+                detail: format!("worker {} snapshot has an empty model", self.rank),
+            });
+        }
+        if self.velocity.len() != self.params.len() {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "worker {} snapshot: {} params but {} velocity entries",
+                    self.rank,
+                    self.params.len(),
+                    self.velocity.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The controller's durable state: the roster (who departed) and the
+/// group-history database window, plus the closing counters.
+///
+/// The signal queue is deliberately *not* snapshotted: queued ready
+/// signals are transient (workers re-signal after a restart), and
+/// replaying stale signals into a rebuilt fleet would violate the
+/// one-pending-signal-per-worker invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// Cluster size `N`.
+    pub num_workers: usize,
+    /// Workers still participating.
+    pub active: usize,
+    /// Ranks that have departed, ascending.
+    pub departed: Vec<usize>,
+    /// Total groups formed.
+    pub groups_formed: u64,
+    /// Frozen-schedule repairs performed.
+    pub repairs: u64,
+    /// Group-formation deferrals.
+    pub deferrals: u64,
+    /// Sync-graph window `T`.
+    pub history_window: usize,
+    /// Retained group-history window, oldest first.
+    pub history: Vec<Vec<usize>>,
+}
+
+impl ControllerSnapshot {
+    /// Internal consistency of roster counts and history bounds.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Malformed`] describing the inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.active + self.departed.len() != self.num_workers {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "controller snapshot: {} active + {} departed != N = {}",
+                    self.active,
+                    self.departed.len(),
+                    self.num_workers
+                ),
+            });
+        }
+        if let Some(&w) = self.departed.iter().find(|&&w| w >= self.num_workers) {
+            return Err(CheckpointError::Malformed {
+                detail: format!("controller snapshot: departed rank {w} out of range"),
+            });
+        }
+        if self.history.len() > self.history_window {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "controller snapshot: {} history groups exceed window {}",
+                    self.history.len(),
+                    self.history_window
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A checkpoint directory: one `worker-<rank>.ckpt` per rank plus
+/// `controller.ckpt`, each atomically replaced on every save so the file
+/// present *is* the latest complete snapshot.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the directory cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of rank `rank`'s snapshot file.
+    pub fn worker_path(&self, rank: usize) -> PathBuf {
+        self.dir.join(format!("worker-{rank}.ckpt"))
+    }
+
+    /// Path of the controller snapshot file.
+    pub fn controller_path(&self) -> PathBuf {
+        self.dir.join("controller.ckpt")
+    }
+
+    /// Whether a snapshot for `rank` exists.
+    pub fn has_worker(&self, rank: usize) -> bool {
+        self.worker_path(rank).is_file()
+    }
+
+    /// Atomically writes `snap`, replacing any previous snapshot for the
+    /// rank. Returns the final path.
+    ///
+    /// # Errors
+    /// Validation or I/O failure; on error the previous snapshot (if any)
+    /// is left intact.
+    pub fn save_worker(&self, snap: &WorkerSnapshot) -> Result<PathBuf> {
+        snap.validate()?;
+        let path = self.worker_path(snap.rank);
+        self.write_atomic(&path, &encode(snap)?)?;
+        Ok(path)
+    }
+
+    /// Loads the latest snapshot for `rank`, fully verified.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Missing`] when no snapshot exists; any format
+    /// error on corrupt bytes; [`CheckpointError::Malformed`] if the file
+    /// holds a snapshot for a different rank.
+    pub fn load_worker(&self, rank: usize) -> Result<WorkerSnapshot> {
+        let path = self.worker_path(rank);
+        let snap: WorkerSnapshot = decode(&read_all(&path)?)?;
+        snap.validate()?;
+        if snap.rank != rank {
+            return Err(CheckpointError::Malformed {
+                detail: format!("{} holds a snapshot for rank {}", path.display(), snap.rank),
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Atomically writes the controller snapshot. Returns the final path.
+    ///
+    /// # Errors
+    /// Validation or I/O failure; the previous snapshot survives an error.
+    pub fn save_controller(&self, snap: &ControllerSnapshot) -> Result<PathBuf> {
+        snap.validate()?;
+        let path = self.controller_path();
+        self.write_atomic(&path, &encode(snap)?)?;
+        Ok(path)
+    }
+
+    /// Loads the latest controller snapshot, fully verified.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Missing`] when absent; format errors otherwise.
+    pub fn load_controller(&self) -> Result<ControllerSnapshot> {
+        let snap: ControllerSnapshot = decode(&read_all(&self.controller_path())?)?;
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Ranks with a snapshot on disk, ascending.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the directory cannot be listed.
+    pub fn worker_ranks(&self) -> Result<Vec<usize>> {
+        let mut ranks = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue;
+            };
+            if let Some(rank) = name
+                .strip_prefix("worker-")
+                .and_then(|r| r.strip_suffix(".ckpt"))
+                .and_then(|r| r.parse::<usize>().ok())
+            {
+                ranks.push(rank);
+            }
+        }
+        ranks.sort_unstable();
+        Ok(ranks)
+    }
+
+    /// Write-then-rename: bytes land in a `.tmp` sibling, are fsynced,
+    /// and the rename replaces the target in one metadata operation.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let tmp = path.with_extension("ckpt.tmp");
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+        file.write_all(bytes).map_err(|e| io_err(&tmp, &e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, &e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+        Ok(())
+    }
+}
+
+fn read_all(path: &Path) -> Result<Vec<u8>> {
+    let mut file = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CheckpointError::Missing {
+                path: path.display().to_string(),
+            })
+        }
+        Err(e) => return Err(io_err(path, &e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err(path, &e))?;
+    Ok(bytes)
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("preduce-ckpt-test")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn worker_snap(rank: usize, iteration: u64) -> WorkerSnapshot {
+        WorkerSnapshot {
+            rank,
+            iteration,
+            updates_applied: iteration,
+            opt_steps: iteration,
+            params: vec![0.5, -1.25, 3.0],
+            velocity: vec![0.0, 0.125, -0.5],
+        }
+    }
+
+    fn controller_snap() -> ControllerSnapshot {
+        ControllerSnapshot {
+            num_workers: 4,
+            active: 3,
+            departed: vec![2],
+            groups_formed: 17,
+            repairs: 1,
+            deferrals: 2,
+            history_window: 3,
+            history: vec![vec![0, 1], vec![1, 3]],
+        }
+    }
+
+    #[test]
+    fn worker_snapshot_roundtrips() {
+        let store = CheckpointStore::open(tmpdir("worker-roundtrip")).unwrap();
+        let snap = worker_snap(2, 40);
+        let path = store.save_worker(&snap).unwrap();
+        assert!(path.is_file());
+        assert!(store.has_worker(2));
+        assert!(!store.has_worker(0));
+        assert_eq!(store.load_worker(2).unwrap(), snap);
+        assert_eq!(store.worker_ranks().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn controller_snapshot_roundtrips() {
+        let store = CheckpointStore::open(tmpdir("controller-roundtrip")).unwrap();
+        let snap = controller_snap();
+        store.save_controller(&snap).unwrap();
+        assert_eq!(store.load_controller().unwrap(), snap);
+    }
+
+    #[test]
+    fn save_replaces_previous_snapshot() {
+        let store = CheckpointStore::open(tmpdir("replace")).unwrap();
+        store.save_worker(&worker_snap(0, 8)).unwrap();
+        store.save_worker(&worker_snap(0, 16)).unwrap();
+        assert_eq!(store.load_worker(0).unwrap().iteration, 16);
+        // The temp file never survives a successful save.
+        assert!(!store.worker_path(0).with_extension("ckpt.tmp").exists());
+    }
+
+    #[test]
+    fn missing_snapshot_is_typed() {
+        let store = CheckpointStore::open(tmpdir("missing")).unwrap();
+        assert!(matches!(
+            store.load_worker(7),
+            Err(CheckpointError::Missing { .. })
+        ));
+        assert!(matches!(
+            store.load_controller(),
+            Err(CheckpointError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let store = CheckpointStore::open(tmpdir("rank-mismatch")).unwrap();
+        let mut snap = worker_snap(3, 5);
+        snap.rank = 1;
+        fs::write(store.worker_path(3), encode(&snap).unwrap()).unwrap();
+        assert!(matches!(
+            store.load_worker(3),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let mut bytes = encode(&worker_snap(0, 1)).unwrap();
+        let mid = HEADER_LEN + 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode::<WorkerSnapshot>(&bytes),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut bytes = encode(&worker_snap(0, 1)).unwrap();
+        bytes[11] = 9; // version big-endian low byte
+        assert!(matches!(
+            decode::<WorkerSnapshot>(&bytes),
+            Err(CheckpointError::VersionSkew {
+                found: 9,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_snapshots_fail_validation() {
+        let mut w = worker_snap(0, 1);
+        w.velocity.pop();
+        assert!(w.validate().is_err());
+        let mut c = controller_snap();
+        c.active = 4; // 4 active + 1 departed != 4 workers
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

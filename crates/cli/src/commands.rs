@@ -15,7 +15,7 @@ use preduce_data::{cifar100_like, cifar10_like, imagenet_like, DatasetPreset};
 use preduce_models::zoo;
 use preduce_simnet::{EventQueue, HeterogeneityModel, Jitter, SimTime, SpeedFleet, UniformFleet};
 use preduce_trainer::engine::process;
-use preduce_trainer::{engine, Backend, ExperimentConfig, FaultPlan, Strategy};
+use preduce_trainer::{engine, Backend, ElasticOptions, ExperimentConfig, FaultPlan, Strategy};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::args::{ArgError, Args};
@@ -121,12 +121,17 @@ USAGE:
                    [--max-updates K] [--seed SEED] [--json true]
                    [--backend sim|threaded] [--iters K]
                    [--config experiment.json] [--trace-out trace.jsonl]
-                   [--fault-plan SPEC]
+                   [--fault-plan SPEC] [--checkpoint-dir DIR]
+                   [--checkpoint-every K] [--restore-from DIR]
   preduce controller --listen ADDR [--workers N] [--p P] [--dynamic true]
                    [--liveness-ms MS] [--miss-threshold K]
                    [--trace-out trace.jsonl] [--config experiment.json]
+                   [--checkpoint-dir DIR] [--checkpoint-every K]
+                   [--restore-from DIR]
   preduce worker   --connect ADDR --rank R [--workers N] [--iters K]
                    [--seed SEED] [--config experiment.json]
+                   [--checkpoint-dir DIR] [--checkpoint-every K]
+                   [--restore-from DIR]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
   preduce lint     [--root PATH]
@@ -152,7 +157,23 @@ FAULT INJECTION:
   delay:W+S (W's control signals arrive S seconds late), and
   latejoin:W+S (W starts S seconds late). Example:
   --fault-plan \"crash:3@40,stall:5x4@10\". Honored by the p-reduce
-  strategy on both backends; other strategies ignore the plan.
+  strategy on both backends; other strategies ignore the plan. The sim
+  backend additionally honors restore:W@U (worker W, previously crashed,
+  rejoins from its snapshot once the fleet has applied U updates; needs
+  --checkpoint-dir or --restore-from).
+
+ELASTICITY (DESIGN.md section 14):
+  --checkpoint-dir DIR enables periodic snapshots: every worker writes
+  its durable state (parameters, momentum, counters) every
+  --checkpoint-every iterations (default 32), and the controller writes
+  its roster/group-history snapshot at the same cadence in formed
+  groups. Writes are atomic (write-then-rename, checksummed), so a
+  mid-write crash leaves the previous snapshot intact. --restore-from
+  DIR warm-starts workers from the snapshots found there before
+  training begins; for `controller` it validates the saved lineage
+  against the fleet about to be served (the roster itself rebuilds
+  live at accept time). Omitting every elasticity flag leaves runs
+  bit-identical to a build without the subsystem.
 
 MULTI-PROCESS FLEETS (DESIGN.md section 12):
   `controller` binds ADDR (use port 0 to let the OS choose; the chosen
@@ -210,6 +231,35 @@ fn parse_preset(name: &str) -> Result<DatasetPreset, CliError> {
         "imagenet-like" => Ok(imagenet_like()),
         other => Err(CliError::Unknown(format!("preset `{other}`"))),
     }
+}
+
+/// Builds [`ElasticOptions`] from the checkpoint/restore flags shared by
+/// `run`, `controller`, and `worker` (DESIGN.md §14). Absent flags yield
+/// the inert options, leaving the run bit-identical to one without them.
+fn elastic_from_args(args: &Args) -> Result<ElasticOptions, CliError> {
+    let mut elastic = ElasticOptions::none();
+    match args.get("checkpoint-dir") {
+        Some(dir) => {
+            let every: u64 = args.get_or("checkpoint-every", 32)?;
+            if every == 0 {
+                return Err(CliError::Unknown(
+                    "checkpoint cadence `0` (must be at least 1)".to_string(),
+                ));
+            }
+            elastic = elastic.with_policy(dir, every);
+        }
+        None => {
+            if args.get("checkpoint-every").is_some() {
+                return Err(CliError::Unknown(
+                    "flag --checkpoint-every without --checkpoint-dir".to_string(),
+                ));
+            }
+        }
+    }
+    if let Some(dir) = args.get("restore-from") {
+        elastic = elastic.with_restore(dir);
+    }
+    Ok(elastic)
 }
 
 /// Builds an [`ExperimentConfig`] from CLI flags (defaults mirror Table 1).
@@ -299,20 +349,32 @@ pub fn run_command(
                 Some(spec) => FaultPlan::parse(spec)
                     .map_err(|e| CliError::Unknown(format!("fault plan: {e}")))?,
             };
+            let elastic = elastic_from_args(args)?;
             let result = match args.get("trace-out") {
                 Some(path) => {
                     let sink = Arc::new(
                         JsonlSink::create(path)
                             .map_err(|e| CliError::Unknown(format!("trace file `{path}`: {e}")))?,
                     );
-                    let r =
-                        engine::run_with_faults(strategy, &config, backend, sink.clone(), faults);
+                    let r = engine::run_elastic(
+                        strategy,
+                        &config,
+                        backend,
+                        sink.clone(),
+                        faults,
+                        elastic,
+                    );
                     sink.flush();
                     r
                 }
-                None => {
-                    engine::run_with_faults(strategy, &config, backend, Arc::new(NullSink), faults)
-                }
+                None => engine::run_elastic(
+                    strategy,
+                    &config,
+                    backend,
+                    Arc::new(NullSink),
+                    faults,
+                    elastic,
+                ),
             }
             .result;
             if args.get_or("json", false)? {
@@ -356,12 +418,36 @@ pub fn run_command(
                 ),
                 None => Arc::new(NullSink),
             };
+            let elastic = elastic_from_args(args)?;
+            // Controller restore is validate-only (DESIGN.md §14): the
+            // accept phase rebuilds the roster live, so the snapshot only
+            // gates serving a fleet that contradicts the saved lineage.
+            if let Some(dir) = &elastic.restore_from {
+                let snap = preduce_trainer::elastic::validate_controller_restore(
+                    dir.as_path(),
+                    config.num_workers,
+                )
+                .map_err(|e| CliError::Unknown(format!("restore-from: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "resuming lineage: groups={} repairs={} active={}",
+                    snap.groups_formed, snap.repairs, snap.active
+                );
+            }
+            let on_groups = match &elastic.policy {
+                Some(pol) => Some(
+                    preduce_trainer::elastic::controller_group_hook(pol)
+                        .map_err(|e| CliError::Unknown(format!("checkpoint-dir: {e}")))?,
+                ),
+                None => None,
+            };
             let report = process::run_controller(
                 controller_cfg,
                 &listen,
                 RuntimeOptions {
                     sink: sink.clone(),
                     liveness,
+                    on_groups,
                 },
                 |addr| {
                     // The e2e harness (and any launcher) parses this line
@@ -402,8 +488,16 @@ pub fn run_command(
             })?;
             let config = config_from_args(args)?;
             let iters: u64 = args.get_or("iters", engine::DEFAULT_THREADED_ITERS)?;
-            let report = process::run_worker(&config, addr, rank, iters, Arc::new(NullSink))
-                .map_err(|e| CliError::Internal(format!("worker {rank}: {e}")))?;
+            let elastic = elastic_from_args(args)?;
+            let report = process::run_worker_elastic(
+                &config,
+                addr,
+                rank,
+                iters,
+                Arc::new(NullSink),
+                elastic,
+            )
+            .map_err(|e| CliError::Internal(format!("worker {rank}: {e}")))?;
             let _ = writeln!(
                 out,
                 "worker rank={} iterations={} accuracy={:.4} degraded={}",

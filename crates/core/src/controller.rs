@@ -304,6 +304,47 @@ impl Controller {
         }
     }
 
+    /// Re-admits a departed worker from a checkpoint (DESIGN.md §14):
+    /// the departure flag clears, the worker counts as active again, and
+    /// its next ready signal — reporting `iteration + 1`, the first
+    /// local update after the snapshot — is accepted like any other.
+    /// Emits [`TraceEvent::WorkerRestored`].
+    ///
+    /// # Panics
+    /// Panics if the worker rank is out of range or the worker never
+    /// departed (restoring a live worker would double-count it).
+    pub fn mark_restored(&mut self, worker: usize, iteration: u64) {
+        assert!(
+            worker < self.config.num_workers,
+            "worker {worker} out of range (N = {})",
+            self.config.num_workers
+        );
+        assert!(
+            self.departed[worker],
+            "worker {worker} is still active; only departed workers restore"
+        );
+        self.departed[worker] = false;
+        self.active += 1;
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::WorkerRestored {
+                worker,
+                iteration,
+                active: self.active,
+            });
+        }
+    }
+
+    /// Ranks that have departed (and not been restored), ascending. This
+    /// is the roster half of a controller checkpoint.
+    pub fn departed_workers(&self) -> Vec<usize> {
+        self.departed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &gone)| gone)
+            .map(|(w, _)| w)
+            .collect()
+    }
+
     /// The group history database.
     pub fn history(&self) -> &GroupHistory {
         &self.history

@@ -18,6 +18,13 @@
 //!   (§4 group-frozen avoidance);
 //! * departed workers never appear in later groups, and their queued
 //!   signals are purged on departure;
+//! * elasticity events (DESIGN.md §14) are consistent: a snapshot
+//!   ([`TraceEvent::SnapshotTaken`]) never captures a departed worker, a
+//!   restore ([`TraceEvent::WorkerRestored`]) targets a rank that
+//!   actually departed — resetting its iteration floor to the snapshot
+//!   iteration, since durable state may legitimately predate the crash —
+//!   and a reshard ([`TraceEvent::ShardsReassigned`]) moves fewer than
+//!   5% of keys between surviving workers;
 //! * an eviction ([`TraceEvent::WorkerEvicted`]) is *justified*: it is
 //!   preceded by heartbeat silence ([`TraceEvent::HeartbeatMissed`]), an
 //!   injected fault ([`TraceEvent::FaultInjected`]), or a dropped control
@@ -400,6 +407,51 @@ impl<'a> Replay<'a> {
                 }
                 TraceEvent::WorkerEvicted { worker, active } => {
                     self.on_evicted(i, *worker, *active)
+                }
+                TraceEvent::SnapshotTaken { worker, .. } => {
+                    self.require_started(i);
+                    if let Some(w) = worker {
+                        if let Some(cfg) = &self.config {
+                            if *w >= cfg.num_workers {
+                                self.fail(
+                                    i,
+                                    format!(
+                                        "snapshot of out-of-range worker \
+                                         {w} (N = {})",
+                                        cfg.num_workers
+                                    ),
+                                );
+                            }
+                        }
+                        if self.departed.contains_key(w) {
+                            self.fail(i, format!("snapshot taken of departed worker {w}"));
+                        }
+                    }
+                }
+                TraceEvent::WorkerRestored {
+                    worker,
+                    iteration,
+                    active,
+                } => self.on_restored(i, *worker, *iteration, *active),
+                TraceEvent::ShardsReassigned { moved, total } => {
+                    self.require_started(i);
+                    if moved > total {
+                        self.fail(
+                            i,
+                            format!(
+                                "reassignment moved {moved} keys out of \
+                                 only {total}"
+                            ),
+                        );
+                    } else if *total > 0 && moved * 20 >= *total {
+                        self.fail(
+                            i,
+                            format!(
+                                "reassignment moved {moved} of {total} \
+                                 survivor keys (≥5% gratuitous churn)"
+                            ),
+                        );
+                    }
                 }
                 TraceEvent::RunFinished {
                     groups_formed,
@@ -825,6 +877,66 @@ impl<'a> Replay<'a> {
                             "eviction reports {active} active workers, \
                              replay expects {}",
                             prev - 1
+                        ),
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// A restore must target a rank that actually departed, must carry
+    /// the post-restore active count, and resets the worker's iteration
+    /// floor to the snapshot iteration: durable state may predate the
+    /// crash, so resuming *below* the last pre-crash report is
+    /// legitimate — but the next report must still move past the
+    /// snapshot (DESIGN.md §14).
+    fn on_restored(&mut self, index: usize, worker: usize, iteration: u64, active: usize) {
+        self.require_started(index);
+        if let Some(cfg) = &self.config {
+            if worker >= cfg.num_workers {
+                self.fail(
+                    index,
+                    format!(
+                        "restore of out-of-range worker {worker} (N = {})",
+                        cfg.num_workers
+                    ),
+                );
+                return;
+            }
+        }
+        if self.departed.remove(&worker).is_none() {
+            self.fail(
+                index,
+                format!("worker {worker} restored without having departed"),
+            );
+            return;
+        }
+        self.min_next.insert(worker, iteration);
+        // The restored worker starts a fresh life: a later eviction needs
+        // fresh justification, and its old control connection died with
+        // the departure.
+        self.faulted.remove(&worker);
+        self.missed.remove(&worker);
+        self.disconnected.remove(&worker);
+        self.evicted_pending.remove(&worker);
+        self.joined.remove(&worker);
+        match self.active {
+            Some(prev) => {
+                let now = prev + 1;
+                if let Some(cfg) = &self.config {
+                    if now > cfg.num_workers {
+                        self.fail(index, "more restores than fleet capacity".to_string());
+                        return;
+                    }
+                }
+                self.active = Some(now);
+                if active != now {
+                    self.fail(
+                        index,
+                        format!(
+                            "restore reports {active} active workers, \
+                             replay counted {now}"
                         ),
                     );
                 }
@@ -1296,6 +1408,201 @@ mod tests {
                 .violations
                 .iter()
                 .any(|v| v.message.contains("out-of-range worker 9 joined")),
+            "{report}"
+        );
+    }
+
+    /// A well-formed elasticity narrative (DESIGN.md §14): snapshot,
+    /// crash departure, restore from the snapshot, reshard, and the
+    /// resumed signal one past the snapshot iteration.
+    fn elastic_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::SnapshotTaken {
+                worker: Some(2),
+                iteration: 5,
+            },
+            TraceEvent::SnapshotTaken {
+                worker: None,
+                iteration: 0,
+            },
+            TraceEvent::FaultInjected {
+                worker: 2,
+                fault: "crash@8".to_string(),
+                iteration: 8,
+            },
+            TraceEvent::WorkerEvicted {
+                worker: 2,
+                active: 3,
+            },
+            TraceEvent::WorkerLeft {
+                worker: 2,
+                active: 3,
+                purged_signal: false,
+            },
+            TraceEvent::WorkerRestored {
+                worker: 2,
+                iteration: 5,
+                active: 4,
+            },
+            TraceEvent::ShardsReassigned {
+                moved: 3,
+                total: 100,
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 2,
+                iteration: 6,
+                queued: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn elastic_restore_narrative_is_clean() {
+        let report = InvariantChecker::check(&elastic_trace());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn restore_rewinds_the_iteration_floor() {
+        // The worker reported iteration 8 before crashing; resuming at 6
+        // after a restore from the iteration-5 snapshot is legitimate
+        // time-travel back to durable state.
+        let events = vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 2,
+                iteration: 8,
+                queued: 1,
+            },
+            TraceEvent::SnapshotTaken {
+                worker: Some(2),
+                iteration: 5,
+            },
+            TraceEvent::FaultInjected {
+                worker: 2,
+                fault: "crash@8".to_string(),
+                iteration: 8,
+            },
+            TraceEvent::WorkerLeft {
+                worker: 2,
+                active: 3,
+                purged_signal: true,
+            },
+            TraceEvent::WorkerRestored {
+                worker: 2,
+                iteration: 5,
+                active: 4,
+            },
+            TraceEvent::SignalEnqueued {
+                worker: 2,
+                iteration: 6,
+                queued: 1,
+            },
+        ];
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn restored_worker_must_advance_past_the_snapshot() {
+        let mut events = elastic_trace();
+        let last = events.len() - 1;
+        if let TraceEvent::SignalEnqueued { iteration, .. } = &mut events[last] {
+            *iteration = 5; // stuck at the snapshot, not past it
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("does not advance")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn restore_without_departure_is_caught() {
+        let events = vec![
+            TraceEvent::RunStarted {
+                config: ControllerConfig::constant(4, 2),
+            },
+            TraceEvent::WorkerRestored {
+                worker: 1,
+                iteration: 3,
+                active: 5,
+            },
+        ];
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("without having departed")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn restore_active_count_mismatch_is_caught() {
+        let mut events = elastic_trace();
+        for e in &mut events {
+            if let TraceEvent::WorkerRestored { active, .. } = e {
+                *active = 3; // pre-restore count smuggled in
+            }
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("restore reports 3 active")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn snapshot_of_departed_worker_is_caught() {
+        let mut events = elastic_trace();
+        let restore_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::WorkerRestored { .. }))
+            .unwrap();
+        events.insert(
+            restore_at,
+            TraceEvent::SnapshotTaken {
+                worker: Some(2),
+                iteration: 8,
+            },
+        );
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("snapshot taken of departed worker 2")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn excessive_reshard_churn_is_caught() {
+        let mut events = elastic_trace();
+        for e in &mut events {
+            if let TraceEvent::ShardsReassigned { moved, .. } = e {
+                *moved = 5; // exactly the 5% boundary — still too much
+            }
+        }
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("gratuitous churn")),
             "{report}"
         );
     }

@@ -96,6 +96,12 @@ impl Default for LivenessPolicy {
     }
 }
 
+/// Observer invoked with the live [`Controller`] after every serving-loop
+/// pass in which at least one new group formed. The elastic layer hooks
+/// controller snapshots (DESIGN.md §14) through this without the runtime
+/// knowing anything about checkpoint formats.
+pub type GroupHook = Box<dyn FnMut(&Controller) + Send>;
+
 /// Spawn-time options shared by every transport.
 pub struct RuntimeOptions {
     /// Trace sink receiving every control-plane decision.
@@ -103,6 +109,9 @@ pub struct RuntimeOptions {
     /// Heartbeat-based failure detection; `None` disables it (the
     /// controller then only learns of departures via `Leaving`).
     pub liveness: Option<LivenessPolicy>,
+    /// Called after each loop pass that formed new groups; `None` (the
+    /// default) costs nothing.
+    pub on_groups: Option<GroupHook>,
 }
 
 impl Default for RuntimeOptions {
@@ -110,6 +119,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             sink: Arc::new(NullSink),
             liveness: None,
+            on_groups: None,
         }
     }
 }
@@ -321,6 +331,7 @@ pub fn spawn_with_sink(
         RuntimeOptions {
             sink,
             liveness: None,
+            on_groups: None,
         },
     )
 }
@@ -336,7 +347,11 @@ pub fn spawn_with_options(
     opts: RuntimeOptions,
 ) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
-    let RuntimeOptions { sink, liveness } = opts;
+    let RuntimeOptions {
+        sink,
+        liveness,
+        on_groups,
+    } = opts;
     let n = config.num_workers;
     let (ctl_link, worker_links) = control_links(n);
     let ctl_link = ObservedControlPlane::new(ctl_link, Arc::new(SinkObserver::new(sink.clone())));
@@ -345,7 +360,7 @@ pub fn spawn_with_options(
     let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller".into())
-        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness, on_groups))
         .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
@@ -401,6 +416,7 @@ pub fn spawn_tcp_with_sink(
         RuntimeOptions {
             sink,
             liveness: None,
+            on_groups: None,
         },
     )
 }
@@ -416,7 +432,11 @@ pub fn spawn_tcp_with_options(
     opts: RuntimeOptions,
 ) -> (ControllerHandle, Vec<PartialReducer>) {
     config.validate();
-    let RuntimeOptions { sink, liveness } = opts;
+    let RuntimeOptions {
+        sink,
+        liveness,
+        on_groups,
+    } = opts;
     let n = config.num_workers;
     let (listener, addr) = preduce_comm::tcp::bind_controller("127.0.0.1:0");
 
@@ -436,7 +456,7 @@ pub fn spawn_tcp_with_options(
     let ctl_sink = sink.clone();
     let join = thread::Builder::new()
         .name("preduce-controller-tcp".into())
-        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness))
+        .spawn(move || controller_loop(config, ctl_link, ctl_sink, liveness, on_groups))
         .unwrap_or_else(|e| panic!("failed to spawn controller thread: {e}")); // lint: allow(panic-path) startup-only: OS refusing to spawn the controller thread is unrecoverable before training begins
 
     let reducers = worker_links
@@ -459,6 +479,7 @@ fn controller_loop<C: ControlPlane>(
     mut link: C,
     sink: Arc<dyn TraceSink>,
     liveness: Option<LivenessPolicy>,
+    mut on_groups: Option<GroupHook>,
 ) -> ControllerStats {
     let n = config.num_workers;
     let p = config.group_size;
@@ -466,6 +487,7 @@ fn controller_loop<C: ControlPlane>(
     let mut active = n;
     let mut singletons = 0u64;
     let mut evictions = 0u64;
+    let mut observed_groups = 0u64;
     // Worker iterations seen in pending singleton-drain signals.
     let mut pending_drain: Vec<(usize, u64)> = Vec::new();
 
@@ -613,6 +635,14 @@ fn controller_loop<C: ControlPlane>(
                 }
             }
         }
+        // Group observer: one call per pass that formed new groups, after
+        // every assignment for the pass went out.
+        if let Some(hook) = on_groups.as_mut() {
+            if controller.groups_formed() != observed_groups {
+                observed_groups = controller.groups_formed();
+                hook(&controller);
+            }
+        }
     }
     stats(&controller, singletons, evictions)
 }
@@ -657,7 +687,11 @@ pub fn serve_fleet<C: BatchControlPlane>(
     opts: RuntimeOptions,
 ) -> ControllerStats {
     config.validate();
-    let RuntimeOptions { sink, liveness } = opts;
+    let RuntimeOptions {
+        sink,
+        liveness,
+        mut on_groups,
+    } = opts;
     let n = config.num_workers;
     let p = config.group_size;
     let mut controller = Controller::with_sink(config, sink);
@@ -672,6 +706,7 @@ pub fn serve_fleet<C: BatchControlPlane>(
     let mut active = n;
     let mut singletons = 0u64;
     let mut evictions = 0u64;
+    let mut observed_groups = 0u64;
     let mut pending_drain: Vec<(usize, u64)> = Vec::new();
     let mut ready_batch: Vec<(usize, u64)> = Vec::new();
 
@@ -814,6 +849,14 @@ pub fn serve_fleet<C: BatchControlPlane>(
                 // A failed singleton send means this socket just died;
                 // its Disconnected event will follow and evict.
                 let _ = link.send_assignment(worker, assignment);
+            }
+        }
+        // Group observer: same contract as the in-process loop — one call
+        // per reactor pass that formed new groups.
+        if let Some(hook) = on_groups.as_mut() {
+            if controller.groups_formed() != observed_groups {
+                observed_groups = controller.groups_formed();
+                hook(&controller);
             }
         }
     }
@@ -1180,6 +1223,7 @@ mod tests {
             RuntimeOptions {
                 sink: sink.clone(),
                 liveness: Some(LivenessPolicy::new(Duration::from_millis(50), 6)),
+                on_groups: None,
             },
         );
         let r2 = reducers.pop().unwrap();
@@ -1255,6 +1299,7 @@ mod tests {
             RuntimeOptions {
                 sink: Arc::new(NullSink),
                 liveness: Some(LivenessPolicy::new(Duration::from_millis(50), 6)),
+                on_groups: None,
             },
         );
         let r1 = reducers.pop().unwrap();
@@ -1295,6 +1340,7 @@ mod tests {
                 RuntimeOptions {
                     sink: serve_sink,
                     liveness: None,
+                    on_groups: None,
                 },
             )
         });

@@ -172,6 +172,40 @@ pub enum TraceEvent {
         /// Workers still participating after the eviction.
         active: usize,
     },
+    /// A checkpoint was durably written (DESIGN.md §14). `worker` names
+    /// the snapshotted rank, or `None` for the controller's
+    /// roster/group-history snapshot.
+    SnapshotTaken {
+        /// Snapshotted worker rank; `None` = controller state.
+        worker: Option<usize>,
+        /// The worker's local iteration at the snapshot (for the
+        /// controller, its groups-formed count).
+        iteration: u64,
+    },
+    /// A previously departed worker rejoined from a checkpoint
+    /// (DESIGN.md §14). The invariant checker requires the rank to have
+    /// actually departed, and its next ready signal to resume from
+    /// `iteration` — a restored worker may not time-travel.
+    WorkerRestored {
+        /// Restored worker rank.
+        worker: usize,
+        /// The local iteration the snapshot carried; the worker's next
+        /// signal reports `iteration + 1`.
+        iteration: u64,
+        /// Workers participating after the restore.
+        active: usize,
+    },
+    /// Shard ownership was recomputed after membership churn
+    /// (DESIGN.md §14). `moved` counts only *gratuitous* movement — keys
+    /// that hopped between two surviving workers; keys orphaned by the
+    /// departed rank or adopted by a joining one are unavoidable and
+    /// excluded. The invariant checker enforces `moved < 5%` of `total`.
+    ShardsReassigned {
+        /// Keys that moved between two surviving workers.
+        moved: usize,
+        /// Total keys in the assignment.
+        total: usize,
+    },
     /// The run ended; closing counters for cross-checking.
     RunFinished {
         /// Total groups formed.

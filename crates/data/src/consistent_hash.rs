@@ -1,0 +1,391 @@
+//! Consistent-hash shard assignment (ROADMAP item 3, DESIGN.md §14).
+//!
+//! Static sharding freezes the data layout at launch: when a worker leaves
+//! or (re)joins, the only options are to keep serving a hole or reshuffle
+//! everything. A consistent-hash ring makes churn cheap instead — each
+//! worker owns the arcs that hash to its virtual nodes, so removing or
+//! adding one worker only moves the keys on *that worker's* arcs. Every
+//! key whose owner survives the change keeps its owner.
+//!
+//! The ring is fully determined by `(seed, vnodes, worker set)`: two
+//! processes that share the seed compute identical assignments without
+//! any coordination, which is what lets a restored worker and the
+//! controller agree on shard ownership without a resharding protocol
+//! (the same shared-seed trick `setup::build_fleet` already uses for
+//! sampler RNGs).
+//!
+//! Movement accounting distinguishes three kinds of churn (see
+//! [`RingChurn`]): `moved` keys travel between two surviving workers —
+//! pure waste, and the quantity the `ShardsReassigned` trace invariant
+//! bounds below 5% — while `orphaned`/`adopted` keys belonged to the
+//! departed worker or land on the new one, movement no assignment scheme
+//! can avoid. Consistent hashing drives `moved` to exactly zero.
+
+/// Virtual nodes per worker. 100 keeps the per-worker load within ~1.2×
+/// of uniform (enforced by `data/tests/ring_properties.rs`) while the
+/// ring stays small enough that rebuilding it on churn is trivial.
+pub const DEFAULT_VNODES: usize = 100;
+
+/// Default load cap for [`HashRing::assign_balanced`]: no worker holds
+/// more than 1.2× the uniform share.
+pub const BALANCE_FACTOR: f64 = 1.2;
+
+/// `splitmix64` finalizer: a full-avalanche 64-bit mixer, the same
+/// construction the sim uses for decorrelating per-worker RNG streams.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Domain-separation salts so vnode points and data keys can never
+/// collide by construction.
+const POINT_SALT: u64 = 0x7061_7274_6961_6c52; // "partialR"
+const KEY_SALT: u64 = 0x6564_7563_6b65_7973; // "educkeys"
+
+fn point_hash(seed: u64, worker: usize, vnode: usize) -> u64 {
+    mix64(seed ^ POINT_SALT ^ mix64(((worker as u64) << 20) | vnode as u64))
+}
+
+fn key_hash(seed: u64, key: u64) -> u64 {
+    mix64(seed ^ KEY_SALT ^ mix64(key))
+}
+
+/// A consistent-hash ring mapping `u64` keys (shard indices, example
+/// indices) to worker ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    /// Sorted `(point, worker)` pairs; ties broken by worker rank so the
+    /// ring is deterministic even under point collisions.
+    points: Vec<(u64, usize)>,
+    /// Sorted member ranks.
+    workers: Vec<usize>,
+}
+
+impl HashRing {
+    /// Builds a ring over `workers` with `vnodes` virtual nodes each.
+    /// Duplicate ranks are collapsed; the worker order does not matter —
+    /// only the set and the seed determine assignments.
+    ///
+    /// # Panics
+    /// Panics if `vnodes == 0` (a worker with no arcs can own nothing).
+    pub fn new(workers: &[usize], vnodes: usize, seed: u64) -> Self {
+        assert!(
+            vnodes > 0,
+            "a ring needs at least one virtual node per worker"
+        );
+        let mut members: Vec<usize> = workers.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let mut ring = HashRing {
+            seed,
+            vnodes,
+            points: Vec::with_capacity(members.len() * vnodes),
+            workers: Vec::with_capacity(members.len()),
+        };
+        for &w in &members {
+            ring.insert_points(w);
+        }
+        ring.points.sort_unstable();
+        ring.workers = members;
+        ring
+    }
+
+    /// Builds a ring over ranks `0..n_workers` with [`DEFAULT_VNODES`].
+    pub fn uniform(n_workers: usize, seed: u64) -> Self {
+        let members: Vec<usize> = (0..n_workers).collect();
+        Self::new(&members, DEFAULT_VNODES, seed)
+    }
+
+    fn insert_points(&mut self, worker: usize) {
+        for v in 0..self.vnodes {
+            self.points.push((point_hash(self.seed, worker, v), worker));
+        }
+    }
+
+    /// Adds `worker` to the ring. Returns `false` (and changes nothing)
+    /// if the rank is already a member.
+    pub fn add_worker(&mut self, worker: usize) -> bool {
+        if self.workers.binary_search(&worker).is_ok() {
+            return false;
+        }
+        self.insert_points(worker);
+        self.points.sort_unstable();
+        let at = self.workers.partition_point(|&w| w < worker);
+        self.workers.insert(at, worker);
+        true
+    }
+
+    /// Removes `worker` from the ring. Returns `false` if it was not a
+    /// member.
+    pub fn remove_worker(&mut self, worker: usize) -> bool {
+        match self.workers.binary_search(&worker) {
+            Err(_) => false,
+            Ok(at) => {
+                self.workers.remove(at);
+                self.points.retain(|&(_, w)| w != worker);
+                true
+            }
+        }
+    }
+
+    /// The sorted member ranks.
+    pub fn workers(&self) -> &[usize] {
+        &self.workers
+    }
+
+    /// Number of member workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the ring has no members (every `assign` is `None`).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The seed the ring was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Assigns `key` to the owner of the first ring point at or after
+    /// its hash, wrapping to the first point. `None` on an empty ring.
+    pub fn assign(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = key_hash(self.seed, key);
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, worker) = self.points[at % self.points.len()];
+        Some(worker)
+    }
+
+    /// Assigns keys `0..n_keys`; empty when the ring is empty.
+    pub fn assign_all(&self, n_keys: usize) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        (0..n_keys as u64)
+            .map(|k| self.assign(k).expect("non-empty ring assigns every key"))
+            .collect()
+    }
+
+    /// Per-worker key counts over keys `0..n_keys`, indexed by position
+    /// in [`Self::workers`].
+    pub fn load(&self, n_keys: usize) -> Vec<usize> {
+        self.count_loads(&self.assign_all(n_keys))
+    }
+
+    fn count_loads(&self, assignment: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.workers.len()];
+        for &owner in assignment {
+            let at = self
+                .workers
+                .binary_search(&owner)
+                .expect("assign returns members only");
+            counts[at] += 1;
+        }
+        counts
+    }
+
+    /// Assigns keys `0..n_keys` with **bounded loads** (Mirrokni,
+    /// Thorup & Zadimoghaddam, "Consistent Hashing with Bounded Loads"):
+    /// each key goes to its ring owner unless that worker already holds
+    /// `ceil(factor * n_keys / len())` keys, in which case the key walks
+    /// to the next distinct worker on the ring with spare capacity.
+    ///
+    /// This caps every worker at `factor`× the uniform share *by
+    /// construction* — plain arc ownership with 100 vnodes has ~10%
+    /// per-worker load stddev, so its max load exceeds 1.2× once the
+    /// fleet is large — while measured gratuitous churn on single
+    /// join/leave stays under 0.4% (`data/tests/ring_properties.rs`).
+    /// Keys are processed in index order, so the result is deterministic
+    /// from `(seed, member set, n_keys, factor)`.
+    ///
+    /// # Panics
+    /// Panics if `factor < 1.0` (the caps could not hold all keys).
+    pub fn assign_balanced(&self, n_keys: usize, factor: f64) -> Vec<usize> {
+        assert!(
+            factor >= 1.0,
+            "a balance factor below 1.0 cannot fit all keys"
+        );
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let cap = (factor * n_keys as f64 / self.workers.len() as f64).ceil() as usize;
+        let mut loads = vec![0usize; self.workers.len()];
+        let mut out = Vec::with_capacity(n_keys);
+        for key in 0..n_keys as u64 {
+            let h = key_hash(self.seed, key);
+            let start = self.points.partition_point(|&(p, _)| p < h);
+            let owner = (0..self.points.len())
+                .map(|step| self.points[(start + step) % self.points.len()].1)
+                .find(|&w| {
+                    let at = self
+                        .workers
+                        .binary_search(&w)
+                        .expect("ring points reference members only");
+                    loads[at] < cap
+                })
+                .expect("cap * len() >= n_keys, so some worker has room");
+            let at = self
+                .workers
+                .binary_search(&owner)
+                .expect("ring points reference members only");
+            loads[at] += 1;
+            out.push(owner);
+        }
+        out
+    }
+}
+
+/// Key-movement breakdown between two rings (see [`ring_churn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingChurn {
+    /// Keys that changed owner although **both** owners are members of
+    /// both rings — gratuitous movement. Consistent hashing keeps this
+    /// at zero; the `ShardsReassigned` invariant requires `< 5%`.
+    pub moved: usize,
+    /// Keys whose old owner left the ring — they had to move.
+    pub orphaned: usize,
+    /// Keys whose new owner is new to the ring — they had to move.
+    pub adopted: usize,
+    /// Total keys compared.
+    pub total: usize,
+}
+
+impl RingChurn {
+    /// All movement, avoidable or not.
+    pub fn relocated(&self) -> usize {
+        self.moved + self.orphaned + self.adopted
+    }
+}
+
+/// Compares key ownership for keys `0..n_keys` between two rings and
+/// classifies every movement. Keys owned by the same worker in both
+/// rings count only toward `total`.
+pub fn ring_churn(before: &HashRing, after: &HashRing, n_keys: usize) -> RingChurn {
+    let a = before.assign_all(n_keys);
+    let b = after.assign_all(n_keys);
+    assignment_churn(&a, &b, before, after)
+}
+
+/// Classifies the movement between two explicit assignments (e.g. from
+/// [`HashRing::assign_balanced`]) produced by `before` and `after`.
+/// Either assignment may be empty (an empty ring assigns nothing), in
+/// which case there are no owners to classify movement between.
+pub fn assignment_churn(
+    a: &[usize],
+    b: &[usize],
+    before: &HashRing,
+    after: &HashRing,
+) -> RingChurn {
+    let mut churn = RingChurn {
+        total: a.len().max(b.len()),
+        ..RingChurn::default()
+    };
+    for (&owner_a, &owner_b) in a.iter().zip(b.iter()) {
+        if owner_a == owner_b {
+            continue;
+        }
+        let a_survives = after.workers.binary_search(&owner_a).is_ok();
+        let b_is_new = before.workers.binary_search(&owner_b).is_err();
+        if !a_survives {
+            churn.orphaned += 1;
+        } else if b_is_new {
+            churn.adopted += 1;
+        } else {
+            churn.moved += 1;
+        }
+    }
+    churn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_from_the_seed() {
+        let a = HashRing::uniform(8, 42);
+        let b = HashRing::new(&[7, 6, 5, 4, 3, 2, 1, 0], DEFAULT_VNODES, 42);
+        assert_eq!(a, b, "worker order must not matter");
+        assert_eq!(a.assign_all(1000), b.assign_all(1000));
+    }
+
+    #[test]
+    fn different_seeds_give_different_rings() {
+        let a = HashRing::uniform(8, 1);
+        let b = HashRing::uniform(8, 2);
+        assert_ne!(a.assign_all(1000), b.assign_all(1000));
+    }
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let ring = HashRing::new(&[], 4, 0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.assign(17), None);
+        assert!(ring.assign_all(10).is_empty());
+    }
+
+    #[test]
+    fn assign_returns_members_only() {
+        let ring = HashRing::new(&[3, 9, 27], 16, 7);
+        for key in 0..512 {
+            let owner = ring.assign(key).unwrap();
+            assert!(ring.workers().contains(&owner));
+        }
+    }
+
+    #[test]
+    fn remove_then_add_restores_the_ring() {
+        let original = HashRing::uniform(8, 5);
+        let mut ring = original.clone();
+        assert!(ring.remove_worker(3));
+        assert!(!ring.remove_worker(3), "double-remove is a no-op");
+        assert_ne!(ring, original);
+        assert!(ring.add_worker(3));
+        assert!(!ring.add_worker(3), "double-add is a no-op");
+        assert_eq!(ring, original, "ring state depends only on the member set");
+    }
+
+    #[test]
+    fn survivors_keep_their_keys_on_leave() {
+        let before = HashRing::uniform(8, 11);
+        let mut after = before.clone();
+        after.remove_worker(5);
+        let churn = ring_churn(&before, &after, 10_000);
+        assert_eq!(churn.moved, 0, "no survivor-to-survivor movement");
+        assert_eq!(churn.adopted, 0, "nobody joined");
+        assert!(churn.orphaned > 0, "the departed worker owned something");
+    }
+
+    #[test]
+    fn survivors_keep_their_keys_on_join() {
+        let before = HashRing::uniform(8, 11);
+        let mut after = before.clone();
+        after.add_worker(8);
+        let churn = ring_churn(&before, &after, 10_000);
+        assert_eq!(churn.moved, 0, "no survivor-to-survivor movement");
+        assert_eq!(churn.orphaned, 0, "nobody left");
+        assert!(churn.adopted > 0, "the new worker took over some arcs");
+    }
+
+    #[test]
+    fn duplicate_ranks_collapse() {
+        let a = HashRing::new(&[1, 2, 2, 1], 8, 3);
+        let b = HashRing::new(&[1, 2], 8, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual node")]
+    fn zero_vnodes_is_rejected() {
+        HashRing::new(&[0], 0, 0);
+    }
+}

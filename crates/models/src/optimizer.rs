@@ -72,6 +72,27 @@ impl SgdOptimizer {
         }
     }
 
+    /// Rebuilds optimizer state from checkpointed parts (DESIGN.md §14):
+    /// the momentum buffer and the step counter a snapshot carried. With
+    /// the same config, the rebuilt optimizer is indistinguishable from
+    /// the one that was snapshotted — `current_lr` resumes mid-schedule.
+    ///
+    /// # Panics
+    /// Panics if `velocity` is empty.
+    pub fn from_state(config: SgdConfig, velocity: Tensor, steps: usize) -> Self {
+        assert!(!velocity.is_empty(), "optimizer over an empty model");
+        SgdOptimizer {
+            config,
+            velocity,
+            steps,
+        }
+    }
+
+    /// The momentum buffer (flat, same layout as the parameter vector).
+    pub fn velocity(&self) -> &Tensor {
+        &self.velocity
+    }
+
     /// The learning rate that the *next* step will use.
     pub fn current_lr(&self) -> f32 {
         match self.config.schedule {

@@ -51,6 +51,14 @@ pub enum FaultKind {
         /// Start-up delay.
         seconds: f64,
     },
+    /// Elastic recovery (DESIGN.md §14): once the fleet has completed
+    /// `at_update` global updates, a replacement for this (previously
+    /// crashed/evicted) worker restores from the latest checkpoint and
+    /// rejoins the run.
+    Restore {
+        /// Global update count that triggers the restore.
+        at_update: u64,
+    },
 }
 
 impl FaultKind {
@@ -65,6 +73,7 @@ impl FaultKind {
             } => format!("stall x{factor} from {from_iteration}"),
             FaultKind::DelaySignals { seconds } => format!("delay +{seconds}s"),
             FaultKind::LateJoin { seconds } => format!("latejoin +{seconds}s"),
+            FaultKind::Restore { at_update } => format!("restore@{at_update}"),
         }
     }
 }
@@ -144,6 +153,16 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: a replacement for `worker` restores from checkpoint once
+    /// the fleet reaches `at_update` global updates.
+    pub fn restore(mut self, worker: usize, at_update: u64) -> Self {
+        self.faults.push(FaultSpec {
+            worker,
+            kind: FaultKind::Restore { at_update },
+        });
+        self
+    }
+
     /// All faults targeting `worker`.
     pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = &FaultSpec> {
         self.faults.iter().filter(move |f| f.worker == worker)
@@ -184,6 +203,25 @@ impl FaultPlan {
             .sum()
     }
 
+    /// The global update count at which a replacement for `worker`
+    /// restores from checkpoint, if any (earliest wins).
+    pub fn restore_at(&self, worker: usize) -> Option<u64> {
+        self.for_worker(worker)
+            .filter_map(|f| match f.kind {
+                FaultKind::Restore { at_update } => Some(at_update),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Ranks with a pending restore, in declaration order.
+    pub fn restore_targets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faults.iter().filter_map(|f| match f.kind {
+            FaultKind::Restore { .. } => Some(f.worker),
+            _ => None,
+        })
+    }
+
     /// How late `worker` starts (sum of late-join delays; 0.0 on time).
     pub fn start_delay(&self, worker: usize) -> f64 {
         self.for_worker(worker)
@@ -195,8 +233,9 @@ impl FaultPlan {
     }
 
     /// Parses the compact `--fault-plan` grammar: a comma-separated list
-    /// of `crash:W@I`, `stall:WxF[@I]`, `delay:W+S`, `latejoin:W+S`
-    /// (W = worker rank, I = iteration, F = factor, S = seconds).
+    /// of `crash:W@I`, `stall:WxF[@I]`, `delay:W+S`, `latejoin:W+S`,
+    /// `restore:W@U` (W = worker rank, I = iteration, F = factor,
+    /// S = seconds, U = global update count).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -210,6 +249,15 @@ impl FaultPlan {
                         worker: parse_num(w, "worker", token)?,
                         kind: FaultKind::Crash {
                             at_iteration: parse_num(i, "iteration", token)?,
+                        },
+                    }
+                }
+                "restore" => {
+                    let (w, u) = split2(rest, '@', token)?;
+                    FaultSpec {
+                        worker: parse_num(w, "worker", token)?,
+                        kind: FaultKind::Restore {
+                            at_update: parse_num(u, "update", token)?,
                         },
                     }
                 }
@@ -243,7 +291,7 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "fault `{token}`: unknown kind `{other}` \
-                         (expected crash|stall|delay|latejoin)"
+                         (expected crash|stall|delay|latejoin|restore)"
                     ))
                 }
             };
@@ -296,8 +344,10 @@ mod tests {
 
     #[test]
     fn parse_accepts_the_full_grammar() {
-        let p = FaultPlan::parse("crash:3@40, stall:5x4@10, delay:2+0.05, latejoin:7+2.0")
-            .expect("valid spec");
+        let p = FaultPlan::parse(
+            "crash:3@40, stall:5x4@10, delay:2+0.05, latejoin:7+2.0, restore:3@60",
+        )
+        .expect("valid spec");
         assert_eq!(
             p,
             FaultPlan::none()
@@ -305,7 +355,18 @@ mod tests {
                 .stall(5, 4.0, 10)
                 .delay_signals(2, 0.05)
                 .late_join(7, 2.0)
+                .restore(3, 60)
         );
+    }
+
+    #[test]
+    fn restore_accessors() {
+        let p = FaultPlan::none().crash(3, 40).restore(3, 60).restore(3, 90);
+        assert_eq!(p.restore_at(3), Some(60), "earliest restore wins");
+        assert_eq!(p.restore_at(0), None);
+        assert_eq!(p.restore_targets().collect::<Vec<_>>(), vec![3, 3]);
+        assert!(FaultPlan::parse("restore:3").is_err());
+        assert!(FaultPlan::parse("restore:3@x").is_err());
     }
 
     #[test]
@@ -358,5 +419,6 @@ mod tests {
             "delay +0.05s"
         );
         assert_eq!(FaultKind::LateJoin { seconds: 2.0 }.label(), "latejoin +2s");
+        assert_eq!(FaultKind::Restore { at_update: 60 }.label(), "restore@60");
     }
 }

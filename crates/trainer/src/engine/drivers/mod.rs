@@ -58,6 +58,7 @@ impl StrategyDriver for Driver {
 
     fn drive_sim(&self, substrate: SimSubstrate) -> RunResult {
         let faults = substrate.faults().clone();
+        let elastic = substrate.elastic().clone();
         let (h, sink) = substrate.into_parts();
         match self.0 {
             Strategy::AllReduce => sync::run_allreduce(h),
@@ -71,7 +72,7 @@ impl StrategyDriver for Driver {
             Strategy::PsHete => ps::run_ps_hete(h),
             Strategy::PReduce { p, dynamic } => {
                 let cfg = Strategy::preduce_controller_config(p, dynamic, h.num_workers());
-                preduce::run_preduce_chaos(h, cfg, sink, faults)
+                preduce::run_preduce_elastic(h, cfg, sink, faults, elastic)
             }
         }
     }

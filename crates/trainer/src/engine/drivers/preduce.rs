@@ -12,9 +12,13 @@ use partial_reduce::runtime::{
 use partial_reduce::{
     AggregationMode, Controller, ControllerConfig, NullSink, TraceEvent, TraceSink,
 };
+use preduce_checkpoint::CheckpointStore;
 use preduce_simnet::{EventQueue, FaultKind, FaultPlan, SimTime};
 use preduce_tensor::Tensor;
 
+use crate::elastic::{
+    controller_snapshot, reshard_churn, restore_worker, worker_snapshot, ElasticOptions,
+};
 use crate::engine::setup::{build_fleet, evaluate_uniform_average};
 use crate::engine::substrate::{must, Substrate, ThreadedSubstrate};
 use crate::metrics::RunResult;
@@ -80,10 +84,46 @@ pub fn run_preduce_traced(
 /// # Panics
 /// Panics if the controller config disagrees with the harness size.
 pub fn run_preduce_chaos(
+    h: SimHarness,
+    cfg: ControllerConfig,
+    sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
+) -> RunResult {
+    run_preduce_elastic(h, cfg, sink, faults, ElasticOptions::none())
+}
+
+/// [`run_preduce_chaos`] under [`ElasticOptions`] (DESIGN.md §14):
+///
+/// * **Warm start** — `restore_from` loads every worker snapshot found
+///   in the directory into the fleet before the run begins (no trace
+///   events: those workers never departed in *this* trace).
+/// * **Periodic snapshots** — the policy writes a worker snapshot each
+///   time a worker's iteration count hits the cadence (narrated as
+///   [`TraceEvent::SnapshotTaken`]), and a controller roster/history
+///   snapshot each time the groups-formed count does (`worker: None`).
+/// * **Mid-run restore** — the `restore:W@U` fault verb re-admits a
+///   *departed* worker from its snapshot once the run has recorded `U`
+///   updates: model, momentum, and counters rewind to durable state
+///   ([`TraceEvent::WorkerRestored`]); the shard-ownership churn that
+///   membership change causes under the bounded-load ring is narrated as
+///   [`TraceEvent::ShardsReassigned`]. A restore verb for a worker that
+///   never departs stays pending forever (deliberately: restores are
+///   keyed on departure, not wall position).
+///
+/// Inert options reproduce [`run_preduce_chaos`] bit-for-bit: snapshots
+/// never touch the RNG or the event queue, and without a restore verb no
+/// scheduling changes.
+///
+/// # Panics
+/// Panics if the controller config disagrees with the harness size, or
+/// if the elasticity options name a missing/corrupt checkpoint (a
+/// configuration error).
+pub fn run_preduce_elastic(
     mut h: SimHarness,
     cfg: ControllerConfig,
     sink: Arc<dyn TraceSink>,
     faults: FaultPlan,
+    elastic: ElasticOptions,
 ) -> RunResult {
     assert_eq!(
         cfg.num_workers,
@@ -96,14 +136,58 @@ pub fn run_preduce_chaos(
         AggregationMode::Dynamic { .. } => format!("P-Reduce DYN (P={p})"),
     };
     let dynamic = matches!(cfg.mode, AggregationMode::Dynamic { .. });
+    let n = cfg.num_workers;
     let mut active = h.num_workers();
+
+    // Warm start: graft durable state onto the fleet before anything is
+    // scheduled or narrated.
+    if let Some(dir) = &elastic.restore_from {
+        let store = must("open restore directory", CheckpointStore::open(dir));
+        for w in 0..h.num_workers() {
+            if store.has_worker(w) {
+                let snap = must("load worker snapshot", store.load_worker(w));
+                must(
+                    "warm-start worker",
+                    restore_worker(&mut h.workers[w], &snap),
+                );
+            }
+        }
+    }
+    let store = elastic
+        .policy
+        .as_ref()
+        .map(|pol| must("open checkpoint directory", pol.open_store()));
+    // `restore:W@U` verbs, sorted by rank; each fires at most once.
+    let mut pending_restores: Vec<(usize, u64)> = faults
+        .restore_targets()
+        .filter_map(|w| faults.restore_at(w).map(|at| (w, at)))
+        .collect();
+    pending_restores.sort_unstable();
+    let restore_store = match (pending_restores.is_empty(), elastic.restore_dir()) {
+        (true, _) => None,
+        (false, Some(dir)) => Some(must("open restore directory", CheckpointStore::open(dir))),
+        (false, None) => {
+            // lint: allow(panic-path) a restore verb without any checkpoint directory is a configuration error; there is nothing to restore from
+            panic!(
+                "fault plan contains `restore:` but no checkpoint directory is \
+                 configured (set a snapshot policy or restore_from)"
+            )
+        }
+    };
+
     let mut controller = Controller::with_sink(cfg, sink);
 
     // Persistent perturbations (stall/delay/latejoin) are narrated up
-    // front; crashes are narrated at the iteration where they fire.
+    // front; crashes are narrated at the iteration where they fire, and
+    // restores are narrated as WorkerRestored when they land (a restore
+    // is recovery, not a fault — narrating it as FaultInjected would
+    // wrongly justify a later eviction).
     if controller.sink().enabled() {
         for spec in &faults.faults {
-            if let FaultKind::Crash { .. } = spec.kind {
+            if matches!(
+                spec.kind,
+                FaultKind::Crash { .. } | FaultKind::Restore { .. }
+            ) {
                 continue;
             }
             let iteration = match spec.kind {
@@ -126,6 +210,12 @@ pub fn run_preduce_chaos(
     let mut last_free = vec![SimTime::ZERO; h.num_workers()];
     let mut nonuniform_groups = 0u64;
     let mut total_groups = 0u64;
+    // A crash fires once per worker: a restored worker must not re-crash
+    // when its iteration passes the trigger again.
+    let mut crashed = vec![false; h.num_workers()];
+    // Groups-formed count at the last controller snapshot (dedups the
+    // cadence check across same-count GroupDone events).
+    let mut last_ctrl_snap = 0u64;
 
     for w in 0..h.num_workers() {
         let ct = h.compute_time(w, SimTime::ZERO) * faults.stall_factor(w, 1);
@@ -143,10 +233,12 @@ pub fn run_preduce_chaos(
                 // Lines 2–4 of Algorithm 2: the local update completes as
                 // the worker becomes ready.
                 h.workers[w].local_update(&mut h.rng);
-                let crashed = faults
-                    .crash_at(w)
-                    .is_some_and(|at| h.workers[w].iteration >= at);
-                if crashed {
+                let crash_now = !crashed[w]
+                    && faults
+                        .crash_at(w)
+                        .is_some_and(|at| h.workers[w].iteration >= at);
+                if crash_now {
+                    crashed[w] = true;
                     // Fail-stop at the iteration boundary: the signal is
                     // never sent, and in virtual time the death is
                     // detected immediately (the threaded substrate pays
@@ -169,6 +261,21 @@ pub fn run_preduce_chaos(
                     }
                     controller.mark_left(w);
                 } else {
+                    // Periodic worker snapshot at the cadence boundary —
+                    // on the healthy path only, so what a crash loses is
+                    // exactly the work since the last cadence hit.
+                    if let (Some(store), Some(pol)) = (&store, &elastic.policy) {
+                        if pol.due(h.workers[w].iteration) {
+                            let snap = worker_snapshot(&h.workers[w]);
+                            must("write worker snapshot", store.save_worker(&snap));
+                            if controller.sink().enabled() {
+                                controller.sink().record(TraceEvent::SnapshotTaken {
+                                    worker: Some(w),
+                                    iteration: snap.iteration,
+                                });
+                            }
+                        }
+                    }
                     controller.push_ready(w, h.workers[w].iteration);
                 }
                 // The ready signal and group notification each cost one
@@ -222,6 +329,63 @@ pub fn run_preduce_chaos(
                 let dur = dur_sum / group.len() as f64;
                 if h.record_update(t, dur) {
                     break;
+                }
+                // Controller roster/history snapshot at the groups
+                // cadence (deduped: several GroupDone events can land
+                // between group formations).
+                if let (Some(store), Some(pol)) = (&store, &elastic.policy) {
+                    let g = controller.groups_formed();
+                    if g != last_ctrl_snap && pol.due(g) {
+                        last_ctrl_snap = g;
+                        must(
+                            "write controller snapshot",
+                            store.save_controller(&controller_snapshot(&controller)),
+                        );
+                        if controller.sink().enabled() {
+                            controller.sink().record(TraceEvent::SnapshotTaken {
+                                worker: None,
+                                iteration: g,
+                            });
+                        }
+                    }
+                }
+                // `restore:W@U` verbs due at this update count re-admit
+                // their departed workers from durable state. A verb whose
+                // worker has not departed yet stays pending.
+                if let Some(rstore) = &restore_store {
+                    let upd = h.updates();
+                    let mut i = 0;
+                    while i < pending_restores.len() {
+                        let (w, at) = pending_restores[i];
+                        if upd < at || !crashed[w] {
+                            i += 1;
+                            continue;
+                        }
+                        pending_restores.remove(i);
+                        let snap = must("load worker snapshot", rstore.load_worker(w));
+                        must("restore worker", restore_worker(&mut h.workers[w], &snap));
+                        controller.mark_restored(w, snap.iteration);
+                        active += 1;
+                        if controller.sink().enabled() {
+                            let departed = controller.departed_workers();
+                            let after: Vec<usize> =
+                                (0..n).filter(|r| !departed.contains(r)).collect();
+                            let before: Vec<usize> =
+                                after.iter().copied().filter(|&r| r != w).collect();
+                            let total: usize =
+                                h.workers.iter().map(|ws| ws.sampler.dataset().len()).sum();
+                            if let Some(c) = reshard_churn(&before, &after, total) {
+                                controller.sink().record(TraceEvent::ShardsReassigned {
+                                    moved: c.moved,
+                                    total: c.total,
+                                });
+                            }
+                        }
+                        last_free[w] = t;
+                        let ct = h.compute_time(w, t)
+                            * faults.stall_factor(w, h.workers[w].iteration + 1);
+                        queue.schedule(t + ct + faults.signal_delay(w), Event::Ready(w));
+                    }
                 }
                 // Members immediately start their next iteration (a
                 // stalled member computes slower; a laggy control link
@@ -296,7 +460,20 @@ pub(crate) fn threaded_preduce(
         controller.num_workers, config.num_workers,
         "controller config sized for a different fleet"
     );
-    let fleet = build_fleet(config);
+    let mut fleet = build_fleet(config);
+    // Warm start (DESIGN.md §14): graft durable worker state before the
+    // threads spawn. Threads are not resurrected mid-run — the
+    // `restore:` verb is honored by the simulator only.
+    if let Some(dir) = &sub.elastic().restore_from {
+        let store = must("open restore directory", CheckpointStore::open(dir));
+        for w in fleet.workers.iter_mut() {
+            if store.has_worker(w.rank) {
+                let snap = must("load worker snapshot", store.load_worker(w.rank));
+                must("warm-start worker", restore_worker(w, &snap));
+            }
+        }
+    }
+    let elastic = sub.elastic().clone();
     let chaos = !sub.faults().is_empty();
     let (handle, reducers) = if chaos {
         spawn_with_options(
@@ -304,6 +481,7 @@ pub(crate) fn threaded_preduce(
             RuntimeOptions {
                 sink: sub.sink(),
                 liveness: Some(chaos_liveness()),
+                on_groups: None,
             },
         )
     } else {
@@ -321,6 +499,12 @@ pub(crate) fn threaded_preduce(
                 });
             }
         };
+        // Each worker writes its own periodic snapshots; the store's
+        // write-then-rename makes concurrent writers safe.
+        let ckpt_store = elastic
+            .policy
+            .as_ref()
+            .map(|pol| must("open checkpoint directory", pol.open_store()));
         if chaos {
             // Heartbeat from the very start — before any late-join sleep —
             // so a slow or late worker is never misjudged as dead.
@@ -382,6 +566,18 @@ pub(crate) fn threaded_preduce(
                 );
                 r.crash();
                 return (w.params, w.iteration);
+            }
+            if let (Some(store), Some(pol)) = (&ckpt_store, &elastic.policy) {
+                if pol.due(w.iteration) {
+                    let snap = worker_snapshot(&w);
+                    must("write worker snapshot", store.save_worker(&snap));
+                    if sink.enabled() {
+                        sink.record(TraceEvent::SnapshotTaken {
+                            worker: Some(ctx.rank),
+                            iteration: snap.iteration,
+                        });
+                    }
+                }
             }
             if signal_delay > 0.0 {
                 std::thread::sleep(Duration::from_secs_f64(signal_delay));

@@ -23,6 +23,7 @@ pub use drivers::{driver_for, StrategyDriver};
 pub use substrate::{Backend, SimSubstrate, Substrate, ThreadedSubstrate};
 
 use crate::config::ExperimentConfig;
+use crate::elastic::ElasticOptions;
 use crate::metrics::RunResult;
 use crate::strategy::Strategy;
 use partial_reduce::runtime::ControllerStats;
@@ -85,12 +86,42 @@ pub fn run_with_faults(
     sink: Arc<dyn TraceSink>,
     faults: FaultPlan,
 ) -> EngineRun {
+    run_elastic(
+        strategy,
+        config,
+        backend,
+        sink,
+        faults,
+        ElasticOptions::none(),
+    )
+}
+
+/// Like [`run_with_faults`], but additionally under [`ElasticOptions`]
+/// (DESIGN.md §14): periodic worker/controller snapshots, a warm start
+/// from an earlier checkpoint directory, and — on the simulator — the
+/// `restore:W@U` fault verb that re-admits a crashed worker from its
+/// snapshot mid-run. Inert options make this exactly
+/// [`run_with_faults`], bit for bit.
+///
+/// # Panics
+/// Panics if the config is invalid, a worker/controller thread panics, or
+/// the elasticity options name an unreadable/corrupt checkpoint (a
+/// configuration error, surfaced loudly rather than trained through).
+pub fn run_elastic(
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    backend: Backend,
+    sink: Arc<dyn TraceSink>,
+    faults: FaultPlan,
+    elastic: ElasticOptions,
+) -> EngineRun {
     let driver = driver_for(strategy);
     match backend {
         Backend::Sim => {
             let substrate = SimSubstrate::new(config)
                 .with_sink(sink)
-                .with_faults(faults);
+                .with_faults(faults)
+                .with_elastic(elastic);
             EngineRun {
                 result: driver.drive_sim(substrate),
                 iterations: None,
@@ -101,7 +132,8 @@ pub fn run_with_faults(
             let iters = config.threaded_iters.unwrap_or(DEFAULT_THREADED_ITERS);
             let substrate = ThreadedSubstrate::new(config, iters)
                 .with_sink(sink)
-                .with_faults(faults);
+                .with_faults(faults)
+                .with_elastic(elastic);
             let report = driver.drive_threaded(&substrate);
             let updates: u64 = report.iterations.iter().sum();
             let mut stats = BTreeMap::new();

@@ -24,7 +24,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use partial_reduce::runtime::{serve_fleet, ControllerStats, PartialReducer, RuntimeOptions};
-use partial_reduce::{ControllerConfig, SinkObserver, TraceSink};
+use partial_reduce::{ControllerConfig, SinkObserver, TraceEvent, TraceSink};
+use preduce_checkpoint::CheckpointStore;
 use preduce_comm::control::ObservedControlPlane;
 use preduce_comm::mesh::MeshEndpoint;
 use preduce_comm::reactor::{accept_fleet, ReactorConfig};
@@ -34,7 +35,9 @@ use preduce_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::config::ExperimentConfig;
+use crate::elastic::{restore_worker, worker_snapshot, ElasticOptions};
 use crate::engine::setup::{build_fleet, evaluate_uniform_average, worker_thread_seed};
+use crate::engine::substrate::must;
 
 /// Heartbeat period for process workers: well under any sane liveness
 /// budget, cheap on the wire (a heartbeat frame is ~40 bytes).
@@ -113,6 +116,30 @@ pub fn run_worker(
     iters: u64,
     sink: Arc<dyn TraceSink>,
 ) -> Result<WorkerReport, CommError> {
+    run_worker_elastic(config, connect, rank, iters, sink, ElasticOptions::none())
+}
+
+/// Like [`run_worker`], but under [`ElasticOptions`] (DESIGN.md §14): a
+/// warm start from an earlier checkpoint directory before dialing the
+/// controller, and periodic snapshots of this rank's durable state while
+/// training. This is how a replacement process rejoins a fleet with the
+/// dead rank's model instead of a fresh one. Inert options make this
+/// exactly [`run_worker`].
+///
+/// # Errors
+/// Fails as [`run_worker`] does.
+///
+/// # Panics
+/// Panics if the options name an unreadable/corrupt checkpoint store — a
+/// configuration error, surfaced loudly rather than trained through.
+pub fn run_worker_elastic(
+    config: &ExperimentConfig,
+    connect: SocketAddr,
+    rank: usize,
+    iters: u64,
+    sink: Arc<dyn TraceSink>,
+    elastic: ElasticOptions,
+) -> Result<WorkerReport, CommError> {
     let fleet = build_fleet(config);
     let Some(mut worker) = fleet.workers.into_iter().nth(rank) else {
         return Err(CommError::InvalidGroup(format!(
@@ -120,6 +147,17 @@ pub fn run_worker(
             config.num_workers
         )));
     };
+    if let Some(dir) = &elastic.restore_from {
+        let store = must("open restore directory", CheckpointStore::open(dir));
+        if store.has_worker(rank) {
+            let snap = must("load worker snapshot", store.load_worker(rank));
+            must("warm-start worker", restore_worker(&mut worker, &snap));
+        }
+    }
+    let ckpt_store = elastic
+        .policy
+        .as_ref()
+        .map(|pol| must("open checkpoint directory", pol.open_store()));
 
     let mut mesh = MeshEndpoint::bind(rank, "127.0.0.1:0")?;
     let data_addr = mesh.local_addr().to_string();
@@ -127,6 +165,7 @@ pub fn run_worker(
         TcpWorkerLink::connect_fleet(connect, rank, data_addr, RetryPolicy::default())?;
     mesh.set_roster(&roster.data_addrs)?;
 
+    let narrate = sink.clone();
     let mut reducer = PartialReducer::from_parts(Box::new(link), Box::new(mesh), sink);
     reducer.start_heartbeat(PROCESS_HEARTBEAT);
 
@@ -135,6 +174,23 @@ pub fn run_worker(
     let param_len = worker.params.len();
     for _ in 0..iters {
         worker.local_update(&mut rng);
+        // Periodic durable snapshot of this rank's state; the store's
+        // write-then-rename makes a mid-write crash leave the previous
+        // snapshot intact.
+        if let (Some(store), Some(pol)) = (&ckpt_store, &elastic.policy) {
+            if pol.due(worker.iteration) {
+                must(
+                    "write worker snapshot",
+                    store.save_worker(&worker_snapshot(&worker)),
+                );
+                if narrate.enabled() {
+                    narrate.record(TraceEvent::SnapshotTaken {
+                        worker: Some(rank),
+                        iteration: worker.iteration,
+                    });
+                }
+            }
+        }
         let mut flat = worker.params.clone().into_vec();
         match reducer.reduce(&mut flat, worker.iteration) {
             Ok(outcome) => {
@@ -189,19 +245,27 @@ mod tests {
 
     /// The full projection, in-process for testability: a controller on
     /// one thread, N "processes" on worker threads, real TCP on loopback
-    /// for both planes.
+    /// for both planes. Workers run elastically (periodic snapshots) and
+    /// the controller writes its roster snapshot through the group hook.
     #[test]
     fn process_projection_converges_on_loopback() {
         let n = 4;
         let config = tiny_config(n);
         let controller_cfg = crate::strategy::Strategy::preduce_controller_config(2, false, n);
+        let dir = std::env::temp_dir().join(format!("preduce-elastic-proc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = crate::elastic::CheckpointPolicy::new(&dir, 2);
+        let on_groups = crate::elastic::controller_group_hook(&policy).expect("hook");
 
         let (addr_tx, addr_rx) = std::sync::mpsc::channel::<SocketAddr>();
         let server = thread::spawn(move || {
             run_controller(
                 controller_cfg,
                 "127.0.0.1:0",
-                RuntimeOptions::default(),
+                RuntimeOptions {
+                    on_groups: Some(on_groups),
+                    ..RuntimeOptions::default()
+                },
                 |addr| {
                     let _ = addr_tx.send(addr);
                 },
@@ -214,7 +278,12 @@ mod tests {
         let workers: Vec<_> = (0..n)
             .map(|rank| {
                 let config = tiny_config(n);
-                thread::spawn(move || run_worker(&config, addr, rank, 4, Arc::new(NullSink)))
+                // Cadence 1: fast-forward can skip arbitrary iteration
+                // numbers, so any sparser cadence could miss every write.
+                let elastic = ElasticOptions::none().with_policy(&dir, 1);
+                thread::spawn(move || {
+                    run_worker_elastic(&config, addr, rank, 4, Arc::new(NullSink), elastic)
+                })
             })
             .collect();
         let reports: Vec<WorkerReport> = workers
@@ -230,6 +299,25 @@ mod tests {
             assert!(r.iterations >= 4, "no fast-forward below budget: {r:?}");
             assert!(r.accuracy > 0.0, "{r:?}");
         }
+
+        // Every rank snapshotted, the controller snapshotted, and a
+        // replacement process can warm-start from what is on disk.
+        let store = CheckpointStore::open(&dir).expect("open store");
+        for rank in 0..n {
+            assert!(store.has_worker(rank), "no snapshot for rank {rank}");
+            let snap = store.load_worker(rank).expect("load");
+            assert_eq!(snap.rank, rank);
+            assert!(snap.iteration >= 1, "{snap:?}");
+        }
+        let ctrl = store.load_controller().expect("controller snapshot");
+        assert_eq!(ctrl.num_workers, n);
+        assert!(ctrl.groups_formed >= 2, "{ctrl:?}");
+        assert!(
+            crate::elastic::validate_controller_restore(&dir, n).is_ok(),
+            "restore validation"
+        );
+        assert!(crate::elastic::validate_controller_restore(&dir, n + 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use preduce_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::config::ExperimentConfig;
+use crate::elastic::ElasticOptions;
 use crate::engine::setup::worker_thread_seed;
 use crate::sim::SimHarness;
 use crate::worker::WorkerState;
@@ -85,6 +86,7 @@ pub struct SimSubstrate {
     harness: SimHarness,
     sink: Arc<dyn TraceSink>,
     faults: FaultPlan,
+    elastic: ElasticOptions,
 }
 
 impl SimSubstrate {
@@ -97,6 +99,7 @@ impl SimSubstrate {
             harness: SimHarness::new(config),
             sink: Arc::new(NullSink),
             faults: FaultPlan::none(),
+            elastic: ElasticOptions::none(),
         }
     }
 
@@ -118,6 +121,20 @@ impl SimSubstrate {
     /// The fault plan this run executes under.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Sets the elasticity options (DESIGN.md §14): periodic snapshots
+    /// and/or a warm start from an earlier checkpoint directory. Inert
+    /// options leave the run bit-identical.
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticOptions) -> Self {
+        self.elastic = elastic;
+        self
+    }
+
+    /// The elasticity options this run executes under.
+    pub fn elastic(&self) -> &ElasticOptions {
+        &self.elastic
     }
 
     /// Consumes the substrate into its scheduler handle and sink: a sim
@@ -149,6 +166,7 @@ pub struct ThreadedSubstrate {
     delays: Vec<Duration>,
     sink: Arc<dyn TraceSink>,
     faults: FaultPlan,
+    elastic: ElasticOptions,
 }
 
 impl ThreadedSubstrate {
@@ -166,6 +184,7 @@ impl ThreadedSubstrate {
             delays: Vec::new(),
             sink: Arc::new(NullSink),
             faults: FaultPlan::none(),
+            elastic: ElasticOptions::none(),
         }
     }
 
@@ -189,6 +208,21 @@ impl ThreadedSubstrate {
     /// The fault plan this run executes under.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Sets the elasticity options (DESIGN.md §14). On this substrate the
+    /// policy drives per-worker periodic snapshots and `restore_from`
+    /// warm-starts workers before their threads spawn; threads are not
+    /// resurrected mid-run (the `restore:` fault verb is sim-only).
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticOptions) -> Self {
+        self.elastic = elastic;
+        self
+    }
+
+    /// The elasticity options this run executes under.
+    pub fn elastic(&self) -> &ElasticOptions {
+        &self.elastic
     }
 
     /// Injects controlled heterogeneity: `delays[rank]` is an artificial

@@ -29,6 +29,7 @@
 //! [`threaded`] keeping the harness types and the original call sites.
 
 pub mod config;
+pub mod elastic;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod threaded;
 pub mod worker;
 
 pub use config::{ExperimentConfig, HeteroSpec};
+pub use elastic::{CheckpointPolicy, ElasticOptions};
 pub use engine::{Backend, EngineRun};
 pub use experiment::{run_experiment, run_experiment_traced};
 pub use metrics::{RunResult, TracePoint};

@@ -1,0 +1,231 @@
+//! Elasticity suite (DESIGN.md §14): checkpoint/restore under chaos.
+//!
+//! The headline test kills a worker mid-run and re-admits it from its
+//! snapshot (`crash:3@20,restore:3@30`), proving the kill-and-replace
+//! cycle loses no durable state: the trace narrates the snapshot, the
+//! restore, and the shard-reassignment churn; the invariant checker
+//! accepts the whole stream (including the restored worker's rewound
+//! iteration floor); and equal-budget accuracy stays within the crash
+//! tolerance of the fault-free golden. The companion tests pin the
+//! subsystem's inertness guarantee — a snapshot policy must not perturb
+//! the training trajectory by a single bit — and the loud failure mode
+//! for a restore verb with nowhere to restore from. CI runs this file
+//! single-threaded (`--test-threads=1`, the `elasticity-smoke` job).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use partial_reduce::{InvariantChecker, RingSink, TraceEvent};
+use preduce_data::cifar10_like;
+use preduce_models::zoo;
+use preduce_trainer::{
+    engine, Backend, ElasticOptions, EngineRun, ExperimentConfig, FaultPlan, Strategy,
+};
+
+/// Accuracy tolerance vs the fault-free golden for a kill-and-replace
+/// run: the replica misses groups while dead but rejoins with durable
+/// state, so the cost is bounded like a crash, not worse.
+const RESTORE_TOLERANCE: f64 = 0.25;
+
+fn sim_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::table1(zoo::resnet18(), cifar10_like(), 1);
+    c.num_workers = 8;
+    c.threshold = 0.999; // unreachable: fixed-budget runs, equal updates
+    c.max_updates = 300;
+    c.eval_every = 100;
+    c
+}
+
+/// A fresh scratch directory under the system temp dir; callers remove it.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("preduce-elasticity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs P-Reduce (P=4) on the simulator under `plan` and `elastic`,
+/// returning the run and its full trace.
+fn sim_run(
+    dynamic: bool,
+    plan: FaultPlan,
+    elastic: ElasticOptions,
+) -> (EngineRun, Vec<TraceEvent>) {
+    let c = sim_config();
+    let sink = Arc::new(RingSink::new(262_144));
+    let run = engine::run_elastic(
+        Strategy::PReduce { p: 4, dynamic },
+        &c,
+        Backend::Sim,
+        sink.clone(),
+        plan,
+        elastic,
+    );
+    assert_eq!(sink.dropped(), 0, "trace overflowed the ring");
+    (run, sink.snapshot())
+}
+
+#[test]
+fn kill_and_replace_recovers_without_data_loss() {
+    for dynamic in [false, true] {
+        let label = if dynamic {
+            "DYN restore"
+        } else {
+            "CON restore"
+        };
+        let dir = scratch(if dynamic { "kr-dyn" } else { "kr-con" });
+        let (golden, _) = sim_run(dynamic, FaultPlan::none(), ElasticOptions::none());
+
+        // Cadence 1 so the doomed worker is guaranteed a durable snapshot
+        // before the crash fires, whatever iteration numbers fast-forward
+        // hands it.
+        let plan = FaultPlan::none().crash(3, 20).restore(3, 30);
+        let elastic = ElasticOptions::none().with_policy(&dir, 1);
+        let (run, events) = sim_run(dynamic, plan, elastic);
+
+        // Same fixed budget as the golden: the fleet as a whole lost no
+        // updates to the crash.
+        assert_eq!(
+            run.result.updates, golden.result.updates,
+            "{label}: update budget"
+        );
+        let acc = run.result.final_accuracy;
+        assert!(
+            (acc - golden.result.final_accuracy).abs() <= RESTORE_TOLERANCE,
+            "{label}: accuracy {acc:.3} drifted more than {RESTORE_TOLERANCE} from \
+             fault-free golden {:.3}",
+            golden.result.final_accuracy
+        );
+
+        // The full elastic narrative: snapshot → crash/evict → restore →
+        // reshard, with the churn bound holding.
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::SnapshotTaken {
+                    worker: Some(3),
+                    ..
+                }
+            )),
+            "{label}: worker 3 never snapshotted"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SnapshotTaken { worker: None, .. })),
+            "{label}: controller never snapshotted"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::WorkerEvicted { worker: 3, .. })),
+            "{label}: crash was not evicted"
+        );
+        let restored = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::WorkerRestored {
+                    worker: 3,
+                    iteration,
+                    active,
+                } => Some((*iteration, *active)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{label}: worker 3 never restored"));
+        assert!(restored.0 >= 1, "{label}: restored from a blank snapshot");
+        assert_eq!(restored.1, 8, "{label}: fleet not back to full strength");
+        let (moved, total) = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::ShardsReassigned { moved, total } => Some((*moved, *total)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{label}: reshard never narrated"));
+        assert!(total > 0, "{label}: empty reshard universe");
+        assert!(
+            moved * 20 < total,
+            "{label}: reshard moved {moved} of {total} survivor keys (≥5%)"
+        );
+
+        // The restored worker trains on: post-restore signals exist.
+        let restore_idx = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::WorkerRestored { worker: 3, .. }))
+            .unwrap();
+        assert!(
+            events[restore_idx..]
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SignalEnqueued { worker: 3, .. })),
+            "{label}: restored worker never signaled again"
+        );
+
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{label}: {report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn snapshot_policy_does_not_perturb_the_trajectory() {
+    // Snapshots observe the run; they must never steer it. A run under an
+    // aggressive snapshot policy is bit-identical to the bare run in every
+    // training observable (only the trace gains SnapshotTaken events).
+    let dir = scratch("inert");
+    let (base, base_events) = sim_run(false, FaultPlan::none(), ElasticOptions::none());
+    let (snapped, snap_events) = sim_run(
+        false,
+        FaultPlan::none(),
+        ElasticOptions::none().with_policy(&dir, 1),
+    );
+    assert_eq!(base.result.final_accuracy, snapped.result.final_accuracy);
+    assert_eq!(base.result.run_time, snapped.result.run_time);
+    assert_eq!(base.result.updates, snapped.result.updates);
+    assert_eq!(base.result.trace, snapped.result.trace);
+    // The two traces agree exactly once snapshot narration is removed.
+    let stripped: Vec<&TraceEvent> = snap_events
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::SnapshotTaken { .. }))
+        .collect();
+    let base_refs: Vec<&TraceEvent> = base_events.iter().collect();
+    assert_eq!(base_refs, stripped, "snapshotting reordered the trace");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_start_resumes_from_durable_state() {
+    // Phase 1 trains with snapshots; phase 2 warm-starts from them. The
+    // restored fleet must begin past the snapshot iterations — visible as
+    // a first-signal iteration floor in the trace.
+    let dir = scratch("warm");
+    let (_, _) = sim_run(
+        false,
+        FaultPlan::none(),
+        ElasticOptions::none().with_policy(&dir, 1),
+    );
+    let (resumed, events) = sim_run(
+        false,
+        FaultPlan::none(),
+        ElasticOptions::none().with_restore(&dir),
+    );
+    assert!(resumed.result.final_accuracy.is_finite());
+    let first_signal = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::SignalEnqueued { iteration, .. } => Some(*iteration),
+            _ => None,
+        })
+        .expect("no signals in resumed run");
+    assert!(
+        first_signal > 1,
+        "warm start ignored the snapshots: first signal at iteration {first_signal}"
+    );
+    let report = InvariantChecker::check(&events);
+    assert!(report.is_clean(), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "no checkpoint directory")]
+fn restore_verb_without_a_store_fails_loudly() {
+    let plan = FaultPlan::none().crash(3, 20).restore(3, 30);
+    let _ = sim_run(false, plan, ElasticOptions::none());
+}
