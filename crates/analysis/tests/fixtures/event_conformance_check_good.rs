@@ -1,0 +1,15 @@
+// Fixture: complete invariant checker for the closed protocol. Also
+// exercises `matches!` and `if let` pattern positions, which must count
+// as checker coverage.
+// Scanned as crates/core/src/invariants.rs (never compiled).
+
+impl InvariantChecker {
+    pub fn observe(&mut self, e: &TraceEvent) {
+        if matches!(e, TraceEvent::RunStarted { .. }) {
+            self.runs += 1;
+        }
+        if let TraceEvent::GroupFormed { id, size } = e {
+            self.groups.push((*id, *size));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: emitter for the closed protocol.
+// Scanned as crates/core/src/controller.rs (never compiled).
+
+pub fn run(sink: &mut Sink) {
+    sink.record(TraceEvent::RunStarted { workers: 4 });
+    sink.record(TraceEvent::GroupFormed { id: 1, size: 2 });
+}

@@ -1,0 +1,8 @@
+// Fixture: a closed protocol — every variant emitted and checked.
+// Scanned as crates/core/src/trace.rs (never compiled).
+
+/// The trace-event vocabulary.
+pub enum TraceEvent {
+    RunStarted { workers: usize },
+    GroupFormed { id: u64, size: usize },
+}

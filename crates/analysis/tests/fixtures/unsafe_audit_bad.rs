@@ -1,0 +1,19 @@
+// Fixture: three unsafe-audit violations inside the tensor crate —
+// an undocumented unsafe block, an undocumented unsafe fn, and a SIMD
+// intrinsic outside a #[target_feature] fn.
+// Scanned as crates/tensor/src/kernels.rs (never compiled).
+
+pub fn deref_no_safety(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+pub unsafe fn kernel_no_safety(p: *const f32) -> f32 {
+    *p
+}
+
+pub fn ungated_intrinsic(p: *const f32) {
+    // SAFETY: documented, but the missing #[target_feature] is the bug.
+    unsafe {
+        let _v = _mm256_loadu_ps(p);
+    }
+}

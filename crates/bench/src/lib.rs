@@ -6,6 +6,8 @@
 //! caps) for smoke-testing; leave it unset for the full reproduction used
 //! in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod configs;
 pub mod output;
 

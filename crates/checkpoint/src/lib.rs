@@ -23,6 +23,8 @@
 //! the `preduce-analysis` panic-path scope and must never panic on any
 //! input, including adversarial bytes.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::fs;
 use std::io::{Read, Write};

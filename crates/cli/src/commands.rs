@@ -134,7 +134,8 @@ USAGE:
                    [--restore-from DIR]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
   preduce trace    --check trace.jsonl
-  preduce lint     [--root PATH]
+  preduce lint     [--root PATH] [--format text|json|github]
+                   [--pass a,b,...]
   preduce list
   preduce help
 
@@ -196,9 +197,13 @@ TRACING:
 
 LINTING:
   `lint` runs the workspace static-analysis passes (panic-path,
-  lock-discipline, weight-stochasticity, trace-coverage) over the source
+  lock-discipline, weight-stochasticity, trace-coverage,
+  event-conformance, unsafe-audit, reactor-blocking) over the source
   tree — the same engine as `cargo run -p preduce-analysis -- check`.
-  Exit is nonzero on findings; see DESIGN.md section 10.
+  --format json emits a stable machine-readable report
+  (schema `preduce-lint/1`); --format github emits CI annotations;
+  --pass a,b runs only the named passes. Exit is nonzero on findings;
+  see DESIGN.md section 10.
 ";
 
 fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
@@ -527,14 +532,59 @@ pub fn run_command(
                     })?
                 }
             };
-            let findings = preduce_analysis::run_check(&root)
-                .map_err(|e| CliError::Internal(format!("lint walk: {e}")))?;
-            for f in &findings {
-                let _ = writeln!(out, "{f}");
+            let format = args.get("format").unwrap_or("text");
+            if !matches!(format, "text" | "json" | "github") {
+                return Err(CliError::Unknown(format!(
+                    "lint format `{format}` (expected text, json, or github)"
+                )));
             }
-            if findings.is_empty() {
-                let _ = writeln!(out, "lint: workspace clean");
-            } else {
+            let selected: Option<Vec<String>> = match args.get("pass") {
+                None => None,
+                Some(list) => {
+                    let names: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    for n in &names {
+                        if !preduce_analysis::passes::ALL.contains(&n.as_str()) {
+                            return Err(CliError::Unknown(format!(
+                                "lint pass `{n}` (known: {})",
+                                preduce_analysis::passes::ALL.join(", ")
+                            )));
+                        }
+                    }
+                    if names.is_empty() {
+                        return Err(CliError::Unknown(
+                            "lint pass list (empty --pass)".to_string(),
+                        ));
+                    }
+                    Some(names)
+                }
+            };
+            let findings = preduce_analysis::run_check_passes(&root, selected.as_deref())
+                .map_err(|e| CliError::Internal(format!("lint walk: {e}")))?;
+            match format {
+                "json" => {
+                    let _ = writeln!(out, "{}", preduce_analysis::to_json(&findings));
+                }
+                "github" => {
+                    let _ = write!(out, "{}", preduce_analysis::github_annotations(&findings));
+                    if findings.is_empty() {
+                        let _ = writeln!(out, "lint: workspace clean");
+                    }
+                }
+                _ => {
+                    for f in &findings {
+                        let _ = writeln!(out, "{f}");
+                    }
+                    if findings.is_empty() {
+                        let _ = writeln!(out, "lint: workspace clean");
+                    }
+                }
+            }
+            if !findings.is_empty() {
                 return Err(CliError::Lint(findings.len()));
             }
         }
@@ -1007,6 +1057,65 @@ mod tests {
         assert!(matches!(r, Err(CliError::Lint(1))), "{out}");
         assert!(out.contains("panic-path"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lint_json_format_emits_stable_schema() {
+        let dir = std::env::temp_dir().join("preduce-cli-lint-json");
+        let src = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(
+            src.join("controller.rs"),
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let (r, out) = run(&["lint", "--root", dir.to_str().unwrap(), "--format", "json"]);
+        assert!(matches!(r, Err(CliError::Lint(1))), "{out}");
+        assert!(
+            out.starts_with("{\"schema\":\"preduce-lint/1\",\"count\":1,"),
+            "{out}"
+        );
+        assert!(out.contains("\"pass\":\"panic-path\""), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lint_pass_selection_filters_findings() {
+        let dir = std::env::temp_dir().join("preduce-cli-lint-pass");
+        let src = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(
+            src.join("controller.rs"),
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        // The dirty line is a panic-path finding; selecting only
+        // weight-stochasticity must come back clean.
+        let (clean, out) = run(&[
+            "lint",
+            "--root",
+            dir.to_str().unwrap(),
+            "--pass",
+            "weight-stochasticity",
+        ]);
+        clean.unwrap();
+        assert!(out.contains("workspace clean"), "{out}");
+        let (dirty, out) = run(&[
+            "lint",
+            "--root",
+            dir.to_str().unwrap(),
+            "--pass",
+            "panic-path,weight-stochasticity",
+        ]);
+        assert!(matches!(dirty, Err(CliError::Lint(1))), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Unknown pass names and formats are usage errors (exit 2).
+        let (bad_pass, _) = run(&["lint", "--pass", "made-up"]);
+        assert!(matches!(bad_pass, Err(CliError::Unknown(_))));
+        let (bad_fmt, _) = run(&["lint", "--format", "yaml"]);
+        assert!(matches!(bad_fmt, Err(CliError::Unknown(_))));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! argument parser plus the command implementations, kept out of `main.rs`
 //! so they are unit-testable.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 

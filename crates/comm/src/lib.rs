@@ -28,6 +28,7 @@
 //! is what the reproduction's claims rest on — and the [`reactor`] +
 //! [`mesh`] pair carries the same semantics across real OS processes.
 
+#![forbid(unsafe_code)]
 // Comms hot paths must not panic on recoverable conditions: fallible
 // operations propagate `CommError` or document their panic with a
 // `lint: allow` (see DESIGN.md §10). Tests are exempt.

@@ -147,6 +147,9 @@ fn run_shard(
             if idle_rounds <= cfg.spin_rounds {
                 thread::yield_now();
             } else {
+                // lint: allow(reactor-blocking) bounded adaptive idle backoff: after
+                // spin_rounds empty polls the shard naps for idle_sleep so idle fleets
+                // do not spin a core; any inbound byte ends the nap on the next poll.
                 thread::sleep(cfg.idle_sleep);
             }
         } else {

@@ -34,6 +34,7 @@
 //! * [`invariants`] — the trace-driven [`invariants::InvariantChecker`]
 //!   asserting the paper's contracts over a recorded run.
 
+#![forbid(unsafe_code)]
 // The control plane must not panic on recoverable conditions: every
 // fallible operation either propagates an error or documents its panic
 // with a `lint: allow` (see DESIGN.md §10). Tests are exempt.

@@ -916,6 +916,8 @@ fn stats(controller: &Controller, singletons: u64, evictions: u64) -> Controller
             singletons,
         });
     }
+    // lint: allow(reactor-blocking) end-of-run trace-sink flush: `stats` runs
+    // once after the serve loop has exited, not on the per-event poll path.
     controller.sink().flush();
     ControllerStats {
         groups_formed: controller.groups_formed(),

@@ -12,6 +12,8 @@
 //! owns a *shard* of the training set (§4 "data sharding approach") and draws
 //! i.i.d. minibatches from its shard (Algorithm 2, line 2).
 
+#![forbid(unsafe_code)]
+
 mod batch;
 pub mod consistent_hash;
 mod dataset;

@@ -18,6 +18,8 @@
 //!   with a [`CostProfile`] preserving the original's relative compute
 //!   intensity and communication volume (used by the cluster simulator).
 
+#![forbid(unsafe_code)]
+
 mod activation;
 mod conv;
 mod dense;

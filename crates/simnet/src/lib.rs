@@ -30,6 +30,8 @@
 //! Calibration against the paper's Table 1 (device throughput, link
 //! bandwidth) is documented in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 mod events;
 mod fault;
 mod hetero;

@@ -28,6 +28,8 @@
 //! entry point ([`engine::Backend`] picks the substrate), with [`sim`] and
 //! [`threaded`] keeping the harness types and the original call sites.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod elastic;
 pub mod engine;

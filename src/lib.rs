@@ -45,6 +45,8 @@
 //!          result.updates, result.per_update_time());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use partial_reduce;
 pub use preduce_comm as comm;
 pub use preduce_data as data;

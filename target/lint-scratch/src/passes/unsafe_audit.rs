@@ -1,0 +1,265 @@
+//! Pass 6 — `unsafe-audit`: unsafe is confined, justified, and gated.
+//!
+//! PR 6 introduced the workspace's only `unsafe` — AVX2/AVX-512
+//! intrinsics behind runtime dispatch in `tensor::kernels`. This pass
+//! keeps that boundary mechanical instead of reviewed:
+//!
+//! 1. every non-test `unsafe` block, `unsafe fn`, and `unsafe impl`
+//!    needs a `// SAFETY:` comment on or just above it (attribute and
+//!    doc lines in between are skipped);
+//! 2. a SIMD intrinsic call (`_mm…(`) must sit inside a
+//!    `#[target_feature]` fn — the runtime CPU check is what makes the
+//!    call sound, and `#[target_feature]` is how the compiler keeps the
+//!    fn out of safe direct calls;
+//! 3. every crate root except `preduce-tensor` carries
+//!    `#![forbid(unsafe_code)]`, so new unsafe cannot appear outside
+//!    the kernel layer without tripping the compiler *and* the lint;
+//! 4. belt-and-braces: any non-test `unsafe` outside `crates/tensor/`
+//!    is a finding even before rule 3's forbid lands.
+
+use crate::scan::{SourceFile, TokenKind, UnsafeKind};
+use crate::Finding;
+
+/// Pass name used in findings and allow directives.
+pub const NAME: &str = "unsafe-audit";
+
+/// The one crate allowed to contain unsafe.
+const UNSAFE_HOME: &str = "crates/tensor/";
+
+/// Runs the pass on one file (scope: every walked file).
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_home = file.path.starts_with(UNSAFE_HOME);
+
+    // Rule 3: crate roots must forbid unsafe (tensor exempt).
+    if let Some(krate) = crate_root_name(&file.path) {
+        if krate != "preduce-tensor" && !file.code.iter().any(|l| l.contains("forbid(unsafe_code)"))
+        {
+            findings.push(finding(
+                file,
+                0,
+                "crate root missing `#![forbid(unsafe_code)]`; only `preduce-tensor` may contain unsafe".into(),
+            ));
+        }
+    }
+
+    // Rules 1 + 4 over unsafe regions (blocks and `unsafe impl`).
+    for r in &file.items.unsafe_regions {
+        if file.is_test[r.start] {
+            continue;
+        }
+        if !has_safety_comment(file, r.start) {
+            let what = match r.kind {
+                UnsafeKind::Block => "`unsafe` block",
+                UnsafeKind::Impl => "`unsafe impl`",
+            };
+            findings.push(finding(
+                file,
+                r.start,
+                format!("{what} without a `// SAFETY:` comment; document the invariant that makes it sound"),
+            ));
+        }
+        if !in_home {
+            findings.push(finding(
+                file,
+                r.start,
+                format!("`unsafe` outside `{UNSAFE_HOME}`; the workspace confines unsafe to the kernel layer"),
+            ));
+        }
+    }
+
+    // Rules 1 + 4 over `unsafe fn` items.
+    for f in &file.items.fns {
+        if !f.is_unsafe || file.is_test[f.start] {
+            continue;
+        }
+        if !has_safety_comment(file, f.start) {
+            findings.push(finding(
+                file,
+                f.start,
+                format!(
+                    "`unsafe fn {}` without a `// SAFETY:` comment; document the caller contract",
+                    f.name
+                ),
+            ));
+        }
+        if !in_home {
+            findings.push(finding(
+                file,
+                f.start,
+                format!("`unsafe` outside `{UNSAFE_HOME}`; the workspace confines unsafe to the kernel layer"),
+            ));
+        }
+    }
+
+    // Rule 2: intrinsic calls must sit inside `#[target_feature]` fns.
+    let n = file.ct_len();
+    for k in 0..n {
+        let tok = file.ct(k);
+        if tok.kind != TokenKind::Ident
+            || !tok.text.starts_with("_mm")
+            || file.is_test[tok.line]
+            || k + 1 >= n
+            || file.ct(k + 1).text != "("
+        {
+            continue;
+        }
+        let gated = file
+            .items
+            .fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(o, c)| o <= k && k <= c))
+            .any(|f| f.has_target_feature);
+        if !gated {
+            findings.push(finding(
+                file,
+                tok.line,
+                format!(
+                    "SIMD intrinsic `{}` outside a `#[target_feature]` fn; runtime dispatch cannot make this call sound",
+                    tok.text
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn finding(file: &SourceFile, line0: usize, message: String) -> Finding {
+    Finding {
+        pass: NAME.into(),
+        file: file.path.clone(),
+        line: line0 + 1,
+        message,
+    }
+}
+
+/// `crates/<name>/src/lib.rs` → crate package name (`preduce-<name>`),
+/// `src/lib.rs` → the facade crate. Other paths are not crate roots.
+fn crate_root_name(path: &str) -> Option<String> {
+    if path == "src/lib.rs" {
+        return Some("preduce".into());
+    }
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then(|| format!("preduce-{name}"))
+}
+
+/// Looks for `SAFETY:` in a raw comment on the construct's line or just
+/// above it, skipping attribute and doc lines (a `#[target_feature]`
+/// stack must not push the comment out of range).
+fn has_safety_comment(file: &SourceFile, line0: usize) -> bool {
+    if file.raw[line0].contains("SAFETY:") {
+        return true;
+    }
+    let mut j = line0;
+    let mut budget = 8;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = file.raw[j].trim();
+        if t.contains("SAFETY:") {
+            return true;
+        }
+        if t.starts_with("#[")
+            || t.starts_with("#![")
+            || t.starts_with("///")
+            || t.starts_with("//!")
+        {
+            continue;
+        }
+        if t.starts_with("//") {
+            // A plain comment that is not SAFETY terminates the search
+            // only after being inspected above; keep scanning upward.
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_unsafe_flagged_documented_clean() {
+        let bad = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "fn f(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n",
+        );
+        let got = run(&bad);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("SAFETY"));
+
+        let good = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees p is in-bounds.\n    unsafe { *p }\n}\n",
+        );
+        assert!(run(&good).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_seen_through_attribute_stack() {
+        let f = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "// SAFETY: callers hold the avx2 CPU check.\n#[target_feature(enable = \"avx2\")]\nunsafe fn kern(p: *const f32) -> f32 {\n    *p\n}\n",
+        );
+        assert!(run(&f).is_empty(), "{:?}", run(&f));
+    }
+
+    #[test]
+    fn intrinsic_outside_target_feature_flagged() {
+        let bad = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "fn plain(p: *const f32) {\n    // SAFETY: not enough — missing target_feature.\n    unsafe {\n        let v = _mm256_loadu_ps(p);\n    }\n}\n",
+        );
+        let got = run(&bad);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("_mm256_loadu_ps"));
+
+        let good = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "// SAFETY: caller checked avx2.\n#[target_feature(enable = \"avx2\")]\nunsafe fn gated(p: *const f32) {\n    let v = _mm256_loadu_ps(p);\n}\n",
+        );
+        assert!(run(&good).is_empty(), "{:?}", run(&good));
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe_tensor_exempt() {
+        let missing = SourceFile::from_source("crates/comm/src/lib.rs", "pub mod tcp;\n");
+        let got = run(&missing);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("forbid(unsafe_code)"));
+
+        let present = SourceFile::from_source(
+            "crates/comm/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod tcp;\n",
+        );
+        assert!(run(&present).is_empty());
+
+        let tensor = SourceFile::from_source("crates/tensor/src/lib.rs", "pub mod kernels;\n");
+        assert!(run(&tensor).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_tensor_is_flagged_even_with_safety() {
+        let f = SourceFile::from_source(
+            "crates/comm/src/hack.rs",
+            "fn f(p: *const f32) -> f32 {\n    // SAFETY: documented but misplaced.\n    unsafe { *p }\n}\n",
+        );
+        let got = run(&f);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("confines unsafe"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = SourceFile::from_source(
+            "crates/tensor/src/kernels.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(p: *const f32) -> f32 {\n        unsafe { *p }\n    }\n}\n",
+        );
+        assert!(run(&f).is_empty());
+    }
+}

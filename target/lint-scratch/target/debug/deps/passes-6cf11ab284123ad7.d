@@ -1,0 +1,27 @@
+/root/repo/target/lint-scratch/target/debug/deps/passes-6cf11ab284123ad7.d: tests/passes.rs tests/fixtures/panic_path_bad.rs tests/fixtures/panic_path_good.rs tests/fixtures/lock_discipline_bad.rs tests/fixtures/lock_discipline_good.rs tests/fixtures/weights_bad.rs tests/fixtures/weights_good.rs tests/fixtures/trace_coverage_bad.rs tests/fixtures/trace_coverage_good.rs tests/fixtures/event_conformance_trace_bad.rs tests/fixtures/event_conformance_emit_bad.rs tests/fixtures/event_conformance_check_bad.rs tests/fixtures/event_conformance_trace_good.rs tests/fixtures/event_conformance_emit_good.rs tests/fixtures/event_conformance_check_good.rs tests/fixtures/unsafe_audit_bad.rs tests/fixtures/unsafe_audit_good.rs tests/fixtures/reactor_blocking_bad.rs tests/fixtures/reactor_blocking_good.rs tests/fixtures/allow_without_reason.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/passes-6cf11ab284123ad7: tests/passes.rs tests/fixtures/panic_path_bad.rs tests/fixtures/panic_path_good.rs tests/fixtures/lock_discipline_bad.rs tests/fixtures/lock_discipline_good.rs tests/fixtures/weights_bad.rs tests/fixtures/weights_good.rs tests/fixtures/trace_coverage_bad.rs tests/fixtures/trace_coverage_good.rs tests/fixtures/event_conformance_trace_bad.rs tests/fixtures/event_conformance_emit_bad.rs tests/fixtures/event_conformance_check_bad.rs tests/fixtures/event_conformance_trace_good.rs tests/fixtures/event_conformance_emit_good.rs tests/fixtures/event_conformance_check_good.rs tests/fixtures/unsafe_audit_bad.rs tests/fixtures/unsafe_audit_good.rs tests/fixtures/reactor_blocking_bad.rs tests/fixtures/reactor_blocking_good.rs tests/fixtures/allow_without_reason.rs
+
+tests/passes.rs:
+tests/fixtures/panic_path_bad.rs:
+tests/fixtures/panic_path_good.rs:
+tests/fixtures/lock_discipline_bad.rs:
+tests/fixtures/lock_discipline_good.rs:
+tests/fixtures/weights_bad.rs:
+tests/fixtures/weights_good.rs:
+tests/fixtures/trace_coverage_bad.rs:
+tests/fixtures/trace_coverage_good.rs:
+tests/fixtures/event_conformance_trace_bad.rs:
+tests/fixtures/event_conformance_emit_bad.rs:
+tests/fixtures/event_conformance_check_bad.rs:
+tests/fixtures/event_conformance_trace_good.rs:
+tests/fixtures/event_conformance_emit_good.rs:
+tests/fixtures/event_conformance_check_good.rs:
+tests/fixtures/unsafe_audit_bad.rs:
+tests/fixtures/unsafe_audit_good.rs:
+tests/fixtures/reactor_blocking_bad.rs:
+tests/fixtures/reactor_blocking_good.rs:
+tests/fixtures/allow_without_reason.rs:
+
+# env-dep:CARGO_BIN_EXE_preduce-analysis=/root/repo/target/lint-scratch/target/debug/preduce-analysis
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/target/lint-scratch

@@ -1,0 +1,16 @@
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-69f9b202cb69ffdc.d: src/lib.rs src/allow.rs src/passes/mod.rs src/passes/event_conformance.rs src/passes/lock_discipline.rs src/passes/panic_path.rs src/passes/reactor_blocking.rs src/passes/trace_coverage.rs src/passes/unsafe_audit.rs src/passes/weight_stochasticity.rs src/scan.rs src/scope.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-69f9b202cb69ffdc: src/lib.rs src/allow.rs src/passes/mod.rs src/passes/event_conformance.rs src/passes/lock_discipline.rs src/passes/panic_path.rs src/passes/reactor_blocking.rs src/passes/trace_coverage.rs src/passes/unsafe_audit.rs src/passes/weight_stochasticity.rs src/scan.rs src/scope.rs
+
+src/lib.rs:
+src/allow.rs:
+src/passes/mod.rs:
+src/passes/event_conformance.rs:
+src/passes/lock_discipline.rs:
+src/passes/panic_path.rs:
+src/passes/reactor_blocking.rs:
+src/passes/trace_coverage.rs:
+src/passes/unsafe_audit.rs:
+src/passes/weight_stochasticity.rs:
+src/scan.rs:
+src/scope.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-ab9f1ae7384a92d6.d: src/lib.rs src/allow.rs src/passes/mod.rs src/passes/event_conformance.rs src/passes/lock_discipline.rs src/passes/panic_path.rs src/passes/reactor_blocking.rs src/passes/trace_coverage.rs src/passes/unsafe_audit.rs src/passes/weight_stochasticity.rs src/scan.rs src/scope.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/libpreduce_analysis-ab9f1ae7384a92d6.rlib: src/lib.rs src/allow.rs src/passes/mod.rs src/passes/event_conformance.rs src/passes/lock_discipline.rs src/passes/panic_path.rs src/passes/reactor_blocking.rs src/passes/trace_coverage.rs src/passes/unsafe_audit.rs src/passes/weight_stochasticity.rs src/scan.rs src/scope.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/libpreduce_analysis-ab9f1ae7384a92d6.rmeta: src/lib.rs src/allow.rs src/passes/mod.rs src/passes/event_conformance.rs src/passes/lock_discipline.rs src/passes/panic_path.rs src/passes/reactor_blocking.rs src/passes/trace_coverage.rs src/passes/unsafe_audit.rs src/passes/weight_stochasticity.rs src/scan.rs src/scope.rs
+
+src/lib.rs:
+src/allow.rs:
+src/passes/mod.rs:
+src/passes/event_conformance.rs:
+src/passes/lock_discipline.rs:
+src/passes/panic_path.rs:
+src/passes/reactor_blocking.rs:
+src/passes/trace_coverage.rs:
+src/passes/unsafe_audit.rs:
+src/passes/weight_stochasticity.rs:
+src/scan.rs:
+src/scope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-b8e8387d25d36293.d: src/main.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-b8e8387d25d36293: src/main.rs
+
+src/main.rs:

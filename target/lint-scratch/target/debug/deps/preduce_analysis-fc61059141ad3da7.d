@@ -1,0 +1,5 @@
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-fc61059141ad3da7.d: src/main.rs
+
+/root/repo/target/lint-scratch/target/debug/deps/preduce_analysis-fc61059141ad3da7: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,11 @@
+//! Fixture for the allow grammar: a reasonless allow and an
+//! unknown-pass allow are both `allow-syntax` findings, and neither
+//! suppresses the underlying `panic-path` finding.
+
+pub fn f(x: Option<u64>) -> u64 {
+    x.unwrap() // lint: allow(panic-path)
+}
+
+pub fn g(y: Option<u64>) -> u64 {
+    y.unwrap() // lint: allow(not-a-pass) the reason is present but the pass is unknown
+}

@@ -1,0 +1,14 @@
+// Fixture: the invariant checker with seeded drift. The `GroupFormed`
+// arm was stripped (emitted-but-unchecked), and `Phantom` is still
+// matched although nothing emits it (checked-but-never-emitted).
+// Scanned as crates/core/src/invariants.rs (never compiled).
+
+impl InvariantChecker {
+    pub fn observe(&mut self, e: &TraceEvent) {
+        match e {
+            TraceEvent::RunStarted { workers } => self.active = *workers,
+            TraceEvent::Phantom { id } => self.note(*id),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: the emitter side. `GroupFormed` is emitted here but the
+// checker fixture has been "refactored" to drop its arm — the seeded
+// protocol drift the pass must catch.
+// Scanned as crates/core/src/controller.rs (never compiled).
+
+pub fn run(sink: &mut Sink) {
+    sink.record(TraceEvent::RunStarted { workers: 4 });
+    sink.record(TraceEvent::GroupFormed { id: 1, size: 2 });
+}

@@ -1,0 +1,11 @@
+// Fixture: the protocol enum, with one variant (`Retired`) that nothing
+// emits or checks — defined-but-dead.
+// Scanned as crates/core/src/trace.rs (never compiled).
+
+/// The trace-event vocabulary.
+pub enum TraceEvent {
+    RunStarted { workers: usize },
+    GroupFormed { id: u64, size: usize },
+    Retired { id: u64 },
+    Phantom { id: u64 },
+}

@@ -1,0 +1,19 @@
+//! Known-bad fixture for the `lock-discipline` pass: one lock-order
+//! inversion (two edge findings) plus one blocking call under a guard.
+
+pub fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga += *gb;
+}
+
+pub fn ba(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    *gb += *ga;
+}
+
+pub fn send_under_lock(m: &Mutex<u64>, tx: &Sender<u64>) {
+    let g = m.lock().unwrap();
+    tx.send(*g).ok();
+}

@@ -1,0 +1,28 @@
+//! Known-good twin of `lock_discipline_bad.rs`: consistent lock order,
+//! condvar waits that hand the guard back, and drop-before-send.
+
+pub fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga += *gb;
+}
+
+pub fn ab_again(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *gb += *ga;
+}
+
+pub fn wait_loop(m: &Mutex<u64>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    while *g == 0 {
+        g = cv.wait(g).unwrap();
+    }
+}
+
+pub fn send_after_drop(m: &Mutex<u64>, tx: &Sender<u64>) {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    tx.send(v).ok();
+}

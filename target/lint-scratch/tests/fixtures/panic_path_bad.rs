@@ -1,0 +1,23 @@
+//! Known-bad fixture for the `panic-path` pass: exactly five findings,
+//! one per construct class. Never compiled — scanned by `tests/passes.rs`
+//! under the pretend path `crates/core/src/controller.rs`.
+
+pub fn signals(queue: &mut Vec<u64>, idx: Option<usize>) -> u64 {
+    let i = idx.unwrap();
+    let v = *queue.get(i).expect("validated");
+    if v == 0 {
+        panic!("zero signal");
+    }
+    v
+}
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn family(mode: u8) -> u8 {
+    match mode {
+        0 => 1,
+        _ => unreachable!("mode validated upstream"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-good twin of `panic_path_bad.rs`: the same shapes written
+//! without panic paths, plus one documented allow.
+
+pub fn signals(queue: &mut Vec<u64>, idx: Option<usize>) -> Option<u64> {
+    let i = idx?;
+    queue.get(i).copied()
+}
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    assert!(i < xs.len(), "index validated at entry");
+    xs[i]
+}
+
+pub fn seeded(x: Option<u64>) -> u64 {
+    x.unwrap() // lint: allow(panic-path) fixture: startup-only, documented contract panic
+}

@@ -1,0 +1,24 @@
+// Fixture: three blocking calls on reactor poll paths — an indefinite
+// recv and a sleep in the spawned shard loop, and a lock acquisition in
+// a helper the loop calls.
+// Scanned as crates/comm/src/reactor.rs (never compiled).
+
+pub fn start(rx: Receiver<Cmd>) {
+    thread::Builder::new()
+        .name("shard".into())
+        .spawn(move || run_shard(rx))
+        .ok();
+}
+
+fn run_shard(rx: Receiver<Cmd>) {
+    loop {
+        let cmd = rx.recv();
+        thread::sleep(Duration::from_millis(1));
+        pump();
+    }
+}
+
+fn pump() {
+    let guard = REGISTRY.lock();
+    drop(guard);
+}

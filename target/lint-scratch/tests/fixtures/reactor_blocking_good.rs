@@ -1,0 +1,29 @@
+// Fixture: a compliant poll path — timeout-bounded receives, buffered
+// nonblocking socket reads, and blocking work confined to a spawned
+// helper thread (its own thread, not the poll path).
+// Scanned as crates/core/src/runtime.rs (never compiled).
+
+pub fn serve_fleet(handle: &ReactorHandle) {
+    thread::Builder::new()
+        .spawn(move || {
+            loop {
+                beat();
+                thread::sleep(interval);
+            }
+        })
+        .ok();
+    loop {
+        let batch = handle.recv_events(Duration::from_millis(5));
+        for ev in batch {
+            ingest(ev);
+        }
+    }
+}
+
+fn ingest(ev: ControlEvent) {
+    let n = scratch_read(ev);
+}
+
+fn scratch_read(ev: ControlEvent) -> usize {
+    sock.read(scratch).unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture for the `trace-coverage` pass: one `&mut self`
+//! mutation the replay checker can never see.
+
+impl Controller {
+    pub fn push_ready(&mut self, worker: usize) {
+        self.queue.push(worker);
+    }
+
+    pub fn groups_formed(&self) -> u64 {
+        self.groups
+    }
+}

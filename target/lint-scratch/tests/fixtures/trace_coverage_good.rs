@@ -1,0 +1,21 @@
+//! Known-good twin of `trace_coverage_bad.rs`: mutations emit directly
+//! or reach an emitting method (the fixpoint propagation).
+
+impl Controller {
+    pub fn push_ready(&mut self, worker: usize) {
+        self.queue.push(worker);
+        self.emit(TraceEvent::ReadySignal { worker });
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        self.sink.record(event);
+    }
+
+    pub fn repair(&mut self) {
+        self.emit(TraceEvent::RunStarted { num_workers: 0 });
+    }
+
+    pub fn groups_formed(&self) -> u64 {
+        self.groups
+    }
+}

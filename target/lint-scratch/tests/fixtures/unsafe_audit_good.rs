@@ -1,0 +1,21 @@
+// Fixture: compliant unsafe — SAFETY comments on every region, and
+// intrinsics only inside #[target_feature] fns.
+// Scanned as crates/tensor/src/kernels.rs (never compiled).
+
+pub fn deref_documented(p: *const f32) -> f32 {
+    // SAFETY: callers pass a pointer derived from a live &[f32].
+    unsafe { *p }
+}
+
+// SAFETY: caller must have verified avx2 support at runtime dispatch.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gated_kernel(p: *const f32) -> __m256 {
+    _mm256_loadu_ps(p)
+}
+
+pub fn dispatch(p: *const f32) {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 check above is the contract of gated_kernel.
+        unsafe { gated_kernel(p) };
+    }
+}

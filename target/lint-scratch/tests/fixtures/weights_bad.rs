@@ -1,0 +1,11 @@
+//! Known-bad fixture for the `weight-stochasticity` pass: two hand-rolled
+//! weight rows that bypass `core::weights`.
+
+pub fn uniform_row(p: usize) -> Vec<f32> {
+    vec![1.0 / p as f32; p]
+}
+
+pub fn assignment(group: Vec<usize>) -> (Vec<usize>, Vec<f32>) {
+    let weights = vec![1.0; group.len()];
+    (group, weights)
+}

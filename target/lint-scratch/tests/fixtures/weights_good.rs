@@ -1,0 +1,11 @@
+//! Known-good twin of `weights_bad.rs`: rows come from the blessed
+//! constructors; gradient scales and learning-rate math stay untouched.
+
+pub fn uniform_row(p: usize) -> Vec<f32> {
+    partial_reduce::constant_weights(p)
+}
+
+pub fn scale(grad: &mut Tensor, n: usize, staleness: u64) -> f32 {
+    grad.scale(1.0 / n as f32);
+    1.0 / staleness as f32
+}
