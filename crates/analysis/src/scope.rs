@@ -200,6 +200,18 @@ mod tests {
         );
         assert!(!panic_path("crates/trainer/src/elastic.rs"));
         assert!(panic_path("crates/trainer/src/engine/drivers/ps.rs"));
+        assert!(
+            panic_path("crates/trainer/src/engine/scale.rs"),
+            "the scale harness lives in the engine and is covered (PR 10)"
+        );
+        assert!(
+            !panic_path("crates/tensor/src/alloc.rs"),
+            "the counting allocator follows the tensor-crate exclusion (PR 10)"
+        );
+        assert!(
+            !panic_path("crates/bench/src/bin/scale.rs"),
+            "bench binaries stay excluded (PR 10)"
+        );
         assert!(!panic_path("crates/models/src/dense.rs"));
         assert!(!panic_path("crates/analysis/src/lib.rs"));
     }
@@ -210,6 +222,10 @@ mod tests {
         assert!(index_strict("crates/comm/src/mesh.rs"));
         assert!(!index_strict("crates/tensor/src/kernels.rs"));
         assert!(!index_strict("crates/core/src/weights.rs"));
+        assert!(
+            !index_strict("crates/trainer/src/engine/scale.rs"),
+            "the scale harness indexes per-worker vectors under loop bounds"
+        );
     }
 
     #[test]

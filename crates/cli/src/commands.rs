@@ -83,6 +83,9 @@ pub enum Command {
     Worker,
     /// `preduce spectral …` — simulate group formation, report ρ and ρ̄.
     Spectral,
+    /// `preduce scale …` — signal-level control-plane simulation at
+    /// N = 10³–10⁴ with live invariant checking (DESIGN.md §15).
+    Scale,
     /// `preduce trace --check trace.jsonl` — replay a recorded trace
     /// through the invariant checker.
     Trace,
@@ -102,6 +105,7 @@ impl Command {
             "controller" => Ok(Command::Controller),
             "worker" => Ok(Command::Worker),
             "spectral" => Ok(Command::Spectral),
+            "scale" => Ok(Command::Scale),
             "trace" => Ok(Command::Trace),
             "lint" => Ok(Command::Lint),
             "list" => Ok(Command::List),
@@ -133,6 +137,9 @@ USAGE:
                    [--checkpoint-dir DIR] [--checkpoint-every K]
                    [--restore-from DIR]
   preduce spectral [--workers N] [--p P] [--slow \"1,1,2\"] [--rounds R]
+  preduce scale    [--workers N] [--p P] [--signals K]
+                   [--hetero uniform|gpu-sharing|markov] [--dynamic true]
+                   [--seed SEED] [--json true]
   preduce trace    --check trace.jsonl
   preduce lint     [--root PATH] [--format text|json|github]
                    [--pass a,b,...]
@@ -189,11 +196,24 @@ MULTI-PROCESS FLEETS (DESIGN.md section 12):
   disables it). Each worker prints one final
   `worker rank=R iterations=K accuracy=A degraded=D` line.
 
+SCALE CAMPAIGN (DESIGN.md section 15):
+  `scale` runs the signal-level control-plane simulation: --workers ready
+  signals stream through the real controller under a standard
+  heterogeneity preset (--hetero), every trace event is checked live by
+  the streaming invariant checker, and the report carries throughput,
+  group-formation latency, the measured schedule's rho vs the uniform
+  closed form, Eq. 9 weight spread, and windowed union-find work
+  counters. Defaults: N=1000, P=8, 50000 signals, uniform fleet.
+  --json true emits the full report as JSON. Exit is nonzero if any
+  invariant is violated.
+
 TRACING:
   `run --trace-out FILE` records every P-Reduce control-plane decision as
   one JSON object per line; `trace --check FILE` replays the file and
   asserts the paper's invariants (group size, weight rows, fast-forward,
-  frozen-schedule repair, departures). Exit is nonzero on violations.
+  frozen-schedule repair, departures). The check is streaming: events
+  feed an incremental checker line by line, so traces with millions of
+  events verify in bounded memory. Exit is nonzero on violations.
 
 LINTING:
   `lint` runs the workspace static-analysis passes (panic-path,
@@ -601,6 +621,64 @@ pub fn run_command(
                 return Err(CliError::Invariant(report.violations.len()));
             }
         }
+        Command::Scale => {
+            let n: usize = args.get_or("workers", 1_000)?;
+            let p: usize = args.get_or("p", 8)?;
+            let signals: u64 = args.get_or("signals", 50_000)?;
+            let hetero = args.get("hetero").unwrap_or("uniform");
+            if preduce_simnet::standard_fleet(hetero, 1).is_none() {
+                return Err(CliError::Unknown(format!(
+                    "heterogeneity preset `{hetero}` (expected uniform, gpu-sharing, or markov)"
+                )));
+            }
+            if p < 2 || p > n || signals == 0 {
+                return Err(CliError::Unknown(format!(
+                    "scale configuration (need 2 <= P <= N and signals > 0, \
+                     got N={n}, P={p}, signals={signals})"
+                )));
+            }
+            let mut cfg = preduce_trainer::ScaleConfig::new(n, p, signals, hetero);
+            cfg.dynamic = args.get_or("dynamic", true)?;
+            cfg.seed = args.get_or("seed", cfg.seed)?;
+            let report = preduce_trainer::run_scale(&cfg);
+            if args.get_or("json", false)? {
+                let text = serde_json::to_string_pretty(&report)
+                    .map_err(|e| CliError::Internal(format!("serialize report: {e}")))?;
+                let _ = writeln!(out, "{text}");
+            } else {
+                let rho = report
+                    .rho_measured
+                    .map_or_else(|| "n/a".to_string(), |r| format!("{r:.4}"));
+                let _ = writeln!(
+                    out,
+                    "N = {n}, P = {p}, {} signals under `{hetero}`:\n\
+                     \x20 throughput  = {:.0} signals/s ({} groups, {} deferrals, {} repairs)\n\
+                     \x20 latency     = {:.3}s mean / {:.3}s max (virtual)\n\
+                     \x20 rho         = {rho} (uniform reference {:.4})\n\
+                     \x20 spread      = {:.4} mean / {:.4} max\n\
+                     \x20 union-find  = {} merges, {} rebuilds, {} clean evictions\n\
+                     \x20 checker     = {} events, {} violation(s)",
+                    report.signals,
+                    report.signals_per_sec,
+                    report.groups,
+                    report.deferrals,
+                    report.repairs,
+                    report.formation_latency_mean,
+                    report.formation_latency_max,
+                    report.rho_uniform_ref,
+                    report.weight_spread_mean,
+                    report.weight_spread_max,
+                    report.connectivity.merges,
+                    report.connectivity.rebuilds,
+                    report.connectivity.clean_evictions,
+                    report.checker_events,
+                    report.checker_violations,
+                );
+            }
+            if report.checker_violations > 0 {
+                return Err(CliError::Invariant(report.checker_violations));
+            }
+        }
         Command::Spectral => {
             let n: usize = args.get_or("workers", 8)?;
             let p: usize = args.get_or("p", 3)?;
@@ -723,6 +801,44 @@ mod tests {
             .parse()
             .unwrap();
         assert!((rho - 0.5).abs() < 0.05, "rho = {rho}");
+    }
+
+    #[test]
+    fn scale_runs_a_small_fleet() {
+        let (r, out) = run(&["scale", "--workers", "64", "--p", "4", "--signals", "2000"]);
+        r.unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+        assert!(out.contains("rho"), "{out}");
+    }
+
+    #[test]
+    fn scale_json_output_is_parseable() {
+        let (r, out) = run(&[
+            "scale",
+            "--workers",
+            "32",
+            "--p",
+            "4",
+            "--signals",
+            "1000",
+            "--json",
+            "true",
+        ]);
+        r.unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["num_workers"], 32);
+        assert_eq!(v["checker_violations"], 0);
+        assert!(v["groups"].as_u64().unwrap() > 0, "{out}");
+    }
+
+    #[test]
+    fn scale_rejects_unknown_preset_and_bad_shape() {
+        let (r, out) = run(&["scale", "--hetero", "quantum"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+        let (r, out) = run(&["scale", "--workers", "4", "--p", "9"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
+        let (r, out) = run(&["scale", "--signals", "0"]);
+        assert!(matches!(r, Err(CliError::Unknown(_))), "{out}");
     }
 
     #[test]

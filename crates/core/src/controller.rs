@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::graph::{min_history_window, GroupHistory};
+use crate::graph::{min_history_window, ConnectivityStats, GroupHistory, WindowedConnectivity};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::weights::{constant_weights, dynamic_weights, GapPolicy};
 
@@ -161,7 +161,13 @@ pub struct GroupDecision {
 pub struct Controller {
     config: ControllerConfig,
     queue: VecDeque<ReadySignal>,
+    /// Per-worker "has a queued signal" flag: O(1) duplicate detection,
+    /// replacing a queue scan that cost O(N) per arriving signal.
+    queued: Vec<bool>,
     history: GroupHistory,
+    /// Incrementally-maintained sync-graph connectivity over the same
+    /// window as `history` — the group filter's O(N²)-free fast path.
+    conn: WindowedConnectivity,
     groups_formed: u64,
     repairs: u64,
     deferrals: u64,
@@ -212,6 +218,8 @@ impl Controller {
         }
         Controller {
             departed: vec![false; config.num_workers],
+            queued: vec![false; config.num_workers],
+            conn: WindowedConnectivity::new(config.num_workers, window),
             config,
             queue: VecDeque::new(),
             history: GroupHistory::new(window),
@@ -295,6 +303,7 @@ impl Controller {
         let before = self.queue.len();
         self.queue.retain(|s| s.worker != worker);
         let purged_signal = self.queue.len() < before;
+        self.queued[worker] = false;
         if self.sink.enabled() {
             self.sink.record(TraceEvent::WorkerLeft {
                 worker,
@@ -350,6 +359,12 @@ impl Controller {
         &self.history
     }
 
+    /// Work counters of the incremental connectivity structure (merges,
+    /// rebuilds, clean evictions, fast-path hits).
+    pub fn connectivity_stats(&self) -> ConnectivityStats {
+        self.conn.stats()
+    }
+
     /// Removes and returns every queued signal as `(worker, iteration)`
     /// pairs, FIFO. Used at shutdown, when the active fleet has shrunk
     /// below `P` and queued workers must be released individually.
@@ -359,6 +374,7 @@ impl Controller {
             .drain(..)
             .map(|s| (s.worker, s.iteration))
             .collect();
+        self.queued.fill(false);
         if self.sink.enabled() {
             self.sink.record(TraceEvent::PendingDrained {
                 signals: signals.clone(),
@@ -389,9 +405,10 @@ impl Controller {
             return false;
         }
         assert!(
-            !self.queue.iter().any(|s| s.worker == worker),
+            !self.queued[worker],
             "worker {worker} signalled ready twice without reducing"
         );
+        self.queued[worker] = true;
         self.queue.push_back(ReadySignal { worker, iteration });
         if self.sink.enabled() {
             self.sink.record(TraceEvent::SignalEnqueued {
@@ -418,7 +435,7 @@ impl Controller {
             if worker >= self.config.num_workers {
                 continue;
             }
-            if self.queue.iter().any(|s| s.worker == worker) {
+            if self.queued[worker] {
                 continue;
             }
             if self.push_ready(worker, iteration) {
@@ -445,62 +462,65 @@ impl Controller {
         let mut member_idx: Vec<usize> = (0..p).collect();
         let mut repaired = false;
 
-        if self.config.frozen_avoidance && self.history.is_warm() {
-            let graph = self.history.sync_graph(self.config.num_workers);
-            if !graph.is_connected() {
-                let comps = graph.components();
-                let queued_comps: Vec<usize> = {
-                    let mut cs: Vec<usize> = self.queue.iter().map(|s| comps[s.worker]).collect();
-                    cs.sort_unstable();
-                    cs.dedup();
-                    cs
-                };
-                if queued_comps.len() == 1 {
-                    // Every queued signal sits in one frozen component: a
-                    // FIFO group would deepen the freeze. Defer — hold the
-                    // signals until a worker from another component
-                    // arrives (bounded by one fleet iteration). If every
-                    // *active* worker is already queued, no such signal
-                    // can come: fall through to FIFO rather than stall.
-                    if self.queue.len() < self.active {
-                        self.deferrals += 1;
-                        if self.sink.enabled() {
-                            self.sink.record(TraceEvent::GroupDeferred {
-                                queued: self.queue.len(),
-                                active: self.active,
-                            });
-                        }
-                        return None;
+        if self.config.frozen_avoidance && self.conn.is_warm() && !self.conn.is_connected() {
+            // Component label per *queued signal* (not per worker):
+            // O(queue · α) against the incremental structure, versus
+            // the O(N²) matrix rebuild + DFS this replaces.
+            let workers: Vec<usize> = self.queue.iter().map(|s| s.worker).collect();
+            let mut sig_comps: Vec<usize> = Vec::with_capacity(workers.len());
+            for w in workers {
+                sig_comps.push(self.conn.component_of(w));
+            }
+            let queued_comps: Vec<usize> = {
+                let mut cs = sig_comps.clone();
+                cs.sort_unstable();
+                cs.dedup();
+                cs
+            };
+            if queued_comps.len() == 1 {
+                // Every queued signal sits in one frozen component: a
+                // FIFO group would deepen the freeze. Defer — hold the
+                // signals until a worker from another component
+                // arrives (bounded by one fleet iteration). If every
+                // *active* worker is already queued, no such signal
+                // can come: fall through to FIFO rather than stall.
+                if self.queue.len() < self.active {
+                    self.deferrals += 1;
+                    if self.sink.enabled() {
+                        self.sink.record(TraceEvent::GroupDeferred {
+                            queued: self.queue.len(),
+                            active: self.active,
+                        });
                     }
-                } else {
-                    // Cross-component signals available: form the repair
-                    // group greedily, one member per distinct component
-                    // (FIFO within each), topping up FIFO.
-                    let mut chosen: Vec<usize> = Vec::with_capacity(p);
-                    let mut used_comps: Vec<usize> = Vec::new();
-                    for (idx, s) in self.queue.iter().enumerate() {
-                        if chosen.len() == p {
-                            break;
-                        }
-                        let c = comps[s.worker];
-                        if !used_comps.contains(&c) {
-                            used_comps.push(c);
-                            chosen.push(idx);
-                        }
-                    }
-                    for idx in 0..self.queue.len() {
-                        if chosen.len() == p {
-                            break;
-                        }
-                        if !chosen.contains(&idx) {
-                            chosen.push(idx);
-                        }
-                    }
+                    return None;
+                }
+            } else {
+                // Cross-component signals available: form the repair
+                // group greedily, one member per distinct component
+                // (FIFO within each), topping up FIFO.
+                let mut chosen: Vec<usize> = Vec::with_capacity(p);
+                let mut used_comps: Vec<usize> = Vec::new();
+                for (idx, &c) in sig_comps.iter().enumerate() {
                     if chosen.len() == p {
-                        chosen.sort_unstable();
-                        repaired = chosen != member_idx;
-                        member_idx = chosen;
+                        break;
                     }
+                    if !used_comps.contains(&c) {
+                        used_comps.push(c);
+                        chosen.push(idx);
+                    }
+                }
+                for idx in 0..self.queue.len() {
+                    if chosen.len() == p {
+                        break;
+                    }
+                    if !chosen.contains(&idx) {
+                        chosen.push(idx);
+                    }
+                }
+                if chosen.len() == p {
+                    chosen.sort_unstable();
+                    repaired = chosen != member_idx;
+                    member_idx = chosen;
                 }
             }
         }
@@ -509,6 +529,7 @@ impl Controller {
         let mut signals: Vec<ReadySignal> = Vec::with_capacity(p);
         for &idx in member_idx.iter().rev() {
             if let Some(s) = self.queue.remove(idx) {
+                self.queued[s.worker] = false;
                 signals.push(s);
             }
         }
@@ -527,6 +548,7 @@ impl Controller {
         };
 
         self.history.record(group.clone());
+        self.conn.record(&group);
         let sequence = self.groups_formed;
         self.groups_formed += 1;
         if repaired {

@@ -1,7 +1,18 @@
 //! Trace-driven invariant checking for the P-Reduce control plane.
 //!
-//! [`InvariantChecker::check`] replays a [`TraceEvent`] stream and asserts
-//! the paper's contracts:
+//! The checker is **incremental**: [`StreamingChecker`] consumes one
+//! [`TraceEvent`] at a time ([`StreamingChecker::feed`]) with
+//! bounded-memory replay state — per-worker counters, a windowed
+//! connectivity structure, never a retained event vector — so
+//! million-signal traces check in O(state), not O(trace), memory.
+//! [`InvariantChecker::check`] (batch) and
+//! [`InvariantChecker::check_jsonl`] (line-streamed from disk, works on
+//! dumps larger than RAM) are thin wrappers over the same state machine,
+//! so their verdicts are identical by construction. [`CheckingSink`]
+//! adapts the checker into a [`TraceSink`] for live, in-process checking
+//! of a running controller.
+//!
+//! Replaying asserts the paper's contracts:
 //!
 //! * every formed group has exactly `P` distinct, in-range, still-active
 //!   members, each holding exactly one consumed ready signal;
@@ -44,12 +55,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io;
+use std::io::{self, BufRead};
 use std::path::Path;
+use std::sync::Mutex;
 
 use crate::controller::{AggregationMode, ControllerConfig};
-use crate::graph::GroupHistory;
-use crate::trace::{read_jsonl, TraceEvent};
+use crate::graph::WindowedConnectivity;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::weights::dynamic_weights;
 
 /// Weight-vector comparison tolerance. Weights travel as `f32` and
@@ -109,26 +121,77 @@ impl fmt::Display for InvariantReport {
     }
 }
 
-/// Replays traces and validates the control-plane contracts.
+/// Replays traces and validates the control-plane contracts. Both entry
+/// points are thin wrappers over [`StreamingChecker`], the incremental
+/// state machine — one feeds a slice, the other streams a file line by
+/// line, so a dump larger than RAM checks in bounded memory.
 pub struct InvariantChecker;
 
 impl InvariantChecker {
     /// Replays `events` and reports every broken invariant.
     pub fn check(events: &[TraceEvent]) -> InvariantReport {
-        Replay::new(events).run()
+        let mut checker = StreamingChecker::new();
+        for event in events {
+            checker.feed(event);
+        }
+        checker.finish()
     }
 
-    /// Reads a JSONL trace dump and checks it.
+    /// Streams a JSONL trace dump through the checker one line at a time
+    /// — the file is never materialized, so traces larger than RAM check
+    /// fine. Parse failures abort with the offending line number, same as
+    /// [`crate::trace::read_jsonl`].
     pub fn check_jsonl<P: AsRef<Path>>(path: P) -> io::Result<InvariantReport> {
-        Ok(Self::check(&read_jsonl(path)?))
+        let file = std::fs::File::open(path)?;
+        let reader = io::BufReader::new(file);
+        let mut checker = StreamingChecker::new();
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: TraceEvent = serde_json::from_str(&line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: {e}", idx + 1),
+                )
+            })?;
+            checker.feed(&event);
+        }
+        Ok(checker.finish())
     }
 }
 
-/// Mutable replay state.
-struct Replay<'a> {
-    events: &'a [TraceEvent],
-    /// Enforce in-flight accounting only when the trace carries
-    /// completions at all (controller-only traces legitimately lack them).
+/// A violation recorded during streaming, tagged with whether it only
+/// stands under strict in-flight accounting (see
+/// [`StreamingChecker::finish`]).
+struct PendingViolation {
+    violation: Violation,
+    strict_only: bool,
+}
+
+/// The incremental invariant checker: feed events one at a time, read
+/// the verdict at the end.
+///
+/// State is bounded by the fleet, not the trace: per-worker maps
+/// (queue, floors, in-flight membership, lifecycle flags), a
+/// [`WindowedConnectivity`] replica of the controller's `T`-window sync
+/// graph, scalar counters, and the violation list — O(N + T·P +
+/// violations) total, independent of how many events stream through.
+///
+/// One contract needs care in streaming form: in-flight accounting is
+/// only *enforced* when the trace carries
+/// [`TraceEvent::ReduceCompleted`] at all (controller-only traces
+/// legitimately lack completions). The batch checker knew this upfront
+/// by pre-scanning; a streaming checker cannot look ahead, so it always
+/// *tracks* in-flight groups, tags the violations that depend on
+/// strictness, and drops them at [`StreamingChecker::finish`] if no
+/// completion ever arrived — bit-identical verdicts, single pass.
+pub struct StreamingChecker {
+    /// Events fed so far (also the index assigned to the next event).
+    index: usize,
+    /// Whether a [`TraceEvent::ReduceCompleted`] has been seen — flips
+    /// strict in-flight accounting from "tracked" to "enforced".
     strict_inflight: bool,
     config: Option<ControllerConfig>,
     /// Queued ready signals: worker → reported iteration.
@@ -149,8 +212,10 @@ struct Replay<'a> {
     disconnected: BTreeMap<usize, ()>,
     /// Evicted workers awaiting their departure event.
     evicted_pending: BTreeMap<usize, ()>,
-    /// Replica of the controller's group history database.
-    history: Option<GroupHistory>,
+    /// Incremental replica of the controller's `T`-window sync-graph
+    /// connectivity (the batch checker's rebuild-and-DFS is the semantic
+    /// reference; this matches it exactly, property-tested).
+    conn: Option<WindowedConnectivity>,
     expected_sequence: u64,
     active: Option<usize>,
     groups: u64,
@@ -158,17 +223,21 @@ struct Replay<'a> {
     deferrals: u64,
     singletons: u64,
     missing_start_reported: bool,
-    violations: Vec<Violation>,
+    violations: Vec<PendingViolation>,
 }
 
-impl<'a> Replay<'a> {
-    fn new(events: &'a [TraceEvent]) -> Self {
-        let strict_inflight = events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::ReduceCompleted { .. }));
-        Replay {
-            events,
-            strict_inflight,
+impl Default for StreamingChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingChecker {
+    /// Creates a checker with no events fed.
+    pub fn new() -> Self {
+        StreamingChecker {
+            index: 0,
+            strict_inflight: false,
             config: None,
             pending: BTreeMap::new(),
             departed: BTreeMap::new(),
@@ -179,7 +248,7 @@ impl<'a> Replay<'a> {
             joined: BTreeMap::new(),
             disconnected: BTreeMap::new(),
             evicted_pending: BTreeMap::new(),
-            history: None,
+            conn: None,
             expected_sequence: 0,
             active: None,
             groups: 0,
@@ -191,8 +260,36 @@ impl<'a> Replay<'a> {
         }
     }
 
+    /// Events fed so far.
+    pub fn events(&self) -> usize {
+        self.index
+    }
+
+    /// Groups observed so far.
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Violations recorded so far, counting strict-in-flight candidates
+    /// that [`StreamingChecker::finish`] may yet drop.
+    pub fn violations_so_far(&self) -> usize {
+        self.violations.len()
+    }
+
     fn fail(&mut self, index: usize, message: String) {
-        self.violations.push(Violation { index, message });
+        self.violations.push(PendingViolation {
+            violation: Violation { index, message },
+            strict_only: false,
+        });
+    }
+
+    /// Records a violation that only stands when the trace turns out to
+    /// carry completions (strict in-flight accounting).
+    fn fail_strict(&mut self, index: usize, message: String) {
+        self.violations.push(PendingViolation {
+            violation: Violation { index, message },
+            strict_only: true,
+        });
     }
 
     fn require_started(&mut self, index: usize) {
@@ -202,8 +299,12 @@ impl<'a> Replay<'a> {
         }
     }
 
-    fn run(mut self) -> InvariantReport {
-        for (i, event) in self.events.iter().enumerate() {
+    /// Feeds one event into the state machine, recording any violations
+    /// it exposes. Events are indexed in arrival order.
+    pub fn feed(&mut self, event: &TraceEvent) {
+        let i = self.index;
+        self.index += 1;
+        {
             match event {
                 TraceEvent::RunStarted { config } => self.on_started(i, config),
                 TraceEvent::SignalEnqueued {
@@ -268,7 +369,13 @@ impl<'a> Replay<'a> {
                 }
                 TraceEvent::ReduceCompleted {
                     worker, members, ..
-                } => self.on_completed(i, *worker, members),
+                } => {
+                    // The trace carries completions: in-flight accounting
+                    // is enforced (tracked-but-tagged violations from
+                    // earlier events stand — see `finish`).
+                    self.strict_inflight = true;
+                    self.on_completed(i, *worker, members)
+                }
                 TraceEvent::WorkerLeft {
                     worker,
                     active,
@@ -479,11 +586,24 @@ impl<'a> Replay<'a> {
                 }
             }
         }
+    }
+
+    /// Consumes the checker and renders the verdict. Strict-in-flight
+    /// candidate violations are dropped here if the stream carried no
+    /// [`TraceEvent::ReduceCompleted`] at all — the single-pass
+    /// equivalent of the batch checker's pre-scan.
+    pub fn finish(self) -> InvariantReport {
+        let strict = self.strict_inflight;
         InvariantReport {
-            events: self.events.len(),
+            events: self.index,
             groups: self.groups,
             repairs: self.repairs,
-            violations: self.violations,
+            violations: self
+                .violations
+                .into_iter()
+                .filter(|p| strict || !p.strict_only)
+                .map(|p| p.violation)
+                .collect(),
         }
     }
 
@@ -501,7 +621,10 @@ impl<'a> Replay<'a> {
                 ),
             );
         } else {
-            self.history = Some(GroupHistory::new(config.effective_window()));
+            self.conn = Some(WindowedConnectivity::new(
+                config.num_workers,
+                config.effective_window(),
+            ));
         }
         self.active = Some(config.num_workers);
         self.config = Some(config.clone());
@@ -546,8 +669,10 @@ impl<'a> Replay<'a> {
                 format!("signal from departed worker {worker} was enqueued"),
             );
         }
-        if self.strict_inflight && self.in_flight.contains_key(&worker) {
-            self.fail(
+        if self.in_flight.contains_key(&worker) {
+            // Stands only under strict in-flight accounting — tagged, and
+            // dropped at `finish` if the trace carries no completions.
+            self.fail_strict(
                 index,
                 format!(
                     "worker {worker} signalled ready while still inside an \
@@ -601,18 +726,18 @@ impl<'a> Replay<'a> {
         self.expected_sequence = sequence + 1;
 
         // Exactly P distinct, in-range, still-active members.
-        if let Some(cfg) = &self.config {
-            if members.len() != cfg.group_size {
+        let shape = self.config.as_ref().map(|c| (c.group_size, c.num_workers));
+        if let Some((group_size, num_workers)) = shape {
+            if members.len() != group_size {
                 self.fail(
                     index,
                     format!(
-                        "group {sequence} has {} members, expected P = {}",
+                        "group {sequence} has {} members, expected P = {group_size}",
                         members.len(),
-                        cfg.group_size
                     ),
                 );
             }
-            if let Some(&bad) = members.iter().find(|&&m| m >= cfg.num_workers) {
+            if let Some(&bad) = members.iter().find(|&&m| m >= num_workers) {
                 self.fail(
                     index,
                     format!("group {sequence} contains out-of-range worker {bad}"),
@@ -644,18 +769,16 @@ impl<'a> Replay<'a> {
                     ),
                 );
             }
-            if self.strict_inflight {
-                if self.in_flight.contains_key(&m) {
-                    self.fail(
-                        index,
-                        format!(
-                            "worker {m} sits in two in-flight groups \
-                             (second is {sequence})"
-                        ),
-                    );
-                }
-                self.in_flight.insert(m, members.to_vec());
+            if self.in_flight.contains_key(&m) {
+                self.fail_strict(
+                    index,
+                    format!(
+                        "worker {m} sits in two in-flight groups \
+                         (second is {sequence})"
+                    ),
+                );
             }
+            self.in_flight.insert(m, members.to_vec());
         }
 
         // Each member consumes its queued signal, iterations aligned.
@@ -773,14 +896,18 @@ impl<'a> Replay<'a> {
     }
 
     /// A repair must happen on a warm, disconnected sync-graph and bridge
-    /// at least two of its components (§4).
+    /// at least two of its components (§4). The window is replayed
+    /// through the incremental [`WindowedConnectivity`] structure; its
+    /// components are exactly those of the batch rebuild-and-DFS
+    /// (`GroupHistory::sync_graph(n).components()`), which remains the
+    /// semantic reference the property tests compare against.
     fn check_repair(&mut self, index: usize, sequence: u64, members: &[usize], repaired: bool) {
         let Some(cfg) = self.config.clone() else {
             return;
         };
-        let Some(history) = self.history.as_mut() else {
+        if self.conn.is_none() {
             return;
-        };
+        }
         if repaired {
             if !cfg.frozen_avoidance {
                 self.fail(
@@ -791,7 +918,8 @@ impl<'a> Replay<'a> {
                     ),
                 );
             }
-            if !history.is_warm() {
+            let warm = self.conn.as_ref().map(|c| c.is_warm()).unwrap_or(false);
+            if !warm {
                 self.fail(
                     index,
                     format!(
@@ -800,8 +928,11 @@ impl<'a> Replay<'a> {
                     ),
                 );
             } else {
-                let graph = history.sync_graph(cfg.num_workers);
-                if graph.is_connected() {
+                let connected = match self.conn.as_mut() {
+                    Some(c) => c.is_connected(),
+                    None => true,
+                };
+                if connected {
                     self.fail(
                         index,
                         format!(
@@ -810,12 +941,14 @@ impl<'a> Replay<'a> {
                         ),
                     );
                 } else {
-                    let comps = graph.components();
-                    let mut spanned: Vec<usize> = members
-                        .iter()
-                        .filter(|&&m| m < cfg.num_workers)
-                        .map(|&m| comps[m])
-                        .collect();
+                    let mut spanned: Vec<usize> = Vec::with_capacity(members.len());
+                    if let Some(conn) = self.conn.as_mut() {
+                        for &m in members {
+                            if m < cfg.num_workers {
+                                spanned.push(conn.component_of(m));
+                            }
+                        }
+                    }
                     spanned.sort_unstable();
                     spanned.dedup();
                     if spanned.len() < 2 {
@@ -831,7 +964,9 @@ impl<'a> Replay<'a> {
             }
         }
         if members.iter().all(|&m| m < cfg.num_workers) {
-            history.record(members.to_vec());
+            if let Some(conn) = self.conn.as_mut() {
+                conn.record(members);
+            }
         }
     }
 
@@ -1017,6 +1152,58 @@ impl<'a> Replay<'a> {
             Some(_) => {}
         }
     }
+}
+
+/// A [`TraceSink`] that checks invariants *live*: every event recorded by
+/// the controller (or any other emitter) is fed straight into a
+/// [`StreamingChecker`], so a violation is known the moment the run ends
+/// — no trace file, no replay pass. Memory stays bounded by checker
+/// state, making this the right sink for million-signal scale runs where
+/// retaining the trace would dwarf the fleet itself.
+pub struct CheckingSink {
+    inner: Mutex<StreamingChecker>,
+}
+
+impl CheckingSink {
+    /// Creates a sink wrapping a fresh checker.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(StreamingChecker::new()),
+        }
+    }
+
+    /// Events fed so far.
+    pub fn events(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .events()
+    }
+
+    /// Consumes the sink and renders the final verdict.
+    pub fn into_report(self) -> InvariantReport {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .finish()
+    }
+}
+
+impl Default for CheckingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for CheckingSink {
+    fn record(&self, event: TraceEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .feed(&event);
+    }
+
+    fn flush(&self) {}
 }
 
 #[cfg(test)]
@@ -1624,5 +1811,158 @@ mod tests {
                 .any(|v| v.message.contains("groups_formed")),
             "{report}"
         );
+    }
+
+    /// Every golden trace this module builds, healthy and corrupted,
+    /// used to pin streaming/batch/sink equivalence.
+    fn golden_traces() -> Vec<(&'static str, Vec<TraceEvent>)> {
+        let mut traces = vec![
+            ("healthy_con", healthy_trace(false)),
+            ("healthy_dyn", healthy_trace(true)),
+            ("eviction", eviction_trace()),
+            ("fleet", fleet_trace()),
+            ("elastic", elastic_trace()),
+        ];
+        // Corrupted variants so equivalence also covers violation paths.
+        let mut dup = healthy_trace(false);
+        for e in &mut dup {
+            if let TraceEvent::GroupFormed { members, .. } = e {
+                members[1] = members[0];
+                break;
+            }
+        }
+        traces.push(("dup_member", dup));
+        let mut churn = elastic_trace();
+        for e in &mut churn {
+            if let TraceEvent::ShardsReassigned { moved, .. } = e {
+                *moved = 5;
+            }
+        }
+        traces.push(("reshard_churn", churn));
+        traces
+    }
+
+    #[test]
+    fn streaming_feed_matches_batch_on_golden_traces() {
+        for (name, events) in golden_traces() {
+            let batch = InvariantChecker::check(&events);
+            let mut streaming = StreamingChecker::new();
+            for e in &events {
+                streaming.feed(e);
+            }
+            assert_eq!(streaming.finish(), batch, "trace {name}");
+        }
+    }
+
+    #[test]
+    fn checking_sink_matches_batch_on_golden_traces() {
+        for (name, events) in golden_traces() {
+            let batch = InvariantChecker::check(&events);
+            let sink = CheckingSink::new();
+            for e in &events {
+                sink.record(e.clone());
+            }
+            assert_eq!(sink.events(), events.len(), "trace {name}");
+            assert_eq!(sink.into_report(), batch, "trace {name}");
+        }
+    }
+
+    #[test]
+    fn streaming_jsonl_matches_batch() {
+        let events = healthy_trace(true);
+        let batch = InvariantChecker::check(&events);
+        let dir = std::env::temp_dir().join(format!(
+            "preduce-inv-{}-{}",
+            std::process::id(),
+            events.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("golden.jsonl");
+        let mut body = String::new();
+        for e in &events {
+            body.push_str(&serde_json::to_string(e).unwrap());
+            body.push('\n');
+        }
+        std::fs::write(&path, body).unwrap();
+        let streamed = InvariantChecker::check_jsonl(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(streamed, batch);
+    }
+
+    /// A ready signal from a worker still inside an in-flight group is
+    /// only a violation when the trace carries completions at all — the
+    /// strict tag must make a single streaming pass reproduce the batch
+    /// checker's old pre-scan semantics.
+    #[test]
+    fn inflight_signal_ignored_without_completions() {
+        let mut events = healthy_trace(false);
+        let pos = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::GroupFormed { .. }))
+            .unwrap();
+        let (member, consumed) = match &events[pos] {
+            TraceEvent::GroupFormed { members, .. } => (members[0], members.len()),
+            _ => unreachable!(),
+        };
+        let enqueued = events[..pos]
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SignalEnqueued { .. }))
+            .count();
+        events.truncate(pos + 1);
+        events.push(TraceEvent::SignalEnqueued {
+            worker: member,
+            iteration: 1_000,
+            queued: enqueued - consumed + 1,
+        });
+        let report = InvariantChecker::check(&events);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn inflight_signal_caught_once_completions_appear() {
+        let mut events = healthy_trace(false);
+        let pos = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::GroupFormed { .. }))
+            .unwrap();
+        let (member, members, new_iteration) = match &events[pos] {
+            TraceEvent::GroupFormed {
+                members,
+                new_iteration,
+                ..
+            } => (members[0], members.clone(), *new_iteration),
+            _ => unreachable!(),
+        };
+        let enqueued = events[..pos]
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SignalEnqueued { .. }))
+            .count();
+        events.truncate(pos + 1);
+        events.push(TraceEvent::SignalEnqueued {
+            worker: member,
+            iteration: 1_000,
+            queued: enqueued - members.len() + 1,
+        });
+        // A completion anywhere in the stream — even after the offending
+        // signal — retroactively enforces in-flight accounting.
+        events.push(TraceEvent::ReduceCompleted {
+            worker: member,
+            members,
+            new_iteration,
+        });
+        let report = InvariantChecker::check(&events);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.message.contains("still inside an in-flight group")),
+            "{report}"
+        );
+        // And the streaming path agrees event for event.
+        let mut streaming = StreamingChecker::new();
+        for e in &events {
+            streaming.feed(e);
+        }
+        assert_eq!(streaming.finish(), report);
     }
 }

@@ -52,11 +52,16 @@ pub mod trace;
 pub mod weights;
 
 pub use controller::{AggregationMode, Controller, ControllerConfig, GroupDecision};
-pub use graph::{min_history_window, GroupHistory, SyncGraph};
-pub use invariants::{InvariantChecker, InvariantReport, Violation};
+pub use graph::{
+    min_history_window, ConnectivityStats, GroupHistory, SyncGraph, WindowedConnectivity,
+};
+pub use invariants::{
+    CheckingSink, InvariantChecker, InvariantReport, StreamingChecker, Violation,
+};
 pub use matrix::{sync_matrix, weighted_sync_matrix};
 pub use spectral::{
-    expected_sync_matrix, expected_sync_matrix_uniform, rho_bar, spectral_gap, SpectralReport,
+    expected_sync_matrix, expected_sync_matrix_uniform, rho_bar, rho_power, rho_uniform,
+    spectral_gap, SpectralReport,
 };
 pub use trace::{read_jsonl, JsonlSink, NullSink, RingSink, SinkObserver, TraceEvent, TraceSink};
 pub use weights::{constant_weights, dynamic_weights, singleton_weights, GapPolicy};

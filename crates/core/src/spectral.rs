@@ -64,6 +64,112 @@ pub fn expected_sync_matrix_uniform(n: usize, p: usize) -> Tensor {
     w
 }
 
+/// Closed-form `ρ` of the homogeneous environment (every size-`P` group
+/// equally likely): `E[W] = d·I + o·(J − I)` has eigenvalue `1` on the
+/// all-ones vector and `d − o` with multiplicity `N − 1`, so
+/// `ρ = d − o` — no eigensolve needed. This is the Thm.-1 reference
+/// curve the scale campaign compares measured schedules against: at
+/// fixed `P`, `1 − ρ ≈ (P − 1)/N`, so `ρ̄` grows like `Θ(N²/(P−1)²)`.
+///
+/// # Panics
+/// Panics unless `2 ≤ p ≤ n`.
+pub fn rho_uniform(n: usize, p: usize) -> f64 {
+    assert!(p >= 2 && p <= n, "need 2 ≤ P ≤ N, got P={p}, N={n}");
+    if n == p {
+        // All-reduce: E[W] is the averaging matrix, ρ = 0 exactly.
+        return 0.0;
+    }
+    let nf = n as f64;
+    let pf = p as f64;
+    let diag = (pf / nf) * (1.0 / pf) + (1.0 - pf / nf);
+    let off = (pf * (pf - 1.0)) / (nf * (nf - 1.0)) / pf;
+    (diag - off).clamp(0.0, 1.0)
+}
+
+/// Matrix-free estimate of `ρ = max(|λ₂|, |λ_N|)` of the empirical
+/// `E[W]` of an observed group sequence, by power iteration with the
+/// all-ones eigenvector deflated.
+///
+/// [`spectral_gap`] materializes the `N×N` matrix and runs a Jacobi
+/// eigensolve — O(N³), hopeless at `N = 10⁴`. This routine never forms
+/// the matrix: each `W_k·v` replaces the member entries of `v` with
+/// their mean, so one operator application costs
+/// O(Σ|group| + N) and the whole estimate
+/// O(iters · (Σ|group| + N)). `E[W]` is symmetric and doubly stochastic,
+/// so its top eigenpair is `(1, 𝟙)`; projecting `v ⊥ 𝟙` each step makes
+/// the power iteration converge to the largest *remaining* eigenvalue
+/// magnitude — exactly `ρ`. The iteration is deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n == 0`, `groups` is empty, `iters == 0`, or any member is
+/// out of range.
+pub fn rho_power(n: usize, groups: &[Vec<usize>], iters: usize, seed: u64) -> f64 {
+    assert!(n > 0, "empty cluster");
+    assert!(!groups.is_empty(), "need at least one observed group");
+    assert!(iters > 0, "need at least one iteration");
+    for g in groups {
+        for &w in g {
+            assert!(w < n, "worker {w} out of range (N = {n})");
+        }
+    }
+    if n == 1 {
+        return 0.0;
+    }
+    // splitmix64 init: deterministic, dependency-free.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect();
+    let deflate = |v: &mut [f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        for x in v.iter_mut() {
+            *x -= mean;
+        }
+    };
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    deflate(&mut v);
+    let mut rho = 0.0;
+    let inv_k = 1.0 / groups.len() as f64;
+    let mut y = vec![0.0; n];
+    for _ in 0..iters {
+        let before = norm(&v);
+        if before < 1e-300 {
+            // v fell entirely inside the ones eigenspace (e.g. N = 1 or a
+            // pathological start): the deflated spectrum is empty-ish.
+            return 0.0;
+        }
+        // y = E[W]·v = v + (1/K)·Σ_k Δ_k, Δ_k sparse on the members.
+        y.copy_from_slice(&v);
+        for g in groups {
+            if g.is_empty() {
+                continue;
+            }
+            let mean = g.iter().map(|&w| v[w]).sum::<f64>() / g.len() as f64;
+            for &w in g {
+                y[w] += (mean - v[w]) * inv_k;
+            }
+        }
+        deflate(&mut y);
+        let after = norm(&y);
+        rho = after / before;
+        // Normalize to keep magnitudes sane across iterations.
+        if after > 1e-300 {
+            for x in y.iter_mut() {
+                *x /= after;
+            }
+        }
+        std::mem::swap(&mut v, &mut y);
+    }
+    rho.clamp(0.0, 1.0)
+}
+
 /// The error coefficient `ρ̄ = ρ/(1−ρ) + 2√ρ/(1−√ρ)²` of Theorem 1.
 ///
 /// # Panics
@@ -211,5 +317,65 @@ mod tests {
     #[should_panic(expected = "[0, 1)")]
     fn rho_bar_rejects_one() {
         rho_bar(1.0);
+    }
+
+    #[test]
+    fn rho_uniform_matches_jacobi() {
+        for (n, p) in [(3, 2), (8, 3), (8, 5), (16, 4), (4, 4)] {
+            let w = expected_sync_matrix_uniform(n, p);
+            let r = spectral_gap(&w).unwrap();
+            let closed = rho_uniform(n, p);
+            assert!(
+                (r.rho - closed).abs() < 1e-5,
+                "N={n} P={p}: jacobi {} vs closed {closed}",
+                r.rho
+            );
+        }
+    }
+
+    #[test]
+    fn rho_power_matches_jacobi_on_fig4_cases() {
+        // Fig. 4(a): uniform pairs over N=3 ⇒ ρ = 0.5.
+        let uniform = vec![vec![0, 1], vec![0, 2], vec![1, 2]];
+        let est = rho_power(3, &uniform, 500, 7);
+        assert!((est - 0.5).abs() < 1e-4, "uniform est {est}");
+        // Fig. 4(b): skewed pair frequencies ⇒ ρ = 0.625.
+        let skewed = vec![vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]];
+        let est = rho_power(3, &skewed, 500, 7);
+        assert!((est - 0.625).abs() < 1e-4, "skewed est {est}");
+    }
+
+    #[test]
+    fn rho_power_detects_disconnected_schedule() {
+        // Isolated pairs: a second unit eigenvalue survives deflation.
+        let est = rho_power(4, &[vec![0, 1], vec![2, 3]], 500, 3);
+        assert!(est > 1.0 - 1e-6, "est {est}");
+    }
+
+    #[test]
+    fn rho_power_matches_jacobi_on_random_groups() {
+        // A deterministic pseudo-random schedule over N=12, P=3.
+        let mut groups = Vec::new();
+        let mut x = 5u64;
+        for _ in 0..40 {
+            let mut g = Vec::new();
+            while g.len() < 3 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let w = (x >> 33) as usize % 12;
+                if !g.contains(&w) {
+                    g.push(w);
+                }
+            }
+            groups.push(g);
+        }
+        let jac = spectral_gap(&expected_sync_matrix(12, &groups)).unwrap();
+        let est = rho_power(12, &groups, 2000, 11);
+        assert!(
+            (est - jac.rho).abs() < 1e-3,
+            "power {est} vs jacobi {}",
+            jac.rho
+        );
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use partial_reduce::{
     constant_weights, dynamic_weights, min_history_window, spectral_gap, sync_matrix,
     weighted_sync_matrix, AggregationMode, Controller, ControllerConfig, GapPolicy, GroupHistory,
-    InvariantChecker, RingSink, SyncGraph,
+    InvariantChecker, RingSink, StreamingChecker, SyncGraph, WindowedConnectivity,
 };
 use proptest::prelude::*;
 
@@ -346,5 +346,100 @@ proptest! {
         }
         prop_assert!(g.is_connected());
         prop_assert!(added <= t, "needed {added} groups, bound was {t}");
+    }
+
+    #[test]
+    fn windowed_connectivity_matches_dfs_components(
+        groups in prop::collection::vec(group_strategy(7), 1..40),
+        window in 1usize..8,
+        probe_every in 1usize..4,
+    ) {
+        // The amortized union-find must agree with the reference DFS over
+        // the same window after every record — connectivity verdict,
+        // component labels, and warm-up state alike. Probing at a random
+        // stride exercises interleavings of deferred rebuilds, clean
+        // evictions, and the stale fast path.
+        let n = 7;
+        let mut h = GroupHistory::new(window);
+        let mut c = WindowedConnectivity::new(n, window);
+        for (i, g) in groups.iter().enumerate() {
+            h.record(g.clone());
+            c.record(g);
+            prop_assert_eq!(c.len(), h.len());
+            prop_assert_eq!(c.is_warm(), h.is_warm());
+            prop_assert_eq!(c.total_recorded(), h.total_recorded());
+            if i % probe_every == 0 {
+                let reference = h.sync_graph(n);
+                prop_assert_eq!(
+                    c.is_connected(),
+                    reference.is_connected(),
+                    "verdict diverged after group {}", i
+                );
+                prop_assert_eq!(
+                    c.components(),
+                    reference.components(),
+                    "labels diverged after group {}", i
+                );
+            }
+        }
+        // Final state always agrees, whatever the probe stride skipped.
+        let reference = h.sync_graph(n);
+        prop_assert_eq!(c.components(), reference.components());
+    }
+
+    #[test]
+    fn streaming_checker_matches_batch_on_random_traces(
+        seed in any::<u64>(),
+        p in 2usize..5,
+        rounds in 1usize..30,
+        dynamic in any::<bool>(),
+    ) {
+        // Feed the trace of a random controller run through the streaming
+        // checker one event at a time: the verdict must be identical to
+        // the batch wrapper's (same counters, same violations, in order).
+        use rand::{Rng, SeedableRng};
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sink = Arc::new(RingSink::new(8192));
+        let mut c = Controller::with_sink(
+            ControllerConfig {
+                num_workers: n,
+                group_size: p,
+                mode: if dynamic {
+                    AggregationMode::dynamic_default()
+                } else {
+                    AggregationMode::Constant
+                },
+                history_window: None,
+                frozen_avoidance: true,
+            },
+            sink.clone(),
+        );
+        let mut queued = vec![false; n];
+        let mut iter = vec![0u64; n];
+        for _ in 0..rounds {
+            for w in 0..n {
+                if !queued[w] && rng.gen_bool(0.6) {
+                    iter[w] += rng.gen_range(1..4);
+                    c.push_ready(w, iter[w]);
+                    queued[w] = true;
+                }
+            }
+            while let Some(d) = c.try_form_group() {
+                for &m in &d.group {
+                    queued[m] = false;
+                    if dynamic {
+                        iter[m] = d.new_iteration;
+                    }
+                }
+            }
+        }
+        let events = sink.snapshot();
+        let batch = InvariantChecker::check(&events);
+        let mut streaming = StreamingChecker::new();
+        for e in &events {
+            streaming.feed(e);
+        }
+        prop_assert_eq!(streaming.finish(), batch);
     }
 }

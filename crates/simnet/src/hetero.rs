@@ -348,6 +348,50 @@ impl HeterogeneityModel for MarkovFleet {
     }
 }
 
+/// The scale campaign's named heterogeneity presets, sized to an
+/// arbitrary fleet. Returns `None` for an unknown name.
+///
+/// * `"uniform"` — homogeneous devices with mild log-normal jitter
+///   (σ = 0.2), the HL = 1 baseline;
+/// * `"gpu-sharing"` — the paper's Table 1 knob at HL = N/4: a quarter
+///   of the fleet shares one physical GPU;
+/// * `"markov"` — the production-cluster regime (Fig. 9): bursty
+///   two-state slowdowns (4× while degraded) over jittered devices.
+///
+/// All presets use a 1 GFLOP/s device baseline, so compute times are in
+/// easy units of "seconds per GFLOP of local work".
+pub fn standard_fleet(name: &str, n: usize) -> Option<Box<dyn HeterogeneityModel>> {
+    assert!(n > 0, "fleet must have at least one worker");
+    let flops = 1e9;
+    match name {
+        "uniform" => Some(Box::new(UniformFleet::new(
+            n,
+            flops,
+            Jitter::LogNormal { sigma: 0.2 },
+        ))),
+        "gpu-sharing" => {
+            // HL = N/4, but at least 2 sharers (when the fleet allows it)
+            // so tiny fleets still exercise sharing.
+            let hl = if n >= 8 { n / 4 } else { n.min(2) };
+            Some(Box::new(GpuSharingFleet::new(
+                n,
+                hl,
+                flops,
+                Jitter::LogNormal { sigma: 0.1 },
+            )))
+        }
+        "markov" => Some(Box::new(MarkovFleet::new(
+            n,
+            flops,
+            0.05,
+            0.4,
+            4.0,
+            Jitter::LogNormal { sigma: 0.2 },
+        ))),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +491,18 @@ mod tests {
     fn rejects_unknown_worker() {
         let mut f = UniformFleet::new(2, 1e9, Jitter::None);
         f.compute_time(2, 1e9, SimTime::ZERO, &mut rng());
+    }
+
+    #[test]
+    fn standard_fleet_presets_resolve() {
+        for name in ["uniform", "gpu-sharing", "markov"] {
+            for n in [1, 4, 100, 1000] {
+                let mut fleet = standard_fleet(name, n).unwrap();
+                assert_eq!(fleet.num_workers(), n, "{name} at N={n}");
+                let t = fleet.compute_time(0, 1e9, SimTime::ZERO, &mut rng());
+                assert!(t.is_finite() && t > 0.0, "{name}: t = {t}");
+            }
+        }
+        assert!(standard_fleet("quantum", 8).is_none());
     }
 }

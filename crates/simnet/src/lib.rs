@@ -42,7 +42,8 @@ mod time;
 pub use events::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use hetero::{
-    GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet, UniformFleet,
+    standard_fleet, GpuSharingFleet, HeterogeneityModel, Jitter, MarkovFleet, SpeedFleet,
+    UniformFleet,
 };
 pub use network::NetworkModel;
 pub use resource::FifoResource;

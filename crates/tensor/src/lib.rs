@@ -23,6 +23,7 @@
 //!   reference implementation proven bit-identical by property tests. The
 //!   sim goldens elsewhere in the workspace rely on that bit-stability.
 
+pub mod alloc;
 mod eig;
 mod error;
 mod init;
@@ -32,6 +33,7 @@ mod ops;
 mod shape;
 mod tensor;
 
+pub use alloc::CountingAlloc;
 pub use eig::{symmetric_eigenvalues, JacobiOptions};
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};

@@ -10,6 +10,7 @@
 
 pub mod drivers;
 pub mod process;
+pub mod scale;
 pub mod setup;
 pub mod substrate;
 
@@ -20,6 +21,7 @@ use partial_reduce::TraceSink;
 use preduce_simnet::FaultPlan;
 
 pub use drivers::{driver_for, StrategyDriver};
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use substrate::{Backend, SimSubstrate, Substrate, ThreadedSubstrate};
 
 use crate::config::ExperimentConfig;

@@ -42,7 +42,7 @@ pub mod worker;
 
 pub use config::{ExperimentConfig, HeteroSpec};
 pub use elastic::{CheckpointPolicy, ElasticOptions};
-pub use engine::{Backend, EngineRun};
+pub use engine::{run_scale, Backend, EngineRun, ScaleConfig, ScaleReport};
 pub use experiment::{run_experiment, run_experiment_traced};
 pub use metrics::{RunResult, TracePoint};
 pub use preduce_simnet::{FaultKind, FaultPlan, FaultSpec};

@@ -1,0 +1,91 @@
+//! Scale-campaign integration tests: fleet sizes far beyond the training
+//! simulations, with a *hard* peak-memory budget.
+//!
+//! [`CountingAlloc`] is installed as the process's global allocator, so
+//! `peak_bytes()` is the real high-water mark of everything the harness
+//! allocated — controller queues, the windowed union-find, the streaming
+//! checker, the event queue, the ρ reservoir. The budgets below are the
+//! enforcement of DESIGN.md §15's bounded-memory claims: if a future
+//! change re-grows O(events) state (e.g. the checker buffering its trace
+//! again), these tests fail before any reviewer has to notice.
+//!
+//! The N = 10⁴ / million-signal run only makes sense optimized, so it is
+//! gated on release mode; CI runs it via the `scale-smoke` job with
+//! `--release`. Debug builds still cover an N = 1 000 run with a (looser)
+//! budget so `cargo test` exercises the same path.
+
+use preduce_tensor::CountingAlloc;
+use preduce_trainer::{run_scale, ScaleConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Runs one config and asserts the invariant-checker verdict plus the
+/// peak-allocation budget (in bytes, measured from the run's start).
+fn run_within_budget(cfg: &ScaleConfig, budget_bytes: usize) {
+    ALLOC.reset_peak();
+    let report = run_scale(cfg);
+    let peak = ALLOC.peak_bytes();
+    assert_eq!(
+        report.checker_violations, 0,
+        "streaming checker found violations at N={}",
+        cfg.num_workers
+    );
+    assert!(
+        report.groups > 0,
+        "no groups formed at N={}",
+        cfg.num_workers
+    );
+    assert_eq!(report.signals, cfg.signals, "run stopped early");
+    assert!(
+        peak < budget_bytes,
+        "peak allocation {peak} B exceeds the {budget_bytes} B budget \
+         for N={} / {} signals",
+        cfg.num_workers,
+        cfg.signals
+    );
+}
+
+#[test]
+fn n1k_fleet_stays_in_budget() {
+    let mut cfg = ScaleConfig::new(1_000, 8, 50_000, "uniform");
+    cfg.rho_iters = 50;
+    // 64 MiB is generous for N = 1k — the point is catching O(events)
+    // regressions (a buffered 50k-event trace alone would be ~10 MiB and
+    // a real regression typically hoards far more).
+    run_within_budget(&cfg, 64 << 20);
+}
+
+#[test]
+fn n1k_gpu_sharing_dynamic_weights_spread() {
+    let mut cfg = ScaleConfig::new(1_000, 8, 30_000, "gpu-sharing");
+    cfg.rho_iters = 50;
+    let report = run_scale(&cfg);
+    assert_eq!(report.checker_violations, 0);
+    assert!(
+        report.weight_spread_max > 0.0,
+        "Eq. 9 weights did not spread under a heterogeneous fleet"
+    );
+}
+
+/// The headline run: N = 10⁴ workers, one million ready signals, all
+/// trace events checked in-flight, under a hard 256 MiB peak budget.
+///
+/// Release-only: a debug build spends minutes here for no extra coverage.
+#[cfg(not(debug_assertions))]
+#[test]
+fn n10k_million_signals_stays_in_budget() {
+    let mut cfg = ScaleConfig::new(10_000, 16, 1_000_000, "uniform");
+    cfg.rho_iters = 30;
+    run_within_budget(&cfg, 256 << 20);
+}
+
+/// Same scale under the hardest preset (Markov bursts force deferrals
+/// and repairs through the windowed union-find's stale/rebuild paths).
+#[cfg(not(debug_assertions))]
+#[test]
+fn n4k_markov_fleet_checks_clean() {
+    let mut cfg = ScaleConfig::new(4_000, 8, 400_000, "markov");
+    cfg.rho_iters = 30;
+    run_within_budget(&cfg, 192 << 20);
+}
